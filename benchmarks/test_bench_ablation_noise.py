@@ -1,0 +1,109 @@
+"""A1 -- ablation: design choices under label noise and missingness.
+
+The paper argues for a *linear* model (boosted stumps) because unreported
+problems are mislabelled negatives and "sophisticated non-linear models
+overfit easily".  Two design choices of this reproduction get ablated on a
+controlled synthetic task shaped like the ticket problem (rare positives,
+hidden-positive label noise, missing records):
+
+1. label-noise robustness: the ranking quality of BStump degrades
+   gracefully as more positives are hidden at training time;
+2. missing-value policy: scoring the missing block (our default) beats
+   Boostexter-style abstention when missingness is informative and the
+   classes are imbalanced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.boostexter import BStump, BStumpConfig
+from repro.ml.metrics import top_n_average_precision
+
+
+def make_ticket_like(rng, n=20_000, hide=0.0):
+    """Rare positives, informative missingness, optional hidden positives."""
+    latent = rng.random(n) < 0.05
+    X = rng.normal(size=(n, 10))
+    X[:, 0] += 2.0 * latent
+    X[:, 1] += 1.2 * latent
+    # Dead modems (a positive signature) produce missing records.
+    dead = latent & (rng.random(n) < 0.5)
+    X[dead, :5] = np.nan
+    X[rng.random((n, 10)) < 0.03] = np.nan
+    y = latent.astype(float)
+    observed = y.copy()
+    observed[(rng.random(n) < hide) & latent] = 0.0
+    return X, y, observed
+
+
+@pytest.fixture(scope="module")
+def noise_sweep(write_result):
+    rng = np.random.default_rng(7)
+    X_test, y_test, _ = make_ticket_like(rng)
+    rows = []
+    scores = {}
+    for hide in (0.0, 0.2, 0.4, 0.6):
+        X, _, observed = make_ticket_like(rng, hide=hide)
+        model = BStump(BStumpConfig(n_rounds=80)).fit(X, observed)
+        ap = top_n_average_precision(
+            y_test, 400, model.decision_function(X_test)
+        )
+        scores[hide] = ap
+        rows.append(f"hidden positives {hide:.0%}: AP(400) vs truth = {ap:.3f}")
+    write_result("ablation_label_noise", "\n".join(rows))
+    return scores
+
+
+def test_label_noise_graceful_degradation(noise_sweep, benchmark):
+    scores = benchmark.pedantic(lambda: noise_sweep, rounds=1, iterations=1)
+    # Even with 60% of positives hidden, the ranking keeps most of its
+    # power -- the linear-model robustness the paper relies on.
+    assert scores[0.6] > 0.5 * scores[0.0]
+    assert scores[0.0] > 0.3
+
+
+def make_missing_record_task(rng, n=20_000):
+    """The exact regime that motivated the scored-missing default: rare
+    positives, *weak* per-feature signal (so every stump block stays
+    minority-positive and all real margins are negative), and a sizeable
+    pool of fully-missing records (modem off during the weekly test) whose
+    positive rate is only mildly elevated.  Under abstention those missing
+    records score exactly 0 -- above every real margin -- and flood the
+    top of the ranking at their ~10% precision."""
+    latent = rng.random(n) < 0.05
+    X = rng.normal(size=(n, 10))
+    X[:, 0] += 1.2 * latent
+    X[:, 1] += 0.7 * latent
+    # Modem-off probability: 12% baseline, 25% for faulty lines.
+    off = rng.random(n) < (0.12 + 0.13 * latent)
+    X[off, :] = np.nan
+    return X, latent.astype(float)
+
+
+def test_missing_policy_ablation(benchmark, write_result):
+    rng = np.random.default_rng(13)
+    X, y = make_missing_record_task(rng)
+    X_test, y_test = make_missing_record_task(rng)
+
+    def run():
+        results = {}
+        for policy in ("score", "abstain"):
+            model = BStump(
+                BStumpConfig(n_rounds=80, missing_policy=policy)
+            ).fit(X, y)
+            results[policy] = top_n_average_precision(
+                y_test, 400, model.decision_function(X_test)
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_missing_policy",
+        "\n".join(f"missing_policy={k}: AP(400) = {v:.3f}"
+                  for k, v in results.items()),
+    )
+    # Abstention emits margin 0 for every fully-missing record; with the
+    # rest of the population scored negative, the whole modem-off pool
+    # (10% precision) floats to the very top and wrecks the ranking.
+    # Scoring the missing block avoids that.
+    assert results["score"] > results["abstain"] + 0.05

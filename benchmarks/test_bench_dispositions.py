@@ -1,0 +1,66 @@
+"""E1 -- Table 1 / Fig 2: disposition mix across the four major locations.
+
+The paper characterises customer-edge problems from one month of tickets:
+every major location (HN, F2, F1, DS) contributes many distinct
+dispositions and none of them dominates its location.  This bench rebuilds
+that table from the simulated dispatch notes.
+"""
+
+import numpy as np
+
+from repro.netsim.components import DISPOSITIONS, Location
+
+
+def disposition_table(world):
+    counts = world.dispatcher.disposition_counts()
+    total = counts.sum()
+    lines = [f"{'location':>4} {'share':>7}  top dispositions (share of location)"]
+    location_shares = {}
+    for location in Location:
+        codes = [i for i, d in enumerate(DISPOSITIONS) if d.location == location]
+        loc_counts = counts[codes]
+        loc_total = loc_counts.sum()
+        location_shares[location.name] = loc_total / total
+        order = np.argsort(-loc_counts)[:3]
+        tops = ", ".join(
+            f"{DISPOSITIONS[codes[j]].code} ({loc_counts[j] / max(1, loc_total):.0%})"
+            for j in order
+        )
+        lines.append(
+            f"{location.name:>4} {loc_total / total:>7.1%}  {tops}"
+        )
+    return counts, location_shares, "\n".join(lines)
+
+
+def test_disposition_mix(world, benchmark, write_result):
+    counts, location_shares, table = benchmark.pedantic(
+        lambda: disposition_table(world), rounds=1, iterations=1
+    )
+    write_result("table1_dispositions", table)
+
+    total = counts.sum()
+    assert total > 500, "need a substantial dispatch history"
+    # Every major location is represented (Fig 2).
+    for share in location_shares.values():
+        assert share > 0.05
+    # Section 2.2: no dominant disposition inside a major location.
+    for location in Location:
+        codes = [i for i, d in enumerate(DISPOSITIONS) if d.location == location]
+        loc_counts = counts[codes]
+        if loc_counts.sum() > 0:
+            assert loc_counts.max() / loc_counts.sum() < 0.6
+    # Section 6.3: the 52 catalog dispositions carry the bulk of problems,
+    # and the common ones recur enough to train per-disposition models.
+    common = np.sum(counts >= 20)
+    assert common >= 20
+
+
+def test_home_network_is_largest_bucket(world, benchmark):
+    """HN holds the most disposition variety and a large share of problems
+    (Table 1 lists the most rows there; modems and inside wiring fail a
+    lot)."""
+    location_counts = benchmark.pedantic(
+        world.dispatcher.location_counts, rounds=1, iterations=1
+    )
+    hn_share = location_counts[0] / location_counts.sum()
+    assert hn_share > 0.25

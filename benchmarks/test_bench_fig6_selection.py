@@ -1,0 +1,124 @@
+"""E4 -- Fig 6: feature-selection method comparison.
+
+The paper selects the top 50 history/customer features with five methods
+(top-N AP, AUC, average precision, PCA, gain ratio -- Table 4), trains a
+classifier per method, and plots accuracy against the number of top
+predictions kept.  The headline shape: the proposed top-N AP method wins
+below the capacity N, while the globally-oriented AUC selection catches up
+once far more predictions than the capacity are kept.
+
+Scale note: the paper picks 50 out of its history/customer candidates at
+AT&T data volume, where AP estimates are precise enough for the tail of
+the ranking to matter.  Our candidate pool is 83 features, so keeping 50
+would make every supervised selector pick a near-identical set; we keep
+the *selection pressure* comparable instead (TOP_K = 12 of 83) and assert
+the relative shape, averaging over the test weeks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import evaluate_predictions
+from repro.data.joins import build_ticket_dataset
+from repro.features.selection import (
+    select_features_auc,
+    select_features_average_precision,
+    select_features_gain_ratio,
+    select_features_pca,
+    select_features_top_n_ap,
+)
+from repro.ml.boostexter import BStump, BStumpConfig
+
+from benchmarks.conftest import CAPACITY
+
+TOP_K = 12
+TRAIN_ROUNDS = 200
+
+
+@pytest.fixture(scope="module")
+def selection_curves(world, split, write_result):
+    train = build_ticket_dataset(world, split.train_weeks)
+    selection = build_ticket_dataset(world, split.selection_weeks)
+
+    methods = {
+        "top_n_ap": lambda: select_features_top_n_ap(
+            train.features, train.y, selection.features, selection.y,
+            n=CAPACITY, top_k=TOP_K,
+        ),
+        "auc": lambda: select_features_auc(train.features, train.y, TOP_K),
+        "average_precision": lambda: select_features_average_precision(
+            train.features, train.y, TOP_K
+        ),
+        "pca": lambda: select_features_pca(train.features, train.y, TOP_K),
+        "gain_ratio": lambda: select_features_gain_ratio(
+            train.features, train.y, TOP_K
+        ),
+    }
+
+    grid = np.array(
+        [CAPACITY // 4, CAPACITY // 2, CAPACITY, CAPACITY * 3, CAPACITY * 10]
+    )
+    curves = {}
+    for name, select in methods.items():
+        chosen = select().selected
+        model = BStump(BStumpConfig(n_rounds=TRAIN_ROUNDS)).fit(
+            train.features.matrix[:, chosen],
+            train.y,
+            categorical=train.features.categorical[chosen],
+        )
+        accs = []
+        for week in split.test_weeks:
+            fs = build_ticket_dataset(world, [week]).features
+            scores = model.decision_function(fs.matrix[:, chosen])
+            ranked = np.argsort(-scores, kind="stable")
+            outcome = evaluate_predictions(world, ranked, week)
+            accs.append([outcome.accuracy_at(int(n)) for n in grid])
+        curves[name] = np.mean(accs, axis=0)
+
+    header = "top-x:      " + "  ".join(f"{int(n):>6}" for n in grid)
+    rows = [header]
+    for name, curve in curves.items():
+        rows.append(
+            f"{name:>12}: " + "  ".join(f"{v:6.3f}" for v in curve)
+        )
+    write_result("fig6_selection_methods", "\n".join(rows))
+    return grid, curves
+
+
+def test_fig6_selection_comparison(selection_curves, benchmark):
+    grid, curves = benchmark.pedantic(
+        lambda: selection_curves, rounds=1, iterations=1
+    )
+    # "Below capacity" summary: mean accuracy over the cuts at and under N.
+    head = {name: float(np.mean(curve[:3])) for name, curve in curves.items()}
+    at_capacity = {name: curve[2] for name, curve in curves.items()}
+    at_tail = {name: curve[-1] for name, curve in curves.items()}
+
+    # Below/at capacity, the paper's top-N AP selection is (near-)best:
+    # it never trails the best baseline materially, and it beats the
+    # unsupervised PCA pick.  (The decisive Fig-6 separation needs the
+    # paper's data volume; at simulator scale the supervised selectors
+    # overlap within a few points -- see EXPERIMENTS.md.)
+    others_head = max(v for k, v in head.items() if k != "top_n_ap")
+    assert head["top_n_ap"] >= others_head - 0.035, head
+    assert head["top_n_ap"] > head["pca"] - 0.01, head
+
+    # The advantage shrinks (or flips, the paper's crossover) at large x.
+    others_tail = max(v for k, v in at_tail.items() if k != "top_n_ap")
+    gap_head = head["top_n_ap"] - others_head
+    gap_tail = at_tail["top_n_ap"] - others_tail
+    assert gap_tail < gap_head + 0.02
+
+    # Everything converges to the base rate at the far tail.
+    spread_tail = max(at_tail.values()) - min(at_tail.values())
+    assert spread_tail < 0.05, at_tail
+
+
+def test_fig6_supervised_beat_random_everywhere(selection_curves, world, split,
+                                                benchmark):
+    grid, curves = benchmark.pedantic(
+        lambda: selection_curves, rounds=1, iterations=1
+    )
+    base_rate = build_ticket_dataset(world, split.test_weeks).positive_rate()
+    for name in ("top_n_ap", "auc", "average_precision", "gain_ratio"):
+        assert curves[name][2] > 2 * base_rate, (name, curves[name], base_rate)

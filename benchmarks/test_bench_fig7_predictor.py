@@ -1,0 +1,78 @@
+"""E5 -- Fig 7: ticket-predictor accuracy, with and without derived features.
+
+The paper's headline evaluation: with history+customer features the top-20K
+accuracy is 37.8 %; adding the derived quadratic and product features lifts
+it to 40 % -- roughly 2 true predictions per 3 incorrect ones, against a
+population base rate well under 1 %.  We assert the shape: a large lift
+over the base rate at capacity, monotone-ish decay as the cut grows, and
+derived features not hurting (usually helping).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import accuracy_curve, evaluate_predictions
+from repro.core.predictor import PredictorConfig, TicketPredictor
+
+from benchmarks.conftest import CAPACITY
+
+
+@pytest.fixture(scope="module")
+def no_derived_outcomes(world, split):
+    config = PredictorConfig(
+        capacity=CAPACITY, train_rounds=300, selection_rounds=4,
+        include_derived=False,
+    )
+    predictor = TicketPredictor(config).fit(world, split)
+    return [
+        evaluate_predictions(world, predictor.rank_week(world, week), week)
+        for week in split.test_weeks
+    ]
+
+
+def test_fig7_accuracy_curves(world, split, test_outcomes, no_derived_outcomes,
+                              benchmark, write_result):
+    grid = np.array([CAPACITY // 4, CAPACITY // 2, CAPACITY,
+                     CAPACITY * 2, CAPACITY * 5])
+    full_curve, plain_curve = benchmark.pedantic(
+        lambda: (accuracy_curve(test_outcomes, grid),
+                 accuracy_curve(no_derived_outcomes, grid)),
+        rounds=1, iterations=1,
+    )
+    base_rate = float(np.mean([o.hits.mean() for o in test_outcomes]))
+    rows = ["top-x:              " + "  ".join(f"{int(n):>6}" for n in grid)]
+    rows.append("all features:       " + "  ".join(f"{v:6.3f}" for v in full_curve))
+    rows.append("history+customer:   " + "  ".join(f"{v:6.3f}" for v in plain_curve))
+    rows.append(f"base ticket rate:   {base_rate:.4f}")
+    ratio = full_curve[2] / base_rate if base_rate else float("inf")
+    rows.append(f"lift at capacity:   {ratio:.1f}x")
+    write_result("fig7_predictor_accuracy", "\n".join(rows))
+
+    # Headline shape: strong concentration of future tickets in the top-N.
+    # (The paper's ~50x lift sits over a <1% base rate; our plant is
+    # densified 3x so the suite runs at laptop scale, compressing the
+    # achievable lift.)
+    assert full_curve[2] > 3.2 * base_rate
+    # The paper's operating point is ~2 true per 3 false (0.4); we accept
+    # a generous band around it given the simulated substrate.
+    assert full_curve[2] > 0.2
+    # Derived features help (or at worst wash) -- Fig 7's two curves.
+    assert full_curve[2] >= plain_curve[2] - 0.03
+    # Accuracy decays as the cut grows past capacity.
+    assert full_curve[2] >= full_curve[4] - 1e-9
+
+
+def test_fig7_weekly_yield(test_outcomes, benchmark, write_result):
+    """Section 5: 'more than 8,000 future tickets per week' at 40 % of the
+    top 20K.  At our scale: accuracy@capacity x capacity true predictions
+    per week."""
+    def weekly_yield():
+        return [int(np.sum(o.hits[:CAPACITY])) for o in test_outcomes]
+
+    yields = benchmark.pedantic(weekly_yield, rounds=1, iterations=1)
+    write_result(
+        "fig7_weekly_yield",
+        "\n".join(f"week +{i}: {y} true predictions in the top {CAPACITY}"
+                  for i, y in enumerate(yields)),
+    )
+    assert all(y > CAPACITY // 10 for y in yields)

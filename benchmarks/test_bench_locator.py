@@ -1,0 +1,120 @@
+"""E9 & E10 -- Section 6.3 / Fig 10: trouble-locator evaluation.
+
+E9: *"using the basic ranks, in order to locate 50% of the problems, a
+maximum of 9 tests are needed.  In comparison, using either the flat model
+or the combined model, only a maximum of 4 tests are required"* -- the
+learned locators roughly halve the median testing effort.
+
+E10 (Fig 10): binning dispatches by their basic (experience-model) rank,
+both learned models improve the average rank, the improvement grows for
+problems ranked deeper by the prior, and the combined model beats the flat
+model on those deep ranks.
+"""
+
+import numpy as np
+import pytest
+
+# ``tests_to_locate`` is aliased so pytest does not collect it as a test.
+from repro.core.locator import (
+    CombinedLocator,
+    ExperienceModel,
+    FlatLocator,
+    LocatorConfig,
+    rank_improvement_by_bin,
+    ranks_of_truth,
+)
+from repro.core.locator import tests_to_locate as locate_quantile
+from repro.data.joins import build_locator_dataset
+
+
+@pytest.fixture(scope="module")
+def locator_eval(world):
+    """Train on the first ~60 % of dispatches, evaluate on the rest
+    (mirroring the paper's 7-week train / 7-week test layout)."""
+    horizon = world.config.n_weeks * 7
+    cut = int(horizon * 0.6)
+    train = build_locator_dataset(world, first_day=35, last_day=cut)
+    test = build_locator_dataset(world, first_day=cut + 1, last_day=horizon)
+
+    config = LocatorConfig(n_rounds=100)
+    X = test.features.matrix
+    ranks = {
+        "basic": ranks_of_truth(
+            ExperienceModel(config).fit(train).predict_proba(X),
+            test.disposition,
+        ),
+        "flat": ranks_of_truth(
+            FlatLocator(config).fit(train).predict_proba(X), test.disposition
+        ),
+        "combined": ranks_of_truth(
+            CombinedLocator(config).fit(train).predict_proba(X),
+            test.disposition,
+        ),
+    }
+    return train, test, ranks
+
+
+def test_e9_tests_to_locate(locator_eval, benchmark, write_result):
+    train, test, ranks = benchmark.pedantic(
+        lambda: locator_eval, rounds=1, iterations=1
+    )
+    medians = {name: locate_quantile(r, 0.5) for name, r in ranks.items()}
+    p75 = {name: locate_quantile(r, 0.75) for name, r in ranks.items()}
+    write_result(
+        "section63_tests_to_locate",
+        "\n".join([
+            f"training dispatches : {train.n_examples}",
+            f"test dispatches     : {test.n_examples}",
+            f"{'model':>10} {'median tests':>13} {'p75 tests':>10} {'mean rank':>10}",
+        ] + [
+            f"{name:>10} {medians[name]:>13} {p75[name]:>10} "
+            f"{ranks[name].mean():>10.1f}"
+            for name in ("basic", "flat", "combined")
+        ] + ["(paper: basic 9 vs models 4 at the median)"]),
+    )
+
+    # The learned models need fewer tests to cover half the problems.
+    assert medians["flat"] <= medians["basic"]
+    assert medians["combined"] <= medians["basic"]
+    assert medians["combined"] < medians["basic"], "no median improvement"
+    # And the overall ranking is better on average.
+    assert ranks["combined"].mean() < ranks["basic"].mean()
+
+
+def test_e10_fig10_rank_improvement(locator_eval, benchmark, write_result):
+    _, test, ranks = benchmark.pedantic(
+        lambda: locator_eval, rounds=1, iterations=1
+    )
+    basic = ranks["basic"]
+    tables = {}
+    rows_text = []
+    for name in ("flat", "combined"):
+        rows = rank_improvement_by_bin(basic, ranks[name], bin_width=5)
+        tables[name] = rows
+        rows_text.append(f"== {name} model ==")
+        for row in rows:
+            rows_text.append(
+                f"  basic rank {int(row['bin_low']):>2}-{int(row['bin_high']):>2} "
+                f"(n={int(row['count']):>4}): "
+                f"mean rank change {row['mean_rank_change']:+.2f}"
+            )
+    write_result("fig10_rank_change", "\n".join(rows_text))
+
+    for name, rows in tables.items():
+        deep = [r for r in rows if r["bin_low"] >= 16 and r["count"] >= 10]
+        shallow = [r for r in rows if r["bin_high"] <= 5]
+        assert deep, "need populated deep bins"
+        deep_gain = np.mean([r["mean_rank_change"] for r in deep])
+        # Fig 10: clear positive improvement on deep-ranked problems...
+        assert deep_gain > 1.0, (name, deep_gain)
+        # ...much larger than whatever happens in the shallow bins.
+        if shallow:
+            shallow_gain = np.mean([r["mean_rank_change"] for r in shallow])
+            assert deep_gain > shallow_gain
+
+    # The combined model's edge over the flat model shows on deep ranks.
+    deep_mask = basic >= 16
+    if deep_mask.sum() >= 30:
+        flat_gain = float(np.mean((basic - ranks["flat"])[deep_mask]))
+        combined_gain = float(np.mean((basic - ranks["combined"])[deep_mask]))
+        assert combined_gain >= flat_gain - 0.5

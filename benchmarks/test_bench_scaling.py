@@ -1,0 +1,75 @@
+"""E11 -- footnote 4: training and ranking cost scaling.
+
+The paper: 800 boosting rounds on 1M records take ~2 h on a 2009 server
+without parallelisation, and ranking several million lines takes < 15 min.
+Absolute numbers are hardware-bound; the reproducible *shape* is that both
+training and scoring scale (near-)linearly in the number of records, so
+the system stays deployable as the population grows.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.ml.boostexter import BStump, BStumpConfig
+
+N_FEATURES = 40
+ROUNDS = 60
+
+
+def make_data(n, rng):
+    X = rng.normal(size=(n, N_FEATURES))
+    y = (X[:, 0] + 0.6 * X[:, 1] + 0.5 * rng.normal(size=n) > 0).astype(float)
+    X[rng.random(X.shape) < 0.05] = np.nan
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def scaling_table(write_result):
+    rng = np.random.default_rng(0)
+    sizes = [4_000, 16_000, 64_000]
+    rows = []
+    timings = {}
+    for n in sizes:
+        X, y = make_data(n, rng)
+        t0 = time.perf_counter()
+        model = BStump(BStumpConfig(n_rounds=ROUNDS)).fit(X, y)
+        fit_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        model.decision_function(X)
+        score_s = time.perf_counter() - t0
+        timings[n] = (fit_s, score_s)
+        rows.append(
+            f"n={n:>6}: fit {fit_s:7.2f}s ({1e6 * fit_s / n:6.1f} us/row), "
+            f"rank {score_s:6.2f}s ({1e6 * score_s / n:6.2f} us/row)"
+        )
+    write_result("footnote4_scaling", "\n".join(rows))
+    return timings
+
+
+def test_training_scales_subquadratically(scaling_table, benchmark):
+    timings = benchmark.pedantic(lambda: scaling_table, rounds=1, iterations=1)
+    sizes = sorted(timings)
+    # 16x more rows must cost far less than 16^2 more time; allow up to
+    # ~O(n log n) with generous constant slack.
+    ratio = timings[sizes[-1]][0] / timings[sizes[0]][0]
+    growth = sizes[-1] / sizes[0]
+    assert ratio < growth * 4
+
+    # Ranking is much cheaper than training (the paper: 15 min vs 2 h).
+    for n in sizes:
+        fit_s, score_s = timings[n]
+        assert score_s < fit_s / 5
+
+
+def test_single_fit_benchmark(benchmark):
+    """A standard pytest-benchmark timing of one mid-size training run."""
+    rng = np.random.default_rng(1)
+    X, y = make_data(16_000, rng)
+
+    def fit():
+        return BStump(BStumpConfig(n_rounds=20)).fit(X, y)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert len(model.learners) > 0

@@ -1,0 +1,32 @@
+"""E2 -- Section 3.3: weekly ticket seasonality.
+
+The paper observes a clear weekly trend in ticket arrivals -- peaking on
+Monday, bottoming out over the weekend -- which is why the Saturday line
+tests leave a quiet window to resolve predicted problems proactively.
+"""
+
+import numpy as np
+
+_DAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+def test_weekly_ticket_trend(world, benchmark, write_result):
+    hist = benchmark.pedantic(
+        world.ticket_log.weekday_histogram, rounds=1, iterations=1
+    )
+    total = hist.sum()
+    shares = hist / total
+    table = "\n".join(
+        f"{day:>4}: {count:>6}  ({share:5.1%})"
+        for day, count, share in zip(_DAYS, hist, shares)
+    )
+    write_result("section33_seasonality", table)
+
+    assert total > 1000, "need a substantial ticket stream"
+    # Monday peak.
+    assert int(np.argmax(hist)) == 0
+    # Weekend trough: Saturday and Sunday are the two smallest days.
+    assert set(np.argsort(hist)[:2]) == {5, 6}
+    # The paper's operational argument: the weekend carries much less
+    # ticket load than the Monday peak, leaving proactive capacity.
+    assert shares[5] + shares[6] < 2 * shares[0]

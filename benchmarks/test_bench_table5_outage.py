@@ -1,0 +1,104 @@
+"""E7 -- Table 5: incorrect predictions explained by outages and the IVR.
+
+Two reproduced rows per horizon T = 1..4 weeks:
+
+* the share of the top-N *incorrect* predictions sitting on a DSLAM with
+  at least one outage within T weeks of the prediction (the paper finds
+  12.7 % at 1 week growing to 31.5 % at 4 weeks -- calls during known
+  outages are answered by the IVR and never become tickets);
+* the logistic regression ``outage(d, t, T) ~ #predictions(d)``: a
+  consistently positive coefficient with P-value below 5 %, i.e. the
+  per-DSLAM prediction count is an outage early-warning signal.
+"""
+
+import numpy as np
+
+from repro.core.analysis import explain_incorrect_by_outage
+from repro.ml.logistic import fit_logistic_regression
+
+from benchmarks.conftest import CAPACITY
+
+
+def test_table5_outage_explanation(world, test_outcomes, benchmark,
+                                   write_result):
+    rows_per_week = benchmark.pedantic(
+        lambda: [
+            explain_incorrect_by_outage(world, outcome, CAPACITY)
+            for outcome in test_outcomes
+        ],
+        rounds=1, iterations=1,
+    )
+    # Average the fraction row over test weeks; pool the regression below.
+    horizons = [1, 2, 3, 4]
+    fractions = {
+        t: float(np.mean([
+            rows[i].incorrect_fraction
+            for rows in rows_per_week
+            for i in range(4)
+            if rows[i].horizon_weeks == t
+        ]))
+        for t in horizons
+    }
+
+    # Pooled Table-5 regression over all test weeks for statistical power.
+    dslam_of = world.population.dslam_idx
+    n_dslams = world.population.topology.n_dslams
+    counts_all, outage_all = [], []
+    for outcome in test_outcomes:
+        top = outcome.ranked_lines[:CAPACITY]
+        counts_all.append(
+            np.bincount(dslam_of[top], minlength=n_dslams).astype(float)
+        )
+    pooled = {}
+    for t in horizons:
+        outcome_rows = []
+        for outcome, counts in zip(test_outcomes, counts_all):
+            indicator = world.outages.outage_indicator(outcome.day, t * 7)
+            outcome_rows.append((counts, indicator.astype(float)))
+        X = np.concatenate([c for c, _ in outcome_rows])[:, None]
+        y = np.concatenate([o for _, o in outcome_rows])
+        if 0 < y.sum() < len(y):
+            fit = fit_logistic_regression(X, y)
+            pooled[t] = (float(fit.coefficients[0]), float(fit.p_values[0]))
+        else:
+            pooled[t] = (0.0, 1.0)
+
+    rows = [f"{'T (weeks)':>24}: " + "  ".join(f"{t:>8}" for t in horizons)]
+    rows.append(
+        f"{'% incorrect w/ outage':>24}: "
+        + "  ".join(f"{fractions[t]:8.1%}" for t in horizons)
+    )
+    rows.append(
+        f"{'regression coefficient':>24}: "
+        + "  ".join(f"{pooled[t][0]:8.4f}" for t in horizons)
+    )
+    rows.append(
+        f"{'P-value':>24}: " + "  ".join(f"{pooled[t][1]:8.4f}" for t in horizons)
+    )
+    write_result("table5_outage", "\n".join(rows))
+
+    # Row 1 shape: the explained share grows with the horizon.
+    values = [fractions[t] for t in horizons]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert values[-1] > values[0]
+    assert values[-1] > 0.02, "outages must explain a visible share"
+
+    # Rows 2-3 shape: positive coefficients at every horizon, clearly
+    # significant at the short horizons where the precursor is strongest.
+    # (The paper reports p < 0.005 at every T; with ~100x fewer
+    # DSLAM-weeks, our long-horizon p-values are noisier.)
+    for t in horizons:
+        assert pooled[t][0] > 0, pooled
+    assert pooled[1][1] < 0.05, pooled
+    assert min(p for _, p in pooled.values()) < 0.01, pooled
+
+
+def test_ivr_absorbs_real_calls(world, benchmark):
+    """The mechanism behind Table 5: calls during outages reach the IVR and
+    never become tickets."""
+    calls = benchmark.pedantic(
+        lambda: world.ticket_log.ivr_calls, rounds=1, iterations=1
+    )
+    assert len(calls) > 0
+    for call in calls[:50]:
+        assert world.outages.dslams_down_on(call.day)[call.dslam_id]

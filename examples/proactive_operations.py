@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The closed NEVERMIND operational loop (Fig. 3, bottom box).
+
+Runs a DSL plant reactively for a warm-up period, then switches on the
+proactive loop: every Saturday the ticket predictor re-ranks all lines and
+the top-N are dispatched over the quiet weekend window, before customers
+call.  The script reports, week by week, how many dispatched lines had a
+real problem (prediction precision in the field) and how many faults were
+fixed proactively -- the paper's "NEVERMIND, the problem is already fixed"
+moment.
+
+Run:  python examples/proactive_operations.py
+"""
+
+from repro import DslSimulator, NevermindPipeline, PipelineConfig, PopulationConfig
+from repro.core.predictor import PredictorConfig
+from repro.netsim.simulator import SimulationConfig
+from repro.tickets.churn import estimate_churn
+
+N_LINES = 2500
+N_WEEKS = 26
+WARMUP = 15
+CAPACITY = 80
+
+
+def main() -> None:
+    print("=== NEVERMIND proactive operations ===")
+    simulation = SimulationConfig(
+        n_weeks=N_WEEKS,
+        population=PopulationConfig(n_lines=N_LINES),
+        fault_rate_scale=3.5,
+    )
+    pipeline = NevermindPipeline(
+        simulation,
+        PipelineConfig(
+            warmup_weeks=WARMUP,
+            fix_delay_days=2,  # fixes land by Monday (Fig-8 reference SLA)
+            predictor=PredictorConfig(capacity=CAPACITY, train_rounds=100),
+        ),
+    )
+
+    print(f"Weeks 0-{WARMUP - 1}: reactive warm-up (training data accrues)")
+    print(f"{'week':>5} {'submitted':>10} {'real':>6} {'fixed':>6} "
+          f"{'no-trouble':>11} {'precision':>10}")
+    while pipeline.simulator.week < N_WEEKS:
+        report = pipeline.step()
+        if report is None:
+            continue
+        print(f"{report.week:>5} {len(report.submitted):>10} "
+              f"{report.real_problems:>6} {report.fixed:>6} "
+              f"{report.no_trouble_found:>11} {report.precision:>10.2f}")
+
+    summary = pipeline.summary()
+    result = pipeline.simulator.result()
+    proactive = [e for e in result.fault_events if e.clear_cause == "proactive"]
+    reactive = [e for e in result.fault_events if e.clear_cause == "dispatch"]
+    print("\nSummary over the live weeks:")
+    print(f"  proactive dispatches      : {summary['submitted']}")
+    print(f"  real problems found       : {summary['real_problems']} "
+          f"({summary['precision']:.0%} of dispatches)")
+    print(f"  faults fixed before a call: {len(proactive)}")
+    print(f"  faults fixed reactively   : {len(reactive)}")
+
+    # The business metric the paper's introduction argues about: churn.
+    # Re-run the identical world without the proactive loop and compare
+    # the expected churner count under the dissatisfaction model.
+    print("\nEstimating churn impact (identical world, reactive only) ...")
+    reactive_world = DslSimulator(simulation).run()
+    churn_reactive = estimate_churn(reactive_world)
+    churn_proactive = estimate_churn(result)
+    saved = churn_reactive.expected_churners - churn_proactive.expected_churners
+    print(f"  expected churners, reactive : {churn_reactive.expected_churners:.1f}")
+    print(f"  expected churners, proactive: {churn_proactive.expected_churners:.1f}")
+    print(f"  churn avoided               : {saved:+.1f} customers "
+          f"({saved / N_LINES:+.2%} of the base)")
+    print("\nEvery proactively fixed fault is a customer call that never "
+          "happened.")
+
+
+if __name__ == "__main__":
+    main()

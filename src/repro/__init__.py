@@ -1,0 +1,147 @@
+"""NEVERMIND reproduction: proactive DSL trouble detection and location.
+
+A from-scratch Python reimplementation of *"NEVERMIND, the Problem Is
+Already Fixed: Proactively Detecting and Troubleshooting Customer DSL
+Problems"* (Jin, Duffield, Gerber, Haffner, Sen, Zhang -- ACM CoNEXT
+2010), including the DSL access-network and customer-care simulator that
+stands in for the paper's proprietary ISP data.
+
+Quick start::
+
+    from repro import (
+        DslSimulator, SimulationConfig, PopulationConfig,
+        TicketPredictor, PredictorConfig, paper_style_split,
+        evaluate_predictions,
+    )
+
+    sim = DslSimulator(SimulationConfig(
+        n_weeks=22, population=PopulationConfig(n_lines=6000),
+        fault_rate_scale=3.0,
+    ))
+    result = sim.run()
+    split = paper_style_split(22, history=8, train=3, selection=2, test=1)
+    predictor = TicketPredictor(PredictorConfig(capacity=150)).fit(result, split)
+    week = split.test_weeks[0]
+    outcome = evaluate_predictions(result, predictor.rank_week(result, week), week)
+    print("accuracy@150:", outcome.accuracy_at(150))
+
+Package map (see DESIGN.md for the experiment index):
+
+* :mod:`repro.netsim` -- plant simulator (topology, physics, faults);
+* :mod:`repro.measurement` -- weekly Table-2 line tests;
+* :mod:`repro.tickets` -- customers, tickets, outages/IVR, ATDS;
+* :mod:`repro.traffic` -- per-customer BRAS byte counts;
+* :mod:`repro.data` -- temporal splits and labeled joins;
+* :mod:`repro.ml` -- BStump boosting, calibration, logistic regression,
+  PCA and ranking metrics, all from scratch;
+* :mod:`repro.features` -- Table-3 encoding and top-N AP selection;
+* :mod:`repro.core` -- the ticket predictor, trouble locator, Section-5
+  analyses, and the closed operational loop.
+"""
+
+from repro.core.analysis import (
+    OutageExplanation,
+    PredictionOutcome,
+    accuracy_curve,
+    evaluate_predictions,
+    explain_incorrect_by_absence,
+    explain_incorrect_by_outage,
+    ground_truth_problem_fraction,
+    missed_ticket_fraction,
+    urgency_cdf,
+)
+from repro.core.locator import (
+    CombinedLocator,
+    ExperienceModel,
+    FlatLocator,
+    LocatorConfig,
+    rank_improvement_by_bin,
+    ranks_of_truth,
+    tests_to_locate,
+)
+from repro.core.capacity import CapacityEconomics, optimal_capacity, value_curve
+from repro.core.pipeline import NevermindPipeline, PipelineConfig, WeeklyReport
+from repro.core.predictor import PredictorConfig, TicketPredictor
+from repro.core.reporting import EvaluationReport, full_evaluation_report
+from repro.core.triage import (
+    DEFAULT_TEST_MINUTES,
+    cost_aware_order,
+    expected_search_cost,
+    expected_tests,
+)
+from repro.data.export import export_all
+from repro.data.joins import (
+    LabeledDataset,
+    LocatorDataset,
+    anonymize_ids,
+    build_locator_dataset,
+    build_ticket_dataset,
+)
+from repro.data.splits import TemporalSplit, paper_style_split
+from repro.features.encoding import EncoderConfig, FeatureSet, LineFeatureEncoder
+from repro.netsim.population import Population, PopulationConfig, build_population
+from repro.netsim.scenarios import scenario, scenario_names
+from repro.netsim.simulator import (
+    DslSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.tickets.churn import ChurnConfig, ChurnReport, estimate_churn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OutageExplanation",
+    "PredictionOutcome",
+    "accuracy_curve",
+    "evaluate_predictions",
+    "explain_incorrect_by_absence",
+    "explain_incorrect_by_outage",
+    "ground_truth_problem_fraction",
+    "missed_ticket_fraction",
+    "urgency_cdf",
+    "CombinedLocator",
+    "ExperienceModel",
+    "FlatLocator",
+    "LocatorConfig",
+    "rank_improvement_by_bin",
+    "ranks_of_truth",
+    "tests_to_locate",
+    "NevermindPipeline",
+    "PipelineConfig",
+    "WeeklyReport",
+    "PredictorConfig",
+    "TicketPredictor",
+    "LabeledDataset",
+    "LocatorDataset",
+    "anonymize_ids",
+    "build_locator_dataset",
+    "build_ticket_dataset",
+    "TemporalSplit",
+    "paper_style_split",
+    "EncoderConfig",
+    "FeatureSet",
+    "LineFeatureEncoder",
+    "Population",
+    "PopulationConfig",
+    "build_population",
+    "DslSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "CapacityEconomics",
+    "optimal_capacity",
+    "value_curve",
+    "EvaluationReport",
+    "full_evaluation_report",
+    "DEFAULT_TEST_MINUTES",
+    "cost_aware_order",
+    "expected_search_cost",
+    "expected_tests",
+    "export_all",
+    "scenario",
+    "scenario_names",
+    "ChurnConfig",
+    "ChurnReport",
+    "estimate_churn",
+    "__version__",
+]

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands mirror how an operator would poke at the system:
+
+* ``simulate`` -- run the plant simulator and print a world summary
+  (tickets, outages, dispatch mix, weekly seasonality);
+* ``predict`` -- train the ticket predictor on a simulated world and
+  report accuracy at the ATDS capacity plus the urgency CDF;
+* ``locate`` -- train the three trouble-locator models and report the
+  Section-6.3 rank metrics;
+* ``export`` -- write the simulated data sources as CSV extracts
+  (measurements, tickets, dispatches, subscribers).
+
+All commands are seeded, run at laptop scale by default, and accept
+``--scenario`` to pick a plant preset (suburban/urban/rural/storm_season/
+outage_prone); flags scale them up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NEVERMIND (CoNEXT 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--lines", type=int, default=5000,
+                        help="number of simulated DSL lines")
+    common.add_argument("--weeks", type=int, default=22,
+                        help="simulated horizon in weeks")
+    common.add_argument("--seed", type=int, default=101, help="master seed")
+    common.add_argument("--fault-scale", type=float, default=3.0,
+                        help="multiplier on catalog fault onset rates "
+                             "(ignored with --scenario)")
+    common.add_argument("--scenario", default=None,
+                        help="plant preset (see repro.netsim.scenarios)")
+
+    sub.add_parser("simulate", parents=[common],
+                   help="run the plant and print a world summary")
+
+    predict = sub.add_parser("predict", parents=[common],
+                             help="train and evaluate the ticket predictor")
+    predict.add_argument("--capacity", type=int, default=None,
+                         help="ATDS capacity N (default: 2%% of lines)")
+    predict.add_argument("--rounds", type=int, default=200,
+                         help="boosting rounds of the final model")
+
+    locate = sub.add_parser("locate", parents=[common],
+                            help="train and evaluate the trouble locator")
+    locate.add_argument("--rounds", type=int, default=80,
+                        help="boosting rounds per one-vs-rest model")
+
+    export = sub.add_parser("export", parents=[common],
+                            help="simulate and write CSV extracts")
+    export.add_argument("--out", default="extracts",
+                        help="output directory for the CSV files")
+    return parser
+
+
+def _simulate(args: argparse.Namespace):
+    from repro import DslSimulator, PopulationConfig, SimulationConfig
+
+    if args.scenario:
+        from repro.netsim.scenarios import scenario
+
+        config = scenario(args.scenario, n_lines=args.lines,
+                          n_weeks=args.weeks, seed=args.seed)
+    else:
+        config = SimulationConfig(
+            n_weeks=args.weeks,
+            population=PopulationConfig(n_lines=args.lines, seed=args.seed),
+            fault_rate_scale=args.fault_scale,
+            seed=args.seed,
+        )
+    return DslSimulator(config).run()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    result = _simulate(args)
+    edge = result.ticket_log.edge_tickets()
+    hist = result.ticket_log.weekday_histogram()
+    days = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+    print(f"simulated {args.lines} lines x {args.weeks} weeks "
+          f"({result.population.topology.n_dslams} DSLAMs, "
+          f"{result.population.topology.n_brases} BRAS)")
+    print(f"  plant faults        : {len(result.fault_events)}")
+    print(f"  customer-edge tickets: {len(edge)}")
+    print(f"  IVR-absorbed calls  : {len(result.ticket_log.ivr_calls)}")
+    print(f"  DSLAM outages       : {len(result.outages.events)}")
+    print(f"  dispatch summary    : {result.dispatcher.summary()}")
+    print("  tickets by weekday  : "
+          + ", ".join(f"{d}={c}" for d, c in zip(days, hist)))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro import (
+        PredictorConfig,
+        TicketPredictor,
+        evaluate_predictions,
+        paper_style_split,
+        urgency_cdf,
+    )
+
+    result = _simulate(args)
+    capacity = args.capacity or max(20, args.lines // 50)
+    history = max(2, args.weeks - 11)
+    split = paper_style_split(args.weeks, history=history, train=3,
+                              selection=2, test=2)
+    predictor = TicketPredictor(
+        PredictorConfig(capacity=capacity, train_rounds=args.rounds)
+    ).fit(result, split)
+    outcomes = [
+        evaluate_predictions(result, predictor.rank_week(result, week), week)
+        for week in split.test_weeks
+    ]
+    base_rate = float(np.mean([o.hits.mean() for o in outcomes]))
+    accuracy = float(np.mean([o.accuracy_at(capacity) for o in outcomes]))
+    cdf = urgency_cdf(outcomes, capacity, max_days=28)
+    print(f"capacity N={capacity}: accuracy {accuracy:.3f} "
+          f"(base rate {base_rate:.4f}, lift {accuracy / max(base_rate, 1e-9):.1f}x)")
+    print(f"predicted tickets arriving within 14 days: {cdf[14]:.0%}")
+    print(f"selected features: {len(predictor.feature_names)}")
+    return 0
+
+
+def _cmd_locate(args: argparse.Namespace) -> int:
+    from repro import (
+        CombinedLocator,
+        ExperienceModel,
+        FlatLocator,
+        LocatorConfig,
+        build_locator_dataset,
+        ranks_of_truth,
+        tests_to_locate,
+    )
+
+    result = _simulate(args)
+    horizon = args.weeks * 7
+    cut = int(horizon * 0.6)
+    train = build_locator_dataset(result, 30, cut)
+    test = build_locator_dataset(result, cut + 1, horizon)
+    config = LocatorConfig(n_rounds=args.rounds)
+    X = test.features.matrix
+    print(f"{train.n_examples} training dispatches, {test.n_examples} test")
+    for name, model in (
+        ("basic", ExperienceModel(config)),
+        ("flat", FlatLocator(config)),
+        ("combined", CombinedLocator(config)),
+    ):
+        ranks = ranks_of_truth(model.fit(train).predict_proba(X),
+                               test.disposition)
+        print(f"  {name:>9}: median tests {tests_to_locate(ranks):>2}, "
+              f"mean rank {ranks.mean():.1f}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.data.export import export_all
+
+    result = _simulate(args)
+    counts = export_all(result, args.out)
+    print(f"wrote CSV extracts to {args.out}/:")
+    for name, rows in counts.items():
+        print(f"  {name}.csv: {rows} rows")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "predict": _cmd_predict,
+    "locate": _cmd_locate,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Section-5 analyses of the ticket predictor's output.
+
+Implements every evaluation in the paper's Section 5:
+
+* :func:`evaluate_predictions` / :func:`accuracy_curve` -- the
+  accuracy-at-top-x curves of Figs. 6 and 7 ("the proportion of
+  subscribers associated with the top N predictions who have issued
+  tickets within 4 weeks");
+* :func:`urgency_cdf` / :func:`missed_ticket_fraction` -- Fig. 8: how much
+  time the operator has between a prediction and the customer's call;
+* :func:`explain_incorrect_by_outage` -- Table 5: the share of "incorrect"
+  predictions sitting on DSLAMs with an outage within T weeks, plus the
+  logistic regression of outage events on per-DSLAM prediction counts;
+* :func:`explain_incorrect_by_absence` -- Section 5.2's traffic analysis:
+  among incorrect predictions with byte counts, how many customers were
+  simply not on site;
+* :func:`ground_truth_problem_fraction` -- a simulator-only luxury the
+  paper could not have: the share of "incorrect" predictions that really
+  did have an active plant fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.logistic import fit_logistic_regression
+from repro.ml.metrics import precision_at
+from repro.netsim.simulator import SimulationResult
+from repro.traffic.usage import TrafficLog
+
+__all__ = [
+    "PredictionOutcome",
+    "evaluate_predictions",
+    "accuracy_curve",
+    "urgency_cdf",
+    "missed_ticket_fraction",
+    "OutageExplanation",
+    "explain_incorrect_by_outage",
+    "explain_incorrect_by_absence",
+    "ground_truth_problem_fraction",
+]
+
+
+@dataclass
+class PredictionOutcome:
+    """Outcome of one week's ranked predictions against reality.
+
+    Attributes:
+        week: prediction week.
+        day: prediction day (the Saturday).
+        ranked_lines: all line ids, best first.
+        hits: per-rank boolean -- did an edge ticket arrive within T?
+        delays: per-rank days to the first such ticket (-1 when none).
+    """
+
+    week: int
+    day: int
+    ranked_lines: np.ndarray
+    hits: np.ndarray
+    delays: np.ndarray
+
+    def accuracy_at(self, n: int) -> float:
+        """Paper "accuracy": precision over the top n predictions."""
+        return precision_at(self.hits.astype(float), n)
+
+    def incorrect_top(self, n: int) -> np.ndarray:
+        """Line ids of the top-n predictions with no ticket in the horizon."""
+        top = self.ranked_lines[:n]
+        return top[~self.hits[:n]]
+
+    def correct_top(self, n: int) -> np.ndarray:
+        """Line ids of the top-n predictions that led to a ticket."""
+        top = self.ranked_lines[:n]
+        return top[self.hits[:n]]
+
+
+def evaluate_predictions(
+    result: SimulationResult,
+    ranked_lines: np.ndarray,
+    week: int,
+    horizon_weeks: int = 4,
+) -> PredictionOutcome:
+    """Score a ranking of all lines made at ``week`` against the ticket log."""
+    ranked_lines = np.asarray(ranked_lines, dtype=int)
+    day = int(result.measurements.saturday_day[week])
+    delays_all = result.ticket_log.first_edge_ticket_after(
+        result.n_lines, day, horizon_weeks * 7
+    )
+    delays = delays_all[ranked_lines]
+    return PredictionOutcome(
+        week=week,
+        day=day,
+        ranked_lines=ranked_lines,
+        hits=delays >= 0,
+        delays=delays,
+    )
+
+
+def accuracy_curve(
+    outcomes: list[PredictionOutcome], grid: np.ndarray
+) -> np.ndarray:
+    """Mean accuracy-at-top-x over several weeks, for each x in ``grid``.
+
+    This is the y-axis of Figs. 6 and 7.
+    """
+    if not outcomes:
+        raise ValueError("no outcomes supplied")
+    grid = np.asarray(grid, dtype=int)
+    values = np.zeros((len(outcomes), len(grid)))
+    for row, outcome in enumerate(outcomes):
+        for col, n in enumerate(grid):
+            values[row, col] = outcome.accuracy_at(int(n))
+    return values.mean(axis=0)
+
+
+def urgency_cdf(
+    outcomes: list[PredictionOutcome], n: int, max_days: int = 30
+) -> np.ndarray:
+    """Fig. 8: CDF of days from prediction to ticket for top-n predictions.
+
+    Entry d of the returned array is the fraction of eventually-ticketed
+    top-n predictions whose ticket arrived within d days (d = 0..max_days).
+    """
+    delays: list[np.ndarray] = []
+    for outcome in outcomes:
+        top_delays = outcome.delays[:n]
+        delays.append(top_delays[top_delays >= 0])
+    flat = np.concatenate(delays) if delays else np.empty(0)
+    cdf = np.zeros(max_days + 1)
+    if flat.size == 0:
+        return cdf
+    for d in range(max_days + 1):
+        cdf[d] = np.mean(flat <= d)
+    return cdf
+
+
+def missed_ticket_fraction(
+    outcomes: list[PredictionOutcome], n: int, fix_days: int
+) -> float:
+    """Fraction of predicted tickets missed with a ``fix_days`` repair SLA.
+
+    Section 5.2: fixing everything by Monday (2 days) misses at most 15 %
+    of tickets; a 3-day turnaround misses at most 20 %.
+    """
+    total = 0
+    missed = 0
+    for outcome in outcomes:
+        top_delays = outcome.delays[:n]
+        ticketed = top_delays[top_delays >= 0]
+        total += ticketed.size
+        missed += int(np.sum(ticketed < fix_days))
+    return missed / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class OutageExplanation:
+    """One Table-5 column (a choice of T).
+
+    Attributes:
+        horizon_weeks: T.
+        incorrect_fraction: share of incorrect predictions whose DSLAM has
+            an outage within T weeks of the prediction (row 1).
+        coefficient: logistic-regression coefficient of the per-DSLAM
+            prediction count predicting the outage event (row 2).
+        p_value: Wald P-value of that coefficient (row 3).
+    """
+
+    horizon_weeks: int
+    incorrect_fraction: float
+    coefficient: float
+    p_value: float
+
+
+def explain_incorrect_by_outage(
+    result: SimulationResult,
+    outcome: PredictionOutcome,
+    n: int,
+    horizons_weeks: tuple[int, ...] = (1, 2, 3, 4),
+) -> list[OutageExplanation]:
+    """Table 5: outage/IVR explanation of incorrect predictions.
+
+    For each horizon T: (a) the fraction of the top-n *incorrect*
+    predictions located on a DSLAM with at least one outage within T weeks
+    of the prediction time; (b) the logistic regression
+    ``outage(d, t, T) ~ #predictions(d)`` over DSLAMs, reported as
+    coefficient and P-value -- the paper finds consistently positive,
+    significant coefficients.
+    """
+    dslam_of = result.population.dslam_idx
+    n_dslams = result.population.topology.n_dslams
+    top = outcome.ranked_lines[:n]
+    incorrect = outcome.incorrect_top(n)
+    prediction_counts = np.bincount(dslam_of[top], minlength=n_dslams).astype(float)
+
+    explanations: list[OutageExplanation] = []
+    for horizon in horizons_weeks:
+        indicator = result.outages.outage_indicator(outcome.day, horizon * 7)
+        if incorrect.size:
+            frac = float(np.mean(indicator[dslam_of[incorrect]]))
+        else:
+            frac = 0.0
+        if 0 < indicator.sum() < n_dslams:
+            fit = fit_logistic_regression(
+                prediction_counts[:, None], indicator.astype(float)
+            )
+            coefficient = float(fit.coefficients[0])
+            p_value = float(fit.p_values[0])
+        else:
+            coefficient = 0.0
+            p_value = 1.0
+        explanations.append(
+            OutageExplanation(
+                horizon_weeks=int(horizon),
+                incorrect_fraction=frac,
+                coefficient=coefficient,
+                p_value=p_value,
+            )
+        )
+    return explanations
+
+
+def explain_incorrect_by_absence(
+    traffic: TrafficLog,
+    incorrect_lines: np.ndarray,
+    day: int,
+    window_days: int = 7,
+) -> tuple[int, int]:
+    """Section 5.2's not-on-site analysis.
+
+    Returns ``(with_traffic_data, not_on_site)``: of the incorrect
+    predictions under an instrumented BRAS, how many customers showed no
+    traffic from ``window_days`` before the prediction to ``window_days``
+    after.  The paper finds 18 of 108 (16.7 %).
+    """
+    observed = 0
+    absent = 0
+    for line in np.asarray(incorrect_lines, dtype=int):
+        if not traffic.is_sampled(int(line)):
+            continue
+        observed += 1
+        if traffic.not_on_site(int(line), day, window_days):
+            absent += 1
+    return observed, absent
+
+
+def ground_truth_problem_fraction(
+    result: SimulationResult, lines: np.ndarray, day: int
+) -> float:
+    """Share of the given lines with a genuinely active fault on ``day``.
+
+    Only possible on the simulator (the paper had no such oracle); used to
+    show that "incorrect" predictions are largely real problems nobody
+    reported.
+    """
+    lines = np.asarray(lines, dtype=int)
+    if lines.size == 0:
+        return 0.0
+    active = result.fault_active_on(day)
+    return float(np.mean(active[lines]))

@@ -1,0 +1,123 @@
+"""Choosing the ATDS capacity N (the paper's tunable knob, economised).
+
+Section 5.1: *"in our top-N AP method, N is a tunable parameter, which can
+be enlarged when more predictions can be accommodated by ATDS."*  The
+paper fixes N = 20K by fiat (the spare dispatch capacity); this module
+answers the follow-up question an operator immediately asks: *what N is
+actually worth running?*
+
+Model: dispatching rank ``r`` costs ``dispatch_cost`` regardless of
+outcome; if the line truly has a problem (probability = the measured
+precision at that depth), the proactive fix avoids a future reactive
+ticket worth ``avoided_ticket_value`` (call handling, expedited truck
+roll, churn risk).  Because precision declines with depth, expected
+marginal value crosses zero at some depth -- the economic capacity
+:func:`optimal_capacity` finds it from an evaluated prediction outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import PredictionOutcome
+
+__all__ = ["CapacityEconomics", "value_curve", "optimal_capacity"]
+
+
+@dataclass(frozen=True)
+class CapacityEconomics:
+    """Cost model for proactive dispatching.
+
+    Attributes:
+        dispatch_cost: cost of one proactive ATDS action (remote checks +
+            amortised truck rolls).
+        avoided_ticket_value: value of preventing one reactive ticket
+            (agent time, expedited dispatch, dissatisfaction/churn risk).
+        smoothing_window: ranks over which the empirical hit indicator is
+            smoothed into a local precision estimate.
+    """
+
+    dispatch_cost: float = 1.0
+    avoided_ticket_value: float = 4.0
+    smoothing_window: int = 50
+
+    def __post_init__(self) -> None:
+        if self.dispatch_cost <= 0:
+            raise ValueError("dispatch_cost must be positive")
+        if self.avoided_ticket_value <= 0:
+            raise ValueError("avoided_ticket_value must be positive")
+        if self.smoothing_window < 1:
+            raise ValueError("smoothing_window must be at least 1")
+
+
+def _local_precision(hits: np.ndarray, window: int) -> np.ndarray:
+    """Moving-average precision by rank (same length as ``hits``)."""
+    hits = np.asarray(hits, dtype=float)
+    if hits.size == 0:
+        return hits
+    window = min(window, hits.size)
+    kernel = np.ones(window) / window
+    return np.convolve(hits, kernel, mode="same")
+
+
+def value_curve(
+    outcomes: list[PredictionOutcome],
+    economics: CapacityEconomics | None = None,
+    max_n: int | None = None,
+) -> np.ndarray:
+    """Cumulative expected net value of dispatching the top n, for each n.
+
+    Entry ``n-1`` is the net value of running capacity n, averaged over
+    the supplied weeks:
+    ``sum_{r<=n} (precision(r) * avoided_ticket_value - dispatch_cost)``.
+    """
+    economics = economics or CapacityEconomics()
+    if not outcomes:
+        raise ValueError("need at least one evaluated outcome")
+    length = min(len(o.hits) for o in outcomes)
+    if max_n is not None:
+        length = min(length, max_n)
+    marginal = np.zeros(length)
+    for outcome in outcomes:
+        hits = outcome.hits[:length].astype(float)
+        marginal += (
+            hits * economics.avoided_ticket_value - economics.dispatch_cost
+        )
+    marginal /= len(outcomes)
+    return np.cumsum(marginal)
+
+
+def optimal_capacity(
+    outcomes: list[PredictionOutcome],
+    economics: CapacityEconomics | None = None,
+    max_n: int | None = None,
+) -> tuple[int, float]:
+    """The net-value-maximising capacity and its value.
+
+    Uses the smoothed local precision to avoid choosing an N off the back
+    of one lucky hit deep in the ranking.
+
+    Returns:
+        (best_n, net_value_at_best_n); best_n = 0 when even the first
+        dispatch is not worth its cost.
+    """
+    economics = economics or CapacityEconomics()
+    if not outcomes:
+        raise ValueError("need at least one evaluated outcome")
+    length = min(len(o.hits) for o in outcomes)
+    if max_n is not None:
+        length = min(length, max_n)
+    precision = np.zeros(length)
+    for outcome in outcomes:
+        precision += _local_precision(
+            outcome.hits[:length], economics.smoothing_window
+        )
+    precision /= len(outcomes)
+    marginal = precision * economics.avoided_ticket_value - economics.dispatch_cost
+    cumulative = np.cumsum(marginal)
+    best = int(np.argmax(cumulative))
+    if cumulative[best] <= 0:
+        return 0, 0.0
+    return best + 1, float(cumulative[best])

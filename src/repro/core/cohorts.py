@@ -1,0 +1,135 @@
+"""Cohort analysis of predictor performance.
+
+Aggregate accuracy hides *who* the predictor serves.  An operator rolling
+NEVERMIND out wants the Section-5 numbers sliced by the dimensions they
+manage: loop-length bands (short urban copper vs long rural runs), service
+tiers, and fault locations.  This module cuts an evaluated
+:class:`~repro.core.analysis.PredictionOutcome` along those axes:
+
+* :func:`cohort_by_loop_length` -- does the model only work on marginal
+  long loops, or does it catch short-loop HN failures too?
+* :func:`cohort_by_profile` -- are premium tiers (whose customers churn
+  hardest) covered?
+* :func:`hit_location_mix` -- which major locations do the proactively
+  caught problems live at, versus the overall dispatch mix?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import PredictionOutcome
+from repro.netsim.components import disposition_arrays, Location
+from repro.netsim.profiles import PROFILES
+from repro.netsim.simulator import SimulationResult
+
+__all__ = [
+    "Cohort",
+    "cohort_by_loop_length",
+    "cohort_by_profile",
+    "hit_location_mix",
+]
+
+_DEFAULT_LOOP_EDGES_KFT = (0.0, 4.0, 8.0, 12.0, 16.0, 30.0)
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """One slice of the ranked predictions.
+
+    Attributes:
+        name: human-readable slice label.
+        submitted: how many of the top-N fall into this cohort.
+        hits: how many of those led to a ticket within the horizon.
+        population: cohort size in the whole plant.
+    """
+
+    name: str
+    submitted: int
+    hits: int
+    population: int
+
+    @property
+    def precision(self) -> float:
+        return self.hits / self.submitted if self.submitted else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Share of the cohort's lines receiving a proactive dispatch."""
+        return self.submitted / self.population if self.population else 0.0
+
+
+def _cohorts_from_assignment(
+    outcome: PredictionOutcome,
+    n: int,
+    assignment: np.ndarray,
+    names: list[str],
+) -> list[Cohort]:
+    top = outcome.ranked_lines[:n]
+    top_hits = outcome.hits[:n]
+    cohorts = []
+    for idx, name in enumerate(names):
+        in_cohort = assignment[top] == idx
+        cohorts.append(
+            Cohort(
+                name=name,
+                submitted=int(np.sum(in_cohort)),
+                hits=int(np.sum(top_hits & in_cohort)),
+                population=int(np.sum(assignment == idx)),
+            )
+        )
+    return cohorts
+
+
+def cohort_by_loop_length(
+    result: SimulationResult,
+    outcome: PredictionOutcome,
+    n: int,
+    edges_kft: tuple[float, ...] = _DEFAULT_LOOP_EDGES_KFT,
+) -> list[Cohort]:
+    """Slice the top-n predictions by loop-length band."""
+    if len(edges_kft) < 2 or any(
+        b <= a for a, b in zip(edges_kft, edges_kft[1:])
+    ):
+        raise ValueError("edges_kft must be strictly increasing with >= 2 edges")
+    assignment = np.digitize(result.population.loop_kft, edges_kft[1:-1])
+    names = [
+        f"{lo:g}-{hi:g} kft" for lo, hi in zip(edges_kft, edges_kft[1:])
+    ]
+    return _cohorts_from_assignment(outcome, n, assignment, names)
+
+
+def cohort_by_profile(
+    result: SimulationResult, outcome: PredictionOutcome, n: int
+) -> list[Cohort]:
+    """Slice the top-n predictions by subscriber service tier."""
+    assignment = result.population.profile_idx
+    names = [p.name for p in PROFILES]
+    return _cohorts_from_assignment(outcome, n, assignment, names)
+
+
+def hit_location_mix(
+    result: SimulationResult, outcome: PredictionOutcome, n: int
+) -> dict[str, float]:
+    """Major-location mix of the *true* problems caught in the top n.
+
+    Uses the simulator's fault oracle: for each hit line, the active
+    fault's catalog location at prediction time.  Lines whose fault
+    cleared before prediction (late-reported tickets) are skipped.
+    """
+    location_of = disposition_arrays().location
+    counts = np.zeros(4, dtype=int)
+    hit_lines = outcome.correct_top(n)
+    hit_set = set(int(line) for line in hit_lines)
+    for event in result.fault_events:
+        if event.line_id in hit_set and event.active_on(outcome.day):
+            counts[location_of[event.disposition]] += 1
+    total = counts.sum()
+    if total == 0:
+        return {location.name: 0.0 for location in Location}
+    return {
+        location.name: float(counts[int(location)] / total)
+        for location in Location
+    }

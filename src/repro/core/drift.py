@@ -1,0 +1,149 @@
+"""Deployment drift monitoring for the ticket predictor.
+
+Section 4.1 observes that *"the correlation between line measurements and
+future customer tickets becomes weak as the time gap increases"* -- the
+same applies to a deployed model as the plant, the subscriber mix and the
+seasons move away from its training window.  The operational pipeline can
+retrain on a schedule (``PipelineConfig.retrain_every``); this module
+provides the evidence for choosing that schedule:
+
+* :func:`weekly_performance` -- the deployed model's accuracy@N and
+  calibration error tracked week over week;
+* :func:`drift_report` -- a trend fit over those weeks with a
+  retrain recommendation when accuracy decays materially below its
+  launch level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import evaluate_predictions
+from repro.core.predictor import TicketPredictor
+from repro.netsim.simulator import SimulationResult
+
+__all__ = ["WeeklyPerformance", "DriftReport", "weekly_performance",
+           "drift_report"]
+
+
+@dataclass(frozen=True)
+class WeeklyPerformance:
+    """One week of deployed-model measurement.
+
+    Attributes:
+        week: prediction week.
+        accuracy: precision over the top-capacity predictions.
+        base_rate: population ticket rate that week (for lift context).
+        calibration_error: |mean predicted probability - observed rate|
+            over all lines, a scalar expected-calibration proxy.
+    """
+
+    week: int
+    accuracy: float
+    base_rate: float
+    calibration_error: float
+
+    @property
+    def lift(self) -> float:
+        return self.accuracy / self.base_rate if self.base_rate > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Trend summary over the monitored weeks.
+
+    Attributes:
+        weekly: the per-week measurements, in week order.
+        accuracy_slope: fitted accuracy change per week.
+        relative_drop: (first-week accuracy - last-week accuracy) /
+            first-week accuracy, clipped at 0.
+        retrain_recommended: True when the decay crosses the threshold.
+        threshold: the relative-drop threshold used.
+    """
+
+    weekly: tuple[WeeklyPerformance, ...]
+    accuracy_slope: float
+    relative_drop: float
+    retrain_recommended: bool
+    threshold: float
+
+    def render(self) -> str:
+        lines = [f"{'week':>5} {'acc@N':>7} {'base':>7} {'lift':>6} {'calib':>7}"]
+        for w in self.weekly:
+            lines.append(
+                f"{w.week:>5} {w.accuracy:>7.3f} {w.base_rate:>7.4f} "
+                f"{w.lift:>6.1f} {w.calibration_error:>7.4f}"
+            )
+        lines.append(
+            f"accuracy slope {self.accuracy_slope:+.4f}/week, "
+            f"relative drop {self.relative_drop:.0%} "
+            f"-> retrain {'RECOMMENDED' if self.retrain_recommended else 'not needed'}"
+        )
+        return "\n".join(lines)
+
+
+def weekly_performance(
+    result: SimulationResult,
+    predictor: TicketPredictor,
+    weeks: list[int],
+    capacity: int | None = None,
+) -> list[WeeklyPerformance]:
+    """Measure the deployed model on each of the given prediction weeks.
+
+    Every week must have a full label horizon inside the simulation.
+    """
+    if not weeks:
+        raise ValueError("need at least one monitoring week")
+    capacity = capacity or predictor.config.capacity
+    horizon = predictor.config.horizon_weeks
+    out: list[WeeklyPerformance] = []
+    for week in weeks:
+        scores = predictor.score_week(result, int(week))
+        ranked = np.argsort(-scores, kind="stable")
+        outcome = evaluate_predictions(result, ranked, int(week), horizon)
+        base = float(np.mean(outcome.hits))
+        out.append(
+            WeeklyPerformance(
+                week=int(week),
+                accuracy=outcome.accuracy_at(capacity),
+                base_rate=base,
+                calibration_error=abs(float(np.mean(scores)) - base),
+            )
+        )
+    return out
+
+
+def drift_report(
+    result: SimulationResult,
+    predictor: TicketPredictor,
+    weeks: list[int],
+    capacity: int | None = None,
+    relative_drop_threshold: float = 0.25,
+) -> DriftReport:
+    """Track the deployed model over ``weeks`` and recommend retraining.
+
+    Args:
+        relative_drop_threshold: recommend retraining once accuracy has
+            fallen by this fraction from the first monitored week.
+    """
+    if not 0 < relative_drop_threshold < 1:
+        raise ValueError("relative_drop_threshold must be in (0, 1)")
+    weekly = weekly_performance(result, predictor, weeks, capacity)
+    accuracies = np.array([w.accuracy for w in weekly])
+    xs = np.array([w.week for w in weekly], dtype=float)
+    if len(weekly) >= 2 and np.ptp(xs) > 0:
+        slope = float(np.polyfit(xs, accuracies, 1)[0])
+    else:
+        slope = 0.0
+    first = float(accuracies[0])
+    last = float(accuracies[-1])
+    drop = max(0.0, (first - last) / first) if first > 0 else 0.0
+    return DriftReport(
+        weekly=tuple(weekly),
+        accuracy_slope=slope,
+        relative_drop=drop,
+        retrain_recommended=drop >= relative_drop_threshold,
+        threshold=relative_drop_threshold,
+    )

@@ -1,0 +1,409 @@
+"""The trouble locator (Section 6).
+
+Given a dispatch, rank all 52 candidate dispositions so the technician
+tests likely locations first.  Three models:
+
+* :class:`ExperienceModel` -- Section 6.1's baseline: rank dispositions by
+  their historical frequency, ignoring the line's measurements ("the best
+  ranked list is based on the prior probability that problems occur at a
+  given location in the past").
+* :class:`FlatLocator` -- Section 6.2's flat model: one-vs-other BStump per
+  disposition, logistic-calibrated into ``P_ij(C_ij | x)``.
+* :class:`CombinedLocator` -- the combined model of Eq. 2: for each
+  disposition, a logistic regression blends the disposition classifier's
+  score with the score of its parent *major location* classifier,
+
+  .. math::
+
+      P^{adj}_{ij}(C_{ij}|x) = \\frac{1}{1 + \\exp(-\\gamma^1_{ij}
+      f_{C_{ij}}(x) - \\gamma^2_{ij} f_{C_{i\\cdot}}(x) - \\gamma^0_{ij})}
+
+  which lets rare dispositions borrow strength from their location's
+  (much better-trained) classifier.
+
+Evaluation helpers implement the paper's rank metrics: the rank of the
+true disposition in each model's list, the tests-to-locate quantile
+(Section 6.3's "maximum of 9 tests basic vs 4 with the models"), and the
+binned average rank improvement of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.joins import LocatorDataset
+from repro.ml.boostexter import BStump, BStumpConfig
+from repro.ml.calibration import PlattCalibrator
+from repro.ml.logistic import fit_logistic_regression
+from repro.netsim.components import DISPOSITIONS, disposition_arrays
+
+__all__ = [
+    "LocatorConfig",
+    "ExperienceModel",
+    "FlatLocator",
+    "CombinedLocator",
+    "ranks_of_truth",
+    "tests_to_locate",
+    "rank_improvement_by_bin",
+]
+
+N_DISPOSITIONS = len(DISPOSITIONS)
+N_LOCATIONS = 4
+
+
+@dataclass(frozen=True)
+class LocatorConfig:
+    """Locator training knobs.
+
+    Attributes:
+        n_rounds: BStump rounds per one-vs-rest model (paper: 200).
+        min_positive: dispositions with fewer positives in training fall
+            back to prior-only scores (the paper avoids this by keeping
+            only dispositions with > 20 occurrences; tiny simulations may
+            still starve a class).
+        prior_smoothing: additive smoothing of the experience prior.
+        cv_folds: cross-validation folds used to produce unbiased margins
+            for both the flat model's Platt calibration and the Eq.-2
+            logistic blend.  Training margins are overconfident (the
+            one-vs-rest models have memorised their training rows); ranking
+            52 classes against each other requires honest confidences.
+        cv_seed: fold-assignment seed.
+    """
+
+    n_rounds: int = 150
+    min_positive: int = 4
+    prior_smoothing: float = 1.0
+    cv_folds: int = 3
+    cv_seed: int = 17
+
+
+class ExperienceModel:
+    """Rank dispositions by historical frequency only."""
+
+    def __init__(self, config: LocatorConfig | None = None):
+        self.config = config or LocatorConfig()
+        self.prior_: np.ndarray | None = None
+
+    def fit(self, train: LocatorDataset) -> "ExperienceModel":
+        counts = np.bincount(train.disposition, minlength=N_DISPOSITIONS).astype(float)
+        counts += self.config.prior_smoothing
+        self.prior_ = counts / counts.sum()
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """(n, 52) matrix of identical per-row priors."""
+        if self.prior_ is None:
+            raise RuntimeError("experience model is not fitted")
+        X = np.atleast_2d(X)
+        return np.tile(self.prior_, (X.shape[0], 1))
+
+
+def _fold_assignment(n: int, folds: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n) % folds
+
+
+def _fit_one_vs_rest(
+    X: np.ndarray,
+    positives: np.ndarray,
+    categorical: np.ndarray,
+    cfg: LocatorConfig,
+) -> BStump | None:
+    """A single uncalibrated one-vs-rest model, or None if class-starved."""
+    n_pos = float(positives.sum())
+    if n_pos < cfg.min_positive or n_pos > len(positives) - cfg.min_positive:
+        return None
+    return BStump(BStumpConfig(n_rounds=cfg.n_rounds, calibrate=False)).fit(
+        X, positives.astype(float), categorical=categorical
+    )
+
+
+class FlatLocator:
+    """One-vs-rest BStump per disposition with Platt calibration.
+
+    The per-class models are trained on all data; their Platt calibrators
+    are fitted on *out-of-fold* margins so that cross-class comparisons
+    (which is what a ranked disposition list is) reflect honest test-time
+    confidence rather than memorised training margins.
+    """
+
+    def __init__(self, config: LocatorConfig | None = None):
+        self.config = config or LocatorConfig()
+        self.models_: dict[int, BStump] = {}
+        self.calibrators_: dict[int, PlattCalibrator] = {}
+        self.prior_: np.ndarray | None = None
+        self.oof_decision_: np.ndarray | None = None
+        self._categorical: np.ndarray | None = None
+
+    def fit(self, train: LocatorDataset) -> "FlatLocator":
+        cfg = self.config
+        X = train.features.matrix
+        n = train.n_examples
+        self._categorical = train.features.categorical
+        counts = np.bincount(train.disposition, minlength=N_DISPOSITIONS).astype(float)
+        self.prior_ = (counts + cfg.prior_smoothing) / (
+            counts.sum() + cfg.prior_smoothing * N_DISPOSITIONS
+        )
+
+        self.models_ = {}
+        for code in range(N_DISPOSITIONS):
+            model = _fit_one_vs_rest(
+                X, train.disposition == code, self._categorical, cfg
+            )
+            if model is not None:
+                self.models_[code] = model
+
+        # Out-of-fold margins for calibration (and for the combined model).
+        folds = max(2, cfg.cv_folds)
+        prior_logit = np.log(self.prior_ / (1.0 - self.prior_))
+        oof = np.tile(prior_logit, (n, 1))
+        if n >= folds * 4:
+            assignment = _fold_assignment(n, folds, cfg.cv_seed)
+            for fold in range(folds):
+                held = assignment == fold
+                rest = ~held
+                for code in self.models_:
+                    model = _fit_one_vs_rest(
+                        X[rest], train.disposition[rest] == code,
+                        self._categorical, cfg,
+                    )
+                    if model is not None:
+                        oof[held, code] = model.decision_function(X[held])
+        else:
+            oof = self.decision_matrix(X)
+        self.oof_decision_ = oof
+
+        self.calibrators_ = {}
+        for code in self.models_:
+            y = (train.disposition == code).astype(float)
+            self.calibrators_[code] = PlattCalibrator().fit(oof[:, code], y)
+        return self
+
+    def decision_matrix(self, X: np.ndarray) -> np.ndarray:
+        """(n, 52) raw margins; prior log-odds for untrained classes."""
+        if self.prior_ is None:
+            raise RuntimeError("locator is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.tile(np.log(self.prior_ / (1.0 - self.prior_)), (X.shape[0], 1))
+        for code, model in self.models_.items():
+            out[:, code] = model.decision_function(X)
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """(n, 52) calibrated one-vs-rest probabilities ``P_ij(C_ij|x)``."""
+        if self.prior_ is None:
+            raise RuntimeError("locator is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.tile(self.prior_, (X.shape[0], 1))
+        for code, model in self.models_.items():
+            out[:, code] = self.calibrators_[code].transform(
+                model.decision_function(X)
+            )
+        return out
+
+
+class CombinedLocator:
+    """The Eq.-2 combined model: disposition + parent-location blending."""
+
+    def __init__(self, config: LocatorConfig | None = None):
+        self.config = config or LocatorConfig()
+        self.flat = FlatLocator(self.config)
+        self.location_models_: dict[int, BStump] = {}
+        self.blend_: dict[int, tuple[float, float, float]] = {}
+        self._location_of = disposition_arrays().location
+
+    def fit(self, train: LocatorDataset) -> "CombinedLocator":
+        cfg = self.config
+        X = train.features.matrix
+        self.flat.fit(train)
+
+        # Major-location one-vs-rest models (4 of them, far better fed).
+        self.location_models_ = {}
+        for loc in range(N_LOCATIONS):
+            model = _fit_one_vs_rest(
+                X, train.location == loc, train.features.categorical, cfg
+            )
+            if model is not None:
+                self.location_models_[loc] = model
+
+        # Per-disposition logistic blend of the two margins (Eq. 2),
+        # fitted on out-of-fold margins so the blend sees honestly
+        # calibrated disposition scores.  The disposition margins are
+        # reused from the flat model's calibration pass.
+        f_disp = self.flat.oof_decision_
+        f_loc = self._oof_location_margins(train)
+        self.blend_ = {}
+        for code in range(N_DISPOSITIONS):
+            if code not in self.flat.models_:
+                continue
+            y = (train.disposition == code).astype(float)
+            design = np.column_stack(
+                [f_disp[:, code], f_loc[:, self._location_of[code]]]
+            )
+            fit = fit_logistic_regression(design, y, ridge=1e-3)
+            self.blend_[code] = (
+                float(fit.coefficients[0]),
+                float(fit.coefficients[1]),
+                float(fit.intercept),
+            )
+        return self
+
+    def _oof_location_margins(self, train: LocatorDataset) -> np.ndarray:
+        """Cross-validated major-location margins over the training rows.
+
+        Uses the same fold assignment as the flat model's calibration pass
+        so disposition and location margins are consistent per row.
+        """
+        cfg = self.config
+        n = train.n_examples
+        folds = max(2, cfg.cv_folds)
+        X = train.features.matrix
+        if n < folds * 4:
+            return self._location_margins(X)
+        assignment = _fold_assignment(n, folds, cfg.cv_seed)
+        f_loc = np.zeros((n, N_LOCATIONS))
+        for fold in range(folds):
+            held = assignment == fold
+            rest = ~held
+            for loc in range(N_LOCATIONS):
+                model = _fit_one_vs_rest(
+                    X[rest], train.location[rest] == loc,
+                    train.features.categorical, cfg,
+                )
+                if model is not None:
+                    f_loc[held, loc] = model.decision_function(X[held])
+        return f_loc
+
+    def _location_margins(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.zeros((X.shape[0], N_LOCATIONS))
+        for loc, model in self.location_models_.items():
+            out[:, loc] = model.decision_function(X)
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """(n, 52) adjusted posteriors ``P_adj(C_ij | x)`` per Eq. 2."""
+        if self.flat.prior_ is None:
+            raise RuntimeError("locator is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        f_disp = self.flat.decision_matrix(X)
+        f_loc = self._location_margins(X)
+        out = np.tile(self.flat.prior_, (X.shape[0], 1))
+        for code, (g1, g2, g0) in self.blend_.items():
+            z = g1 * f_disp[:, code] + g2 * f_loc[:, self._location_of[code]] + g0
+            out[:, code] = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+        return out
+
+    def explain(self, x: np.ndarray, code: int, top_k: int = 6) -> dict:
+        """A Fig-9-style breakdown of one combined inference.
+
+        Fig. 9 of the paper draws the combined model for "inside wiring at
+        HN" as a three-layer graph: line-feature ranges at the bottom feed
+        signed stump scores into the disposition classifier ``f_IW`` and
+        the location classifier ``f_HN``, whose outputs blend into
+        ``P(IW_adj | x)``.  This returns the same decomposition as data:
+        the top feature contributions to each intermediate score, the two
+        margins, the blend coefficients (gammas), and the final posterior.
+
+        Args:
+            x: one feature row.
+            code: disposition index to explain.
+            top_k: how many bottom-layer contributions to list per
+                intermediate classifier.
+        """
+        if code not in self.blend_:
+            raise KeyError(f"disposition {code} has no trained combined model")
+        x = np.asarray(x, dtype=float)
+        location = int(self._location_of[code])
+        disp_model = self.flat.models_[code]
+        loc_model = self.location_models_.get(location)
+        f_disp = float(disp_model.decision_function(x[None, :])[0])
+        f_loc = (
+            float(loc_model.decision_function(x[None, :])[0])
+            if loc_model is not None
+            else 0.0
+        )
+        g1, g2, g0 = self.blend_[code]
+        z = g1 * f_disp + g2 * f_loc + g0
+        posterior = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+        return {
+            "code": code,
+            "location": location,
+            "disposition_margin": f_disp,
+            "location_margin": f_loc,
+            "gammas": (g1, g2, g0),
+            "posterior": float(posterior),
+            "disposition_contributions": disp_model.explain(x, top_k),
+            "location_contributions": (
+                loc_model.explain(x, top_k) if loc_model is not None else []
+            ),
+        }
+
+
+# ----- evaluation ---------------------------------------------------------
+
+
+def ranks_of_truth(prob_matrix: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """1-based rank of the true disposition in each row's ordering.
+
+    A rank of r means the technician following the list tests r candidate
+    dispositions before finding the real problem.
+    """
+    prob_matrix = np.atleast_2d(np.asarray(prob_matrix, dtype=float))
+    truth = np.asarray(truth, dtype=int)
+    if truth.shape != (prob_matrix.shape[0],):
+        raise ValueError("one truth label per row is required")
+    ranks = np.empty(len(truth), dtype=int)
+    for i, label in enumerate(truth):
+        order = np.argsort(-prob_matrix[i], kind="stable")
+        ranks[i] = int(np.flatnonzero(order == label)[0]) + 1
+    return ranks
+
+
+def tests_to_locate(ranks: np.ndarray, quantile: float = 0.5) -> int:
+    """Tests needed to locate the given fraction of problems.
+
+    Section 6.3: basic ranks need a maximum of 9 tests to cover 50 % of
+    problems; the learned models need 4.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("no ranks supplied")
+    if not 0 < quantile <= 1:
+        raise ValueError("quantile must be in (0, 1]")
+    return int(np.quantile(ranks, quantile, method="inverted_cdf"))
+
+
+def rank_improvement_by_bin(
+    basic_ranks: np.ndarray,
+    model_ranks: np.ndarray,
+    bin_width: int = 5,
+    max_rank: int = N_DISPOSITIONS,
+) -> list[dict[str, float]]:
+    """Fig. 10: average rank change binned by the basic rank.
+
+    Positive change means the model ranked the true disposition closer to
+    the top than the experience baseline did.
+    """
+    basic_ranks = np.asarray(basic_ranks)
+    model_ranks = np.asarray(model_ranks)
+    if basic_ranks.shape != model_ranks.shape:
+        raise ValueError("rank arrays must align")
+    rows: list[dict[str, float]] = []
+    for low in range(1, max_rank + 1, bin_width):
+        high = min(low + bin_width - 1, max_rank)
+        mask = (basic_ranks >= low) & (basic_ranks <= high)
+        if not np.any(mask):
+            continue
+        change = basic_ranks[mask] - model_ranks[mask]
+        rows.append(
+            {
+                "bin_low": float(low),
+                "bin_high": float(high),
+                "count": float(np.sum(mask)),
+                "mean_rank_change": float(np.mean(change)),
+            }
+        )
+    return rows

@@ -1,0 +1,164 @@
+"""The closed NEVERMIND operational loop (Fig. 3, bottom box).
+
+Runs the simulator forward week by week; after a warm-up period long
+enough to train the predictor, every Saturday it
+
+1. re-ranks all lines by ticket probability using the latest line test,
+2. submits the top-``capacity`` lines to ATDS, which dispatches proactive
+   fixes over the quiet weekend window (customer tickets keep priority --
+   the proactive work only uses the residual capacity),
+3. books the outcome: real problems found and fixed before a complaint,
+   versus no-trouble-found dispatches.
+
+This is the deployment mode the paper's conclusion says AT&T was trialing;
+the offline benchmarks in :mod:`benchmarks` evaluate the components, while
+this pipeline shows the end-to-end effect on the ticket stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictor import PredictorConfig, TicketPredictor
+from repro.data.splits import TemporalSplit, paper_style_split
+from repro.netsim.simulator import DslSimulator, SimulationConfig
+
+__all__ = ["PipelineConfig", "WeeklyReport", "NevermindPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Operational-loop parameters.
+
+    Attributes:
+        warmup_weeks: weeks of purely reactive operation before the first
+            model is trained (needs history + train + selection zones).
+        retrain_every: retrain cadence in weeks (0 = train once).
+        fix_delay_days: days after the Saturday test when proactive
+            dispatches land (2 = by Monday, the Fig-8 reference point).
+        predictor: ticket-predictor configuration.
+    """
+
+    warmup_weeks: int = 16
+    retrain_every: int = 0
+    fix_delay_days: int = 2
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+
+
+@dataclass
+class WeeklyReport:
+    """What the proactive loop did in one week.
+
+    Attributes:
+        week: the week just completed.
+        submitted: line ids sent to ATDS.
+        real_problems: how many submissions had an active fault.
+        fixed: how many of those the dispatch actually cleared.
+        no_trouble_found: dispatches on healthy lines.
+    """
+
+    week: int
+    submitted: np.ndarray
+    real_problems: int
+    fixed: int
+    no_trouble_found: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of submissions that were real problems."""
+        return self.real_problems / len(self.submitted) if len(self.submitted) else 0.0
+
+
+class NevermindPipeline:
+    """Couples a :class:`DslSimulator` with a :class:`TicketPredictor`."""
+
+    def __init__(
+        self,
+        simulation: SimulationConfig | None = None,
+        config: PipelineConfig | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        self.simulator = DslSimulator(simulation)
+        self.predictor = TicketPredictor(self.config.predictor)
+        self.reports: list[WeeklyReport] = []
+        self._trained_at: int | None = None
+
+    def _training_split(self, week: int) -> TemporalSplit:
+        """A split ending at ``week`` with the horizon fully in the past."""
+        horizon = self.config.predictor.horizon_weeks
+        usable = week + 1 - horizon
+        history = max(2, usable - 6)
+        train = min(3, usable - history - 2)
+        selection = usable - history - train
+        return paper_style_split(
+            n_weeks=week + 1,
+            history=history,
+            train=train,
+            selection=selection,
+            test=0,
+            horizon_weeks=horizon,
+        )
+
+    def _maybe_train(self, week: int) -> None:
+        cfg = self.config
+        if week + 1 < cfg.warmup_weeks:
+            return
+        due = self._trained_at is None or (
+            cfg.retrain_every > 0 and week - self._trained_at >= cfg.retrain_every
+        )
+        if not due:
+            return
+        split = self._training_split(week)
+        self.predictor.fit(self.simulator.result(), split)
+        self._trained_at = week
+
+    def step(self) -> WeeklyReport | None:
+        """Advance one week; returns the proactive report once live."""
+        week = self.simulator.step()
+        self._maybe_train(week)
+        if self._trained_at is None:
+            return None
+
+        result = self.simulator.result()
+        submitted = self.predictor.predict_top(result, week)
+        fix_day = int(result.measurements.saturday_day[week]) + self.config.fix_delay_days
+        records = self.simulator.apply_proactive_fixes(submitted, fix_day)
+        real = sum(r.true_disposition >= 0 for r in records)
+        fixed = sum(r.true_disposition >= 0 and r.fixed for r in records)
+        report = WeeklyReport(
+            week=week,
+            submitted=submitted,
+            real_problems=real,
+            fixed=fixed,
+            no_trouble_found=sum(r.true_disposition < 0 for r in records),
+        )
+        self.reports.append(report)
+        return report
+
+    def run(self, n_weeks: int | None = None) -> list[WeeklyReport]:
+        """Run the loop for ``n_weeks`` (default: the simulation horizon)."""
+        target = (
+            self.simulator.config.n_weeks
+            if n_weeks is None
+            else min(self.simulator.config.n_weeks, self.simulator.week + n_weeks)
+        )
+        while self.simulator.week < target:
+            self.step()
+        return self.reports
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate proactive performance over the live weeks."""
+        if not self.reports:
+            return {"weeks": 0, "submitted": 0, "real_problems": 0, "fixed": 0,
+                    "precision": 0.0}
+        submitted = sum(len(r.submitted) for r in self.reports)
+        real = sum(r.real_problems for r in self.reports)
+        return {
+            "weeks": len(self.reports),
+            "submitted": submitted,
+            "real_problems": real,
+            "fixed": sum(r.fixed for r in self.reports),
+            "precision": real / submitted if submitted else 0.0,
+        }

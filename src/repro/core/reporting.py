@@ -1,0 +1,220 @@
+"""One-shot evaluation reports: every Section-5/6 analysis in one call.
+
+:func:`full_evaluation_report` takes a finished simulation and runs the
+paper's whole evaluation program against it -- ticket-predictor accuracy
+(Fig 6/7 style), the urgency CDF (Fig 8), the outage and not-on-site
+explanations of incorrect predictions (Table 5 / Section 5.2), the
+disposition mix (Table 1), weekly seasonality (Section 3.3), and the
+three-locator comparison (Section 6.3 / Fig 10) -- returning both the raw
+metrics and a rendered text report.
+
+This powers ``examples/full_evaluation.py`` and gives downstream users a
+single entry point for "how well does NEVERMIND do on my plant?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.analysis import (
+    evaluate_predictions,
+    explain_incorrect_by_absence,
+    explain_incorrect_by_outage,
+    ground_truth_problem_fraction,
+    missed_ticket_fraction,
+    urgency_cdf,
+)
+from repro.core.locator import (
+    CombinedLocator,
+    ExperienceModel,
+    FlatLocator,
+    LocatorConfig,
+    rank_improvement_by_bin,
+    ranks_of_truth,
+    tests_to_locate,
+)
+from repro.core.predictor import PredictorConfig, TicketPredictor
+from repro.data.joins import build_locator_dataset
+from repro.data.splits import TemporalSplit
+from repro.netsim.components import DISPOSITIONS, Location
+from repro.netsim.simulator import SimulationResult
+
+__all__ = ["EvaluationReport", "full_evaluation_report"]
+
+_DAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+@dataclass
+class EvaluationReport:
+    """Structured output of a full evaluation run.
+
+    Attributes:
+        metrics: flat name -> value map of every headline number.
+        sections: section name -> rendered text block.
+    """
+
+    metrics: dict[str, float] = field(default_factory=dict)
+    sections: dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The whole report as one printable document."""
+        parts = []
+        for name, text in self.sections.items():
+            parts.append(f"=== {name} ===")
+            parts.append(text)
+            parts.append("")
+        return "\n".join(parts)
+
+
+def _world_section(result: SimulationResult, report: EvaluationReport) -> None:
+    edge = result.ticket_log.edge_tickets()
+    hist = result.ticket_log.weekday_histogram()
+    report.metrics["edge_tickets"] = float(len(edge))
+    report.metrics["ivr_calls"] = float(len(result.ticket_log.ivr_calls))
+    report.metrics["outages"] = float(len(result.outages.events))
+    report.metrics["fault_events"] = float(len(result.fault_events))
+    lines = [
+        f"lines: {result.n_lines}, weeks: {result.config.n_weeks}",
+        f"plant faults: {len(result.fault_events)}, "
+        f"customer-edge tickets: {len(edge)}, "
+        f"IVR-absorbed calls: {len(result.ticket_log.ivr_calls)}, "
+        f"outages: {len(result.outages.events)}",
+        "tickets by weekday: "
+        + ", ".join(f"{d}={c}" for d, c in zip(_DAYS, hist)),
+    ]
+    report.sections["world (Section 3.3)"] = "\n".join(lines)
+
+
+def _disposition_section(result: SimulationResult, report: EvaluationReport) -> None:
+    counts = result.dispatcher.disposition_counts()
+    total = max(1, counts.sum())
+    rows = []
+    for location in Location:
+        codes = [i for i, d in enumerate(DISPOSITIONS) if d.location == location]
+        share = counts[codes].sum() / total
+        report.metrics[f"dispatch_share_{location.name}"] = float(share)
+        rows.append(f"{location.name}: {share:.1%} of recorded dispositions")
+    report.sections["disposition mix (Table 1 / Fig 2)"] = "\n".join(rows)
+
+
+def _predictor_section(
+    result: SimulationResult,
+    split: TemporalSplit,
+    predictor: TicketPredictor,
+    report: EvaluationReport,
+) -> None:
+    capacity = predictor.config.capacity
+    outcomes = [
+        evaluate_predictions(result, predictor.rank_week(result, week), week,
+                             predictor.config.horizon_weeks)
+        for week in split.test_weeks
+    ]
+    accuracy = float(np.mean([o.accuracy_at(capacity) for o in outcomes]))
+    base_rate = float(np.mean([o.hits.mean() for o in outcomes]))
+    cdf = urgency_cdf(outcomes, capacity, max_days=28)
+    missed2 = missed_ticket_fraction(outcomes, capacity, 2)
+    report.metrics["accuracy_at_capacity"] = accuracy
+    report.metrics["base_ticket_rate"] = base_rate
+    report.metrics["lift_at_capacity"] = accuracy / max(base_rate, 1e-12)
+    report.metrics["cdf_14_days"] = float(cdf[14])
+    report.metrics["missed_with_2day_fix"] = float(missed2)
+
+    outage_rows = explain_incorrect_by_outage(result, outcomes[0], capacity)
+    absence_obs = 0
+    absence_hits = 0
+    oracle = []
+    for outcome in outcomes:
+        incorrect = outcome.incorrect_top(capacity)
+        o, a = explain_incorrect_by_absence(result.traffic, incorrect, outcome.day)
+        absence_obs += o
+        absence_hits += a
+        oracle.append(ground_truth_problem_fraction(result, incorrect, outcome.day))
+    report.metrics["incorrect_real_fault_fraction"] = float(np.mean(oracle))
+    report.metrics["incorrect_with_outage_4wk"] = float(
+        outage_rows[-1].incorrect_fraction
+    )
+
+    lines = [
+        f"capacity N = {capacity}",
+        f"accuracy@N = {accuracy:.3f} over base rate {base_rate:.4f} "
+        f"(lift {accuracy / max(base_rate, 1e-12):.1f}x)",
+        f"predicted tickets arriving within 14 days: {cdf[14]:.0%}",
+        f"missed with a 2-day (Monday) fix SLA: {missed2:.1%}",
+        f"'incorrect' predictions with a real active fault: "
+        f"{np.mean(oracle):.0%}",
+        f"incorrect on DSLAMs with an outage <= 4 wk: "
+        f"{outage_rows[-1].incorrect_fraction:.1%} "
+        f"(coef {outage_rows[-1].coefficient:+.3f}, "
+        f"p {outage_rows[-1].p_value:.3f})",
+        f"incorrect with traffic data: {absence_obs}, "
+        f"of which not on site: {absence_hits}",
+    ]
+    report.sections["ticket predictor (Section 5)"] = "\n".join(lines)
+
+
+def _locator_section(
+    result: SimulationResult,
+    locator_config: LocatorConfig,
+    report: EvaluationReport,
+) -> None:
+    horizon = result.config.n_weeks * 7
+    cut = int(horizon * 0.6)
+    train = build_locator_dataset(result, 30, cut)
+    test = build_locator_dataset(result, cut + 1, horizon)
+    X = test.features.matrix
+    ranks = {}
+    for name, model in (
+        ("basic", ExperienceModel(locator_config)),
+        ("flat", FlatLocator(locator_config)),
+        ("combined", CombinedLocator(locator_config)),
+    ):
+        ranks[name] = ranks_of_truth(
+            model.fit(train).predict_proba(X), test.disposition
+        )
+    lines = [f"train dispatches: {train.n_examples}, test: {test.n_examples}"]
+    for name, r in ranks.items():
+        median = tests_to_locate(r)
+        report.metrics[f"locator_median_{name}"] = float(median)
+        lines.append(f"{name:>9}: median tests {median}, mean rank {r.mean():.1f}")
+    deep_rows = rank_improvement_by_bin(ranks["basic"], ranks["combined"],
+                                        bin_width=5)
+    deep = [r for r in deep_rows if r["bin_low"] >= 16]
+    if deep:
+        gain = float(np.mean([r["mean_rank_change"] for r in deep]))
+        report.metrics["locator_deep_gain_combined"] = gain
+        lines.append(f"combined model deep-rank gain (Fig 10): {gain:+.1f}")
+    report.sections["trouble locator (Section 6.3 / Fig 10)"] = "\n".join(lines)
+
+
+def full_evaluation_report(
+    result: SimulationResult,
+    split: TemporalSplit,
+    predictor: TicketPredictor | None = None,
+    predictor_config: PredictorConfig | None = None,
+    locator_config: LocatorConfig | None = None,
+) -> EvaluationReport:
+    """Run the paper's full evaluation program against a simulation.
+
+    Args:
+        result: a finished simulation.
+        split: the temporal layout; a predictor is trained on it when one
+            is not supplied.
+        predictor: optionally a pre-trained predictor (must match split).
+        predictor_config: configuration when training here.
+        locator_config: locator training configuration.
+
+    Returns:
+        An :class:`EvaluationReport` with metrics and rendered sections.
+    """
+    report = EvaluationReport()
+    _world_section(result, report)
+    _disposition_section(result, report)
+    if predictor is None:
+        predictor = TicketPredictor(
+            predictor_config or PredictorConfig()
+        ).fit(result, split)
+    _predictor_section(result, split, predictor, report)
+    _locator_section(result, locator_config or LocatorConfig(), report)
+    return report

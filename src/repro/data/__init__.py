@@ -1,0 +1,32 @@
+"""Dataset assembly: joining the simulated data sources, paper style.
+
+Section 3.3: the line measurements, trouble tickets, disposition notes and
+subscriber profiles live in different systems and are joined under hashed
+anonymous identifiers.  This package rebuilds that join against the
+simulator's outputs:
+
+* :mod:`repro.data.splits` -- the paper's temporal train / selection /
+  test windows with a 4-week label horizon;
+* :mod:`repro.data.joins` -- labeled matrices for the ticket predictor
+  (line-week examples) and the trouble locator (dispatch examples), plus
+  the anonymizing id hash.
+"""
+
+from repro.data.joins import (
+    LabeledDataset,
+    LocatorDataset,
+    anonymize_ids,
+    build_locator_dataset,
+    build_ticket_dataset,
+)
+from repro.data.splits import TemporalSplit, paper_style_split
+
+__all__ = [
+    "LabeledDataset",
+    "LocatorDataset",
+    "anonymize_ids",
+    "build_locator_dataset",
+    "build_ticket_dataset",
+    "TemporalSplit",
+    "paper_style_split",
+]

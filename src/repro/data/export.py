@@ -1,0 +1,162 @@
+"""Flat-file exports of the simulated data sources.
+
+The paper's data engineering reality (Section 3.3): measurements, tickets,
+dispositions and profiles live in different operational systems and are
+exchanged as flat extracts keyed by anonymised subscriber ids.  These
+helpers write the simulator's outputs in that shape -- CSV with a header
+row -- so they can be loaded into pandas/SQL/spreadsheets without this
+package, and so downstream users can plug in their *own* data by matching
+the schemas.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.joins import anonymize_ids
+from repro.measurement.records import FEATURE_NAMES
+from repro.netsim.components import DISPOSITIONS, Location
+from repro.netsim.profiles import PROFILES
+from repro.netsim.simulator import SimulationResult
+
+__all__ = [
+    "export_measurements_csv",
+    "export_tickets_csv",
+    "export_dispatches_csv",
+    "export_subscribers_csv",
+    "export_all",
+]
+
+
+def _anon_map(result: SimulationResult, salt: str) -> np.ndarray:
+    return anonymize_ids(np.arange(result.n_lines), salt=salt)
+
+
+def export_measurements_csv(
+    result: SimulationResult, path: str | Path, salt: str = "nevermind",
+    weeks: list[int] | None = None,
+) -> int:
+    """Write one row per (line, recorded week); returns the row count.
+
+    Missing records appear with ``state = 0`` and empty feature cells,
+    exactly how a weekly extract would surface an unreachable modem.
+    """
+    store = result.measurements
+    anon = _anon_map(result, salt)
+    week_list = list(store.filled_weeks if weeks is None else weeks)
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["subscriber", "week", "test_day", *FEATURE_NAMES])
+        for week in week_list:
+            matrix = store.week_matrix(int(week))
+            day = int(store.saturday_day[int(week)])
+            for line in range(result.n_lines):
+                values = [
+                    "" if np.isnan(v) else f"{float(v):.6g}"
+                    for v in matrix[line]
+                ]
+                writer.writerow([anon[line], int(week), day, *values])
+                rows += 1
+    return rows
+
+
+def export_tickets_csv(
+    result: SimulationResult, path: str | Path, salt: str = "nevermind"
+) -> int:
+    """Write the trouble-ticket log; returns the row count."""
+    anon = _anon_map(result, salt)
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "ticket_id", "subscriber", "day", "category", "source",
+            "resolved_day", "recorded_disposition",
+        ])
+        for ticket in result.ticket_log.tickets:
+            code = (
+                DISPOSITIONS[ticket.recorded_disposition].code
+                if ticket.recorded_disposition >= 0
+                else ""
+            )
+            writer.writerow([
+                ticket.ticket_id, anon[ticket.line_id], ticket.day,
+                ticket.category.value, ticket.source.value,
+                ticket.resolved_day if ticket.resolved_day >= 0 else "",
+                code,
+            ])
+            rows += 1
+    return rows
+
+
+def export_dispatches_csv(
+    result: SimulationResult, path: str | Path, salt: str = "nevermind"
+) -> int:
+    """Write the dispatch/disposition notes; returns the row count."""
+    anon = _anon_map(result, salt)
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "ticket_id", "subscriber", "day", "truck_roll",
+            "recorded_disposition", "location", "fixed",
+        ])
+        for record in result.dispatcher.records:
+            if record.recorded_disposition >= 0:
+                disposition = DISPOSITIONS[record.recorded_disposition]
+                code = disposition.code
+                location = Location(disposition.location).name
+            else:
+                code = "no-trouble-found"
+                location = ""
+            writer.writerow([
+                record.ticket_id, anon[record.line_id], record.day,
+                int(record.truck_roll), code, location, int(record.fixed),
+            ])
+            rows += 1
+    return rows
+
+
+def export_subscribers_csv(
+    result: SimulationResult, path: str | Path, salt: str = "nevermind"
+) -> int:
+    """Write the subscriber-profile table; returns the row count."""
+    anon = _anon_map(result, salt)
+    population = result.population
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "subscriber", "profile", "down_kbps", "up_kbps", "dslam", "bras",
+        ])
+        for line in range(result.n_lines):
+            profile = PROFILES[population.profile_idx[line]]
+            writer.writerow([
+                anon[line], profile.name, profile.down_kbps, profile.up_kbps,
+                int(population.dslam_idx[line]), int(population.bras_idx[line]),
+            ])
+            rows += 1
+    return rows
+
+
+def export_all(
+    result: SimulationResult, directory: str | Path, salt: str = "nevermind"
+) -> dict[str, int]:
+    """Write all four extracts into ``directory``; returns row counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        "measurements": export_measurements_csv(
+            result, directory / "measurements.csv", salt
+        ),
+        "tickets": export_tickets_csv(result, directory / "tickets.csv", salt),
+        "dispatches": export_dispatches_csv(
+            result, directory / "dispatches.csv", salt
+        ),
+        "subscribers": export_subscribers_csv(
+            result, directory / "subscribers.csv", salt
+        ),
+    }

@@ -1,0 +1,110 @@
+"""Temporal splits mirroring the paper's evaluation layout.
+
+Section 5: *"We use line measurement records from 08/01/09 to 09/31/09 as
+our training data, and the data in the four contiguous weeks starting from
+10/31/09 as our test data.  The line measurements from 01/01/09 to
+07/31/09 are history records for computing time-series features and
+customer related features."*
+
+So the timeline decomposes into four contiguous zones:
+
+    [ history | train | selection | test ]
+
+with every prediction week labeled by tickets in the following
+``horizon_weeks`` (T = 4 in the paper).  The selection zone is the
+"separate test set" the top-N AP feature selection scores candidates on;
+keeping it disjoint from the final test zone avoids leaking the evaluation
+data into model construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TemporalSplit", "paper_style_split"]
+
+
+@dataclass(frozen=True)
+class TemporalSplit:
+    """Week indices of each evaluation zone.
+
+    Attributes:
+        history_weeks: weeks used only to compute time-series / customer
+            features (never as prediction points).
+        train_weeks: prediction weeks whose examples train the model.
+        selection_weeks: prediction weeks scored during feature selection.
+        test_weeks: prediction weeks of the final evaluation.
+        horizon_weeks: label horizon T (tickets within T weeks count).
+    """
+
+    history_weeks: tuple[int, ...]
+    train_weeks: tuple[int, ...]
+    selection_weeks: tuple[int, ...]
+    test_weeks: tuple[int, ...]
+    horizon_weeks: int = 4
+
+    @property
+    def horizon_days(self) -> int:
+        return self.horizon_weeks * 7
+
+    def validate(self, n_weeks: int) -> None:
+        """Check the split fits a simulation of ``n_weeks`` weeks."""
+        zones = (
+            self.history_weeks + self.train_weeks
+            + self.selection_weeks + self.test_weeks
+        )
+        if not zones:
+            raise ValueError("split has no weeks at all")
+        if len(set(zones)) != len(zones):
+            raise ValueError("split zones overlap")
+        if min(zones) < 0:
+            raise ValueError("negative week index")
+        for week in self.train_weeks + self.selection_weeks + self.test_weeks:
+            prediction_day = week * 7 + 5  # the Saturday line test
+            if prediction_day + self.horizon_days > n_weeks * 7 - 1:
+                raise ValueError(
+                    f"prediction week {week} has no full {self.horizon_weeks}-week "
+                    f"label horizon inside a {n_weeks}-week simulation"
+                )
+
+
+def paper_style_split(
+    n_weeks: int,
+    history: int = 8,
+    train: int = 4,
+    selection: int = 2,
+    test: int = 2,
+    horizon_weeks: int = 4,
+) -> TemporalSplit:
+    """Lay out contiguous history/train/selection/test zones.
+
+    The final ``horizon_weeks`` of the simulation are reserved so that
+    every test-week prediction has a full label window.
+
+    Raises:
+        ValueError: when the simulation is too short for the request.
+    """
+    needed = history + train + selection + test + horizon_weeks
+    if n_weeks < needed:
+        raise ValueError(
+            f"need at least {needed} weeks "
+            f"(history {history} + train {train} + selection {selection} + "
+            f"test {test} + horizon {horizon_weeks}), got {n_weeks}"
+        )
+    cursor = 0
+    history_weeks = tuple(range(cursor, cursor + history))
+    cursor += history
+    train_weeks = tuple(range(cursor, cursor + train))
+    cursor += train
+    selection_weeks = tuple(range(cursor, cursor + selection))
+    cursor += selection
+    test_weeks = tuple(range(cursor, cursor + test))
+    split = TemporalSplit(
+        history_weeks=history_weeks,
+        train_weeks=train_weeks,
+        selection_weeks=selection_weeks,
+        test_weeks=test_weeks,
+        horizon_weeks=horizon_weeks,
+    )
+    split.validate(n_weeks)
+    return split

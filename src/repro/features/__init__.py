@@ -1,0 +1,40 @@
+"""Feature encoding and selection for the ticket predictor (Section 4).
+
+* :mod:`repro.features.encoding` -- turns the sparse weekly measurement
+  time-series plus customer context into the Table-3 feature families:
+  basic, delta, time-series, profile, ticket, modem, and the derived
+  quadratic and product features.
+* :mod:`repro.features.selection` -- the paper's top-N average-precision
+  greedy feature selection and the four Table-4 baselines (AUC, average
+  precision, PCA, gain ratio).
+"""
+
+from repro.features.encoding import (
+    EncoderConfig,
+    FeatureSet,
+    LineFeatureEncoder,
+    product_feature,
+)
+from repro.features.selection import (
+    SelectionResult,
+    select_features_auc,
+    select_features_average_precision,
+    select_features_gain_ratio,
+    select_features_pca,
+    select_features_top_n_ap,
+    single_feature_ap,
+)
+
+__all__ = [
+    "EncoderConfig",
+    "FeatureSet",
+    "LineFeatureEncoder",
+    "product_feature",
+    "SelectionResult",
+    "select_features_auc",
+    "select_features_average_precision",
+    "select_features_gain_ratio",
+    "select_features_pca",
+    "select_features_top_n_ap",
+    "single_feature_ap",
+]

@@ -1,0 +1,315 @@
+"""Table-3 feature encoding.
+
+The weekly line tests give at most 52 records per line per year -- far too
+coarse for classic time-series pattern mining.  Section 4.2's answer is to
+*encode* each line's measurement history at prediction time ``t`` into a
+fixed vector of feature families:
+
+==============  ==========================================================
+family          definition (Table 3)
+==============  ==========================================================
+basic           the current week's 25 line features, ``l_iK``
+delta           change vs the previous week, ``l_iK - l_i(K-1)``
+timeseries      standardised deviation from the long-term history,
+                ``(l_iK - mean(l_i)) / std(l_i)``
+profile         basic features divided by the expectation from the
+                subscriber's service profile
+ticket          days since the customer's most recent trouble ticket
+modem           fraction of history weeks the modem was off during the test
+quadratic       squares of every history/customer feature
+product         pairwise products of history/customer features
+==============  ==========================================================
+
+Missing records (modem off) propagate as NaN so that the stump learner's
+abstention semantics apply; categorical basics (state / bt / crosstalk)
+are already binary so the paper's m-way expansion is the identity here.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.measurement.records import (
+    CATEGORICAL_FEATURES,
+    FEATURE_NAMES,
+    MeasurementStore,
+    feature_index,
+)
+from repro.netsim.population import Population
+from repro.netsim.profiles import PROFILES
+from repro.tickets.ticketing import TicketLog
+
+__all__ = ["EncoderConfig", "FeatureSet", "LineFeatureEncoder", "product_feature"]
+
+#: Basic features with a profile-defined expectation (Table-3 "Profile").
+_PROFILE_FEATURES: tuple[str, ...] = (
+    "dnbr", "upbr", "dnnmr", "upnmr", "dnrelcap", "uprelcap"
+)
+
+#: Cap (days) on the "time since last ticket" feature for ticket-free lines.
+_NO_TICKET_CAP_DAYS = 365.0
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Feature-encoding knobs.
+
+    Attributes:
+        history_weeks: how far back the time-series statistics look.
+        min_history_records: minimum present records needed before the
+            time-series deviation is defined (else NaN).
+        include_quadratic: emit squared derived features.
+        include_products: emit pairwise-product derived features for the
+            given base-feature index pairs (see
+            :meth:`LineFeatureEncoder.encode`).
+    """
+
+    history_weeks: int = 26
+    min_history_records: int = 3
+    include_quadratic: bool = False
+    include_products: bool = False
+
+
+@dataclass
+class FeatureSet:
+    """An encoded feature matrix with aligned metadata.
+
+    Attributes:
+        matrix: (n_lines, n_features) float array, NaN = missing.
+        names: feature names, e.g. ``"delta:dnbr"`` or
+            ``"prod:dnnmr*looplength"``.
+        groups: Table-3 family of each column (``basic``, ``delta``,
+            ``timeseries``, ``profile``, ``ticket``, ``modem``,
+            ``quadratic``, ``product``).
+        categorical: stump-learner categorical mask per column.
+    """
+
+    matrix: np.ndarray
+    names: list[str]
+    groups: list[str]
+    categorical: np.ndarray
+
+    @property
+    def n_features(self) -> int:
+        return self.matrix.shape[1]
+
+    def column(self, name: str) -> np.ndarray:
+        """A single feature column by name."""
+        try:
+            idx = self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown feature {name!r}") from None
+        return self.matrix[:, idx]
+
+    def subset(self, indices: np.ndarray | list[int]) -> "FeatureSet":
+        """A new FeatureSet holding only the given columns."""
+        indices = np.asarray(indices, dtype=int)
+        return FeatureSet(
+            matrix=self.matrix[:, indices],
+            names=[self.names[i] for i in indices],
+            groups=[self.groups[i] for i in indices],
+            categorical=self.categorical[indices],
+        )
+
+    def hstack(self, other: "FeatureSet") -> "FeatureSet":
+        """Column-wise concatenation of two feature sets."""
+        if other.matrix.shape[0] != self.matrix.shape[0]:
+            raise ValueError("feature sets cover different populations")
+        return FeatureSet(
+            matrix=np.hstack([self.matrix, other.matrix]),
+            names=self.names + other.names,
+            groups=self.groups + other.groups,
+            categorical=np.concatenate([self.categorical, other.categorical]),
+        )
+
+
+def product_feature(matrix: np.ndarray, i: int, j: int) -> np.ndarray:
+    """The product column ``matrix[:, i] * matrix[:, j]`` (NaN propagates)."""
+    return matrix[:, i] * matrix[:, j]
+
+
+@dataclass
+class LineFeatureEncoder:
+    """Encodes measurement history into Table-3 features at a given week."""
+
+    config: EncoderConfig = field(default_factory=EncoderConfig)
+
+    def encode(
+        self,
+        measurements: MeasurementStore,
+        week: int,
+        population: Population,
+        ticket_log: TicketLog | None = None,
+        product_pairs: list[tuple[int, int]] | None = None,
+    ) -> FeatureSet:
+        """Encode all lines at prediction week ``week``.
+
+        Args:
+            measurements: the weekly measurement store.
+            week: index of the most recent campaign, ``t_K`` in the paper;
+                must already be recorded.
+            population: static subscriber data (profiles).
+            ticket_log: ticket history for the "ticket" feature; omit to
+                encode a 0-history cold start.
+            product_pairs: index pairs (into the *history+customer* part
+                of the output, i.e. everything before the derived block)
+                whose products to emit when
+                ``config.include_products`` is True; None means all pairs.
+
+        Returns:
+            A :class:`FeatureSet` over all lines.
+        """
+        cfg = self.config
+        if week not in measurements.filled_weeks:
+            raise ValueError(f"week {week} has no recorded campaign")
+        n = measurements.n_lines
+        current = np.asarray(measurements.week_matrix(week), dtype=float)
+
+        names: list[str] = []
+        groups: list[str] = []
+        categorical: list[bool] = []
+        blocks: list[np.ndarray] = []
+
+        # --- basic -------------------------------------------------------
+        blocks.append(current)
+        for fname in FEATURE_NAMES:
+            names.append(f"basic:{fname}")
+            groups.append("basic")
+            categorical.append(fname in CATEGORICAL_FEATURES)
+
+        # --- delta -------------------------------------------------------
+        if week >= 1 and (week - 1) in measurements.filled_weeks:
+            previous = np.asarray(measurements.week_matrix(week - 1), dtype=float)
+            delta = current - previous
+        else:
+            delta = np.full_like(current, np.nan)
+        blocks.append(delta)
+        for fname in FEATURE_NAMES:
+            names.append(f"delta:{fname}")
+            groups.append("delta")
+            categorical.append(False)
+
+        # --- time-series ---------------------------------------------------
+        blocks.append(self._timeseries_block(measurements, week, current))
+        for fname in FEATURE_NAMES:
+            names.append(f"ts:{fname}")
+            groups.append("timeseries")
+            categorical.append(False)
+
+        # --- profile -------------------------------------------------------
+        profile_block = self._profile_block(current, population)
+        blocks.append(profile_block)
+        for fname in _PROFILE_FEATURES:
+            names.append(f"profile:{fname}")
+            groups.append("profile")
+            categorical.append(False)
+
+        # --- ticket --------------------------------------------------------
+        pred_day = int(measurements.saturday_day[week])
+        if ticket_log is not None:
+            last_day = ticket_log.last_ticket_day_before(n, pred_day)
+            since = np.where(
+                last_day >= 0, pred_day - last_day, _NO_TICKET_CAP_DAYS
+            ).astype(float)
+        else:
+            since = np.full(n, _NO_TICKET_CAP_DAYS)
+        blocks.append(since[:, None])
+        names.append("ticket:days_since_last")
+        groups.append("ticket")
+        categorical.append(False)
+
+        # --- modem ---------------------------------------------------------
+        off_frac = measurements.modem_off_fraction(upto_week=week + 1)
+        blocks.append(off_frac[:, None])
+        names.append("modem:off_fraction")
+        groups.append("modem")
+        categorical.append(False)
+
+        matrix = np.hstack(blocks)
+        base_count = matrix.shape[1]
+
+        # --- derived: quadratic ---------------------------------------------
+        if cfg.include_quadratic:
+            quad = matrix**2
+            matrix = np.hstack([matrix, quad])
+            for k in range(base_count):
+                names.append(f"quad:{names[k]}")
+                groups.append("quadratic")
+                categorical.append(False)
+
+        # --- derived: product -----------------------------------------------
+        if cfg.include_products:
+            if product_pairs is None:
+                product_pairs = [
+                    (i, j) for i in range(base_count) for j in range(i + 1, base_count)
+                ]
+            cols = np.empty((n, len(product_pairs)))
+            for slot, (i, j) in enumerate(product_pairs):
+                if not (0 <= i < base_count and 0 <= j < base_count):
+                    raise IndexError(f"product pair ({i}, {j}) out of base range")
+                cols[:, slot] = matrix[:, i] * matrix[:, j]
+                names.append(f"prod:{names[i]}*{names[j]}")
+                groups.append("product")
+                categorical.append(False)
+            matrix = np.hstack([matrix, cols])
+
+        return FeatureSet(
+            matrix=matrix,
+            names=names,
+            groups=groups,
+            categorical=np.asarray(categorical, dtype=bool),
+        )
+
+    def base_feature_count(self) -> int:
+        """Number of history+customer columns before any derived block."""
+        return 3 * len(FEATURE_NAMES) + len(_PROFILE_FEATURES) + 2
+
+    def _timeseries_block(
+        self, measurements: MeasurementStore, week: int, current: np.ndarray
+    ) -> np.ndarray:
+        cfg = self.config
+        history = measurements.filled_weeks
+        history = history[(history < week) & (history >= week - cfg.history_weeks)]
+        if history.size == 0:
+            return np.full_like(current, np.nan)
+        series = np.asarray(measurements.data[:, history, :], dtype=float)
+        counts = np.sum(~np.isnan(series), axis=1)
+        with np.errstate(invalid="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            mean = np.nanmean(series, axis=1)
+            std = np.nanstd(series, axis=1)
+        enough = counts >= cfg.min_history_records
+        std = np.where(std > 1e-9, std, np.nan)
+        deviation = (current - mean) / std
+        deviation[~enough] = np.nan
+        return deviation
+
+    def _profile_block(self, current: np.ndarray, population: Population) -> np.ndarray:
+        expectations = self._profile_expectations(population)
+        cols = np.empty((current.shape[0], len(_PROFILE_FEATURES)))
+        for slot, fname in enumerate(_PROFILE_FEATURES):
+            expected = expectations[:, slot]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                cols[:, slot] = current[:, feature_index(fname)] / expected
+        return cols
+
+    @staticmethod
+    def _profile_expectations(population: Population) -> np.ndarray:
+        """(n_lines, len(_PROFILE_FEATURES)) expected values per line."""
+        per_profile = np.array(
+            [
+                [
+                    p.down_kbps,
+                    p.up_kbps,
+                    p.target_noise_margin_db,
+                    p.target_noise_margin_db,
+                    p.expected_relative_capacity,
+                    p.expected_relative_capacity,
+                ]
+                for p in PROFILES
+            ]
+        )
+        return per_profile[population.profile_idx]

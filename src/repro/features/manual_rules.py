@@ -1,0 +1,95 @@
+"""The operators' manual escalation rules (Section 3.3).
+
+Before NEVERMIND, customer agents and technicians used hand-written rules
+over the same line features:
+
+* *"an agent will escalate the customer ticket to ATDS if either the
+  current bit rate is lower than the minimum bit rate indicated by the
+  profile, or the relative capacity is greater than 92 %"*;
+* *"an estimated loop length greater than 15,000 ft often indicates that
+  the current customer profile is not supported by the DSL line"*.
+
+This module encodes those rules as a scoring baseline.  The paper's whole
+argument is that such rules are hard to scale ("due to the high
+dimensionality of the feature space and unknown/latent relationships ...
+manually deriving accurate inference rules is very difficult"), so the
+learned predictor should beat this score at ranking future tickets --
+which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measurement.records import feature_index
+from repro.netsim.population import Population
+from repro.netsim.profiles import PROFILES
+
+__all__ = [
+    "RELATIVE_CAPACITY_ESCALATION",
+    "LOOP_LENGTH_DOWNGRADE_FT",
+    "manual_rule_flags",
+    "manual_rule_score",
+]
+
+#: The 92 % relative-capacity escalation threshold (Section 3.3).
+RELATIVE_CAPACITY_ESCALATION = 0.92
+
+#: The 15,000 ft loop-length rule of thumb (Section 3.3).
+LOOP_LENGTH_DOWNGRADE_FT = 15_000.0
+
+
+def manual_rule_flags(
+    week_matrix: np.ndarray, population: Population
+) -> dict[str, np.ndarray]:
+    """Evaluate each manual rule on one week's measurements.
+
+    Args:
+        week_matrix: (n_lines, 25) Table-2 feature matrix.
+        population: subscriber base (for per-line profile minima).
+
+    Returns:
+        Dict of named boolean arrays; missing records evaluate False
+        (agents cannot apply a rule to a line they cannot see).
+    """
+    week_matrix = np.asarray(week_matrix, dtype=float)
+    n = week_matrix.shape[0]
+    if n != population.n_lines:
+        raise ValueError("measurement matrix and population size differ")
+
+    min_down = np.array([p.min_down_kbps for p in PROFILES])[population.profile_idx]
+    min_up = np.array([p.min_up_kbps for p in PROFILES])[population.profile_idx]
+
+    dnbr = week_matrix[:, feature_index("dnbr")]
+    upbr = week_matrix[:, feature_index("upbr")]
+    relcap = week_matrix[:, feature_index("dnrelcap")]
+    loop_ft = week_matrix[:, feature_index("looplength")]
+    state = week_matrix[:, feature_index("state")]
+
+    with np.errstate(invalid="ignore"):
+        return {
+            "below_min_rate": np.nan_to_num(
+                (dnbr < min_down) | (upbr < min_up), nan=False
+            ).astype(bool),
+            "high_relative_capacity": np.nan_to_num(
+                relcap > RELATIVE_CAPACITY_ESCALATION, nan=False
+            ).astype(bool),
+            "long_loop": np.nan_to_num(
+                loop_ft > LOOP_LENGTH_DOWNGRADE_FT, nan=False
+            ).astype(bool),
+            "modem_unreachable": state == 0.0,
+        }
+
+
+def manual_rule_score(
+    week_matrix: np.ndarray, population: Population
+) -> np.ndarray:
+    """A coarse manual-rule ranking score: how many rules fire per line.
+
+    An expert triage desk effectively ranks by rule-hit count (a line
+    violating both the rate and capacity rules looks worse than one
+    violating either).  Ties are broad -- that is precisely the
+    expressiveness ceiling the paper's learned model breaks through.
+    """
+    flags = manual_rule_flags(week_matrix, population)
+    return np.sum(np.stack(list(flags.values())), axis=0).astype(float)

@@ -1,0 +1,32 @@
+"""Weekly DSL line measurements (the paper's primary data source).
+
+Every Saturday each DSLAM initiates a line test against every connected
+modem and computes the 25 physical-layer features of Table 2.  This
+package provides:
+
+* :mod:`repro.measurement.records` -- the feature schema and a compact
+  (lines x weeks x features) time-series store with NaN for the records
+  missed when a modem was off;
+* :mod:`repro.measurement.linetest` -- the test campaign itself, mapping
+  simulated plant state through :class:`repro.netsim.physics.LinePhysics`
+  plus measurement noise into feature rows.
+"""
+
+from repro.measurement.linetest import LineTestConfig, LineTester
+from repro.measurement.records import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    CATEGORICAL_FEATURES,
+    MeasurementStore,
+    feature_index,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "CATEGORICAL_FEATURES",
+    "MeasurementStore",
+    "feature_index",
+    "LineTestConfig",
+    "LineTester",
+]

@@ -1,0 +1,237 @@
+"""The Saturday line-test campaign.
+
+Section 3.3: *"Every Saturday, each DSLAM server initiates connections with
+the DSL modem on each DSL line and exchanges a few packets with the modem.
+Based on this conversation, several metrics or line features are computed
+to reflect the current condition of that DSL line."*
+
+:class:`LineTester` turns the simulated plant state (static loop
+conditions + current fault effects + customer usage) into one (n_lines,
+25) feature matrix per campaign:
+
+* a modem that is off -- customer powered it down, the device is dead, or
+  the DSLAM itself is in outage -- yields ``state = 0`` and NaN for every
+  other feature (the paper's missing-record channel);
+* all analog quantities carry measurement noise, making single-week reads
+  unreliable and multi-week encodings (delta / time-series features)
+  worthwhile, exactly the regime the paper operates in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.measurement.records import FEATURE_NAMES, N_FEATURES, feature_index
+from repro.netsim.faults import FaultEffects
+from repro.netsim.physics import LinePhysics, LoopConditions
+
+__all__ = ["LineTestConfig", "LineTester"]
+
+
+@dataclass(frozen=True)
+class LineTestConfig:
+    """Noise and nuisance parameters of the weekly test.
+
+    Attributes:
+        base_off_prob: chance an idle customer's modem is off on Saturday.
+        usage_off_slope: extra off-probability for low-usage customers
+            (heavy users leave the modem on; light users power it down).
+        atten_noise_db: std-dev of attenuation measurement noise.
+        margin_noise_db: std-dev of noise-margin measurement noise.
+        rate_noise_frac: relative std-dev of rate measurements.
+        loop_estimate_noise_frac: relative std-dev of the loop-length
+            estimate.
+        flag_false_negative: chance a real bridge tap / crosstalk goes
+            undetected in one test.
+        flag_false_positive: chance of a spurious flag on a clean line.
+        cells_scale: converts (usage x rate) into a rolling cell count.
+    """
+
+    base_off_prob: float = 0.015
+    usage_off_slope: float = 0.12
+    atten_noise_db: float = 0.8
+    margin_noise_db: float = 0.7
+    rate_noise_frac: float = 0.01
+    loop_estimate_noise_frac: float = 0.07
+    flag_false_negative: float = 0.06
+    flag_false_positive: float = 0.01
+    cells_scale: float = 40.0
+
+
+@dataclass
+class LineTester:
+    """Runs weekly line tests against the simulated plant."""
+
+    physics: LinePhysics = field(default_factory=LinePhysics)
+    config: LineTestConfig = field(default_factory=LineTestConfig)
+
+    def run(
+        self,
+        conditions: LoopConditions,
+        effects: FaultEffects,
+        usage_intensity: np.ndarray,
+        dslam_down: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Execute one campaign.
+
+        Args:
+            conditions: static plant state.
+            effects: current severity-scaled fault effects.
+            usage_intensity: per-line customer usage in [0, 1].
+            dslam_down: per-line flag, True when the serving DSLAM is in
+                outage during the test (no record possible).
+            rng: random source.
+
+        Returns:
+            (n_lines, 25) float matrix in :data:`FEATURE_NAMES` order with
+            NaN for the features of unreachable modems.
+        """
+        n = conditions.n_lines
+        usage_intensity = np.asarray(usage_intensity, dtype=float)
+        if usage_intensity.shape != (n,):
+            raise ValueError("usage_intensity must have one entry per line")
+        dslam_down = np.asarray(dslam_down, dtype=bool)
+        if dslam_down.shape != (n,):
+            raise ValueError("dslam_down must have one entry per line")
+
+        cfg = self.config
+        phys = self.physics
+
+        off_prob = np.clip(
+            cfg.base_off_prob
+            + cfg.usage_off_slope * (1.0 - usage_intensity)
+            + effects.off_prob,
+            0.0,
+            0.98,
+        )
+        modem_off = (rng.random(n) < off_prob) | dslam_down
+
+        out = np.full((n, N_FEATURES), np.nan)
+        out[:, feature_index("state")] = (~modem_off).astype(float)
+        on = ~modem_off
+        if not np.any(on):
+            return out
+
+        # --- analog loop quantities -----------------------------------
+        atten_dn = (
+            phys.attenuation_db(conditions.loop_kft)
+            + effects.atten_db
+            + rng.normal(0.0, cfg.atten_noise_db, n)
+        )
+        atten_up = (
+            phys.attenuation_db(conditions.loop_kft, upstream=True)
+            + effects.atten_db_up
+            + rng.normal(0.0, cfg.atten_noise_db, n)
+        )
+        atten_dn = np.clip(atten_dn, 0.5, None)
+        atten_up = np.clip(atten_up, 0.3, None)
+
+        bt_true = conditions.static_bridge_tap | effects.bridge_tap
+        xt_true = conditions.static_crosstalk | effects.crosstalk
+        flips_bt = rng.random(n)
+        flips_xt = rng.random(n)
+        bt_seen = np.where(
+            bt_true, flips_bt >= cfg.flag_false_negative, flips_bt < cfg.flag_false_positive
+        )
+        xt_seen = np.where(
+            xt_true, flips_xt >= cfg.flag_false_negative, flips_xt < cfg.flag_false_positive
+        )
+
+        attain_dn = phys.attainable_kbps(
+            conditions, effects.noise_db, effects.atten_db, effects.rate_factor,
+            bt_true, xt_true,
+        )
+        attain_up = phys.attainable_kbps(
+            conditions, effects.noise_db_up, effects.atten_db_up,
+            effects.rate_factor, bt_true, xt_true, upstream=True,
+        )
+        sync_dn = phys.sync_rate_kbps(attain_dn, conditions.profile_down_kbps)
+        sync_up = phys.sync_rate_kbps(attain_up, conditions.profile_up_kbps)
+
+        noise_dn = 1.0 + rng.normal(0.0, cfg.rate_noise_frac, n)
+        noise_up = 1.0 + rng.normal(0.0, cfg.rate_noise_frac, n)
+        meas_attain_dn = np.clip(attain_dn * noise_dn, phys.min_rate_kbps, None)
+        meas_attain_up = np.clip(attain_up * noise_up, phys.min_rate_kbps, None)
+        meas_sync_dn = np.clip(sync_dn * (1.0 + rng.normal(0.0, cfg.rate_noise_frac, n)),
+                               phys.min_rate_kbps, None)
+        meas_sync_up = np.clip(sync_up * (1.0 + rng.normal(0.0, cfg.rate_noise_frac, n)),
+                               phys.min_rate_kbps, None)
+
+        nmr_dn = phys.noise_margin_db(attain_dn, sync_dn) + rng.normal(
+            0.0, cfg.margin_noise_db, n
+        )
+        nmr_up = phys.noise_margin_db(attain_up, sync_up, upstream=True) + rng.normal(
+            0.0, cfg.margin_noise_db, n
+        )
+        nmr_dn = np.clip(nmr_dn, 0.0, phys.max_noise_margin_db)
+        nmr_up = np.clip(nmr_up, 0.0, phys.max_noise_margin_db)
+
+        relcap_dn = phys.relative_capacity(meas_sync_dn, meas_attain_dn)
+        relcap_up = phys.relative_capacity(meas_sync_up, meas_attain_up)
+
+        # Power cutback: short, quiet loops transmit below nominal power.
+        dnpwr = phys.tx_power_down_dbm - np.clip((30.0 - atten_dn) / 4.0, 0.0, 6.0)
+        uppwr = phys.tx_power_up_dbm - np.clip((20.0 - atten_up) / 4.0, 0.0, 5.0)
+        dnpwr = dnpwr + rng.normal(0.0, 0.3, n)
+        uppwr = uppwr + rng.normal(0.0, 0.3, n)
+
+        # --- error counters --------------------------------------------
+        cv_lambda = phys.code_violation_rate(nmr_dn, effects.cv_rate)
+        cv1 = rng.poisson(cv_lambda)
+        cv2 = rng.binomial(cv1, 0.45)
+        cv3 = rng.binomial(cv2, 0.45)
+        es1 = rng.poisson(0.3 + 0.5 * cv_lambda)
+        es2 = rng.binomial(es1, 0.5)
+        fec = rng.poisson(1.0 + 0.8 * cv_lambda)
+
+        hicar = phys.highest_carrier(conditions.loop_kft, effects.atten_db)
+        hicar = np.clip(np.rint(hicar + rng.normal(0.0, 3.0, n)), 6, phys.max_carrier)
+
+        loop_ft = (atten_dn / phys.atten_db_per_kft_down) * 1000.0
+        loop_ft = np.clip(
+            loop_ft * (1.0 + rng.normal(0.0, cfg.loop_estimate_noise_frac, n)),
+            100.0,
+            None,
+        )
+
+        uptime = np.clip(1.0 - effects.dropout, 0.02, 1.0)
+        cells_noise = rng.lognormal(0.0, 0.35, n)
+        dncells = (
+            cfg.cells_scale * usage_intensity * meas_sync_dn * effects.cells_factor
+            * uptime * cells_noise
+        )
+        upcells = 0.15 * dncells * rng.lognormal(0.0, 0.2, n)
+
+        columns = {
+            "dnbr": meas_sync_dn,
+            "upbr": meas_sync_up,
+            "dnpwr": dnpwr,
+            "uppwr": uppwr,
+            "dnnmr": nmr_dn,
+            "upnmr": nmr_up,
+            "dnaten": atten_dn,
+            "upaten": atten_up,
+            "dnrelcap": relcap_dn,
+            "uprelcap": relcap_up,
+            "dncvcnt1": cv1.astype(float),
+            "dncvcnt2": cv2.astype(float),
+            "dncvcnt3": cv3.astype(float),
+            "dnescnt1": es1.astype(float),
+            "dnescnt2": es2.astype(float),
+            "dnfeccnt1": fec.astype(float),
+            "hicar": hicar,
+            "bt": bt_seen.astype(float),
+            "crosstalk": xt_seen.astype(float),
+            "looplength": loop_ft,
+            "dnmaxattainfbr": meas_attain_dn,
+            "upmaxattainfbr": meas_attain_up,
+            "dncells": dncells,
+            "upcells": upcells,
+        }
+        for name, values in columns.items():
+            col = feature_index(name)
+            out[on, col] = values[on]
+        return out

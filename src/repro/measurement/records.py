@@ -1,0 +1,171 @@
+"""Line-measurement schema and time-series storage.
+
+The 25 basic line features follow Table 2 of the paper.  Prefixes ``dn``
+and ``up`` mean downstream (downloading) and upstream (uploading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "CATEGORICAL_FEATURES",
+    "FEATURE_DESCRIPTIONS",
+    "feature_index",
+    "MeasurementStore",
+]
+
+#: The 25 Table-2 line features, in canonical column order.
+FEATURE_NAMES: tuple[str, ...] = (
+    "state",          # 1 if the modem answered the test
+    "dnbr", "upbr",                   # bit rate (kbps)
+    "dnpwr", "uppwr",                 # signal power (dBm)
+    "dnnmr", "upnmr",                 # noise margin (dB)
+    "dnaten", "upaten",               # signal attenuation (dB)
+    "dnrelcap", "uprelcap",           # relative capacity (fraction)
+    "dncvcnt1", "dncvcnt2", "dncvcnt3",   # code-violation interval counts
+    "dnescnt1", "dnescnt2",           # errored-second counts
+    "dnfeccnt1",                      # FEC counts >= 50
+    "hicar",                          # biggest carrier number
+    "bt",                             # bridge tap detected (0/1)
+    "crosstalk",                      # crosstalk detected (0/1)
+    "looplength",                     # estimated loop length (ft)
+    "dnmaxattainfbr", "upmaxattainfbr",   # max attainable fast bit rate
+    "dncells", "upcells",             # rolling traffic cell counts
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+if N_FEATURES != 25:
+    raise AssertionError(f"Table 2 defines 25 features, schema has {N_FEATURES}")
+
+#: Features treated as categorical by the stump learner.
+CATEGORICAL_FEATURES: frozenset[str] = frozenset({"state", "bt", "crosstalk"})
+
+FEATURE_DESCRIPTIONS: dict[str, str] = {
+    "state": "whether the modem answered the weekly test",
+    "dnbr": "downstream sync bit rate (kbps)",
+    "upbr": "upstream sync bit rate (kbps)",
+    "dnpwr": "downstream signal power (dBm)",
+    "uppwr": "upstream signal power (dBm)",
+    "dnnmr": "downstream noise margin (dB)",
+    "upnmr": "upstream noise margin (dB)",
+    "dnaten": "downstream signal attenuation (dB)",
+    "upaten": "upstream signal attenuation (dB)",
+    "dnrelcap": "downstream relative capacity (sync/attainable)",
+    "uprelcap": "upstream relative capacity (sync/attainable)",
+    "dncvcnt1": "code-violation interval count, low threshold",
+    "dncvcnt2": "code-violation interval count, mid threshold",
+    "dncvcnt3": "code-violation interval count, high threshold",
+    "dnescnt1": "seconds with code violations, low threshold",
+    "dnescnt2": "seconds with code violations, high threshold",
+    "dnfeccnt1": "downstream FEC counts with value >= 50",
+    "hicar": "biggest usable carrier number",
+    "bt": "bridge tap detected",
+    "crosstalk": "crosstalk detected",
+    "looplength": "estimated loop length (ft)",
+    "dnmaxattainfbr": "max attainable downstream fast bit rate (kbps)",
+    "upmaxattainfbr": "max attainable upstream fast bit rate (kbps)",
+    "dncells": "rolling downstream cell count",
+    "upcells": "rolling upstream cell count",
+}
+
+_INDEX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def feature_index(name: str) -> int:
+    """Column index of a Table-2 feature name."""
+    try:
+        return _INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown line feature {name!r}") from None
+
+
+@dataclass
+class MeasurementStore:
+    """Per-line weekly measurement time-series.
+
+    Data lives in a ``(n_lines, n_weeks, 25)`` float32 array.  A fully-NaN
+    feature row (except ``state`` = 0) marks a missed record -- the modem
+    was off during the Saturday test, the paper's main missingness channel.
+
+    Attributes:
+        n_lines: subscriber count.
+        n_weeks: number of weekly campaigns the store can hold.
+        saturday_day: absolute simulation-day index of each week's test.
+    """
+
+    n_lines: int
+    n_weeks: int
+    data: np.ndarray = field(init=False, repr=False)
+    saturday_day: np.ndarray = field(init=False, repr=False)
+    _filled: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_lines <= 0 or self.n_weeks <= 0:
+            raise ValueError("n_lines and n_weeks must be positive")
+        self.data = np.full(
+            (self.n_lines, self.n_weeks, N_FEATURES), np.nan, dtype=np.float32
+        )
+        self.saturday_day = np.full(self.n_weeks, -1, dtype=int)
+        self._filled = np.zeros(self.n_weeks, dtype=bool)
+
+    def add_week(self, week: int, day: int, features: np.ndarray) -> None:
+        """Record one campaign.
+
+        Args:
+            week: week index in [0, n_weeks).
+            day: absolute simulation day of the test (a Saturday).
+            features: (n_lines, 25) float array; NaN marks missing values.
+        """
+        if not 0 <= week < self.n_weeks:
+            raise IndexError(f"week {week} out of range [0, {self.n_weeks})")
+        features = np.asarray(features, dtype=np.float32)
+        if features.shape != (self.n_lines, N_FEATURES):
+            raise ValueError(
+                f"features must be ({self.n_lines}, {N_FEATURES}), got {features.shape}"
+            )
+        if self._filled[week]:
+            raise ValueError(f"week {week} was already recorded")
+        self.data[:, week, :] = features
+        self.saturday_day[week] = day
+        self._filled[week] = True
+
+    @property
+    def filled_weeks(self) -> np.ndarray:
+        """Indices of the weeks that have been recorded."""
+        return np.flatnonzero(self._filled)
+
+    def week_matrix(self, week: int) -> np.ndarray:
+        """(n_lines, 25) snapshot of one week (a view, do not mutate)."""
+        if not self._filled[week]:
+            raise ValueError(f"week {week} has not been recorded")
+        return self.data[:, week, :]
+
+    def line_series(self, line: int) -> np.ndarray:
+        """(n_weeks, 25) time-series of one line (a view, do not mutate)."""
+        if not 0 <= line < self.n_lines:
+            raise IndexError(f"line {line} out of range")
+        return self.data[line]
+
+    def feature_series(self, name: str) -> np.ndarray:
+        """(n_lines, n_weeks) history of one named feature."""
+        return self.data[:, :, feature_index(name)]
+
+    def modem_off_fraction(self, upto_week: int | None = None) -> np.ndarray:
+        """Per-line fraction of campaigns in which the modem was off.
+
+        This is the Table-3 "Modem" customer feature.  ``upto_week`` bounds
+        the history (exclusive); None uses all recorded weeks.
+        """
+        weeks = self.filled_weeks
+        if upto_week is not None:
+            weeks = weeks[weeks < upto_week]
+        if weeks.size == 0:
+            return np.zeros(self.n_lines)
+        state = self.data[:, weeks, feature_index("state")]
+        off = (state == 0) | np.isnan(state)
+        return np.mean(off, axis=1)

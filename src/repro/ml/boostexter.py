@@ -1,0 +1,229 @@
+"""BStump: confidence-rated AdaBoost with decision stumps.
+
+This is a from-scratch reimplementation of the learner the paper calls
+*BStump* -- "the Adaboost algorithm with decision stumps (i.e. one-level
+decision trees)", using Boostexter [Schapire & Singer 2000] semantics:
+
+* weak learners are real-valued decision stumps (:mod:`repro.ml.stumps`);
+* each round picks the stump minimising the weighted normaliser Z;
+* sample weights are updated multiplicatively,
+  ``D_{t+1}(i) ~ D_t(i) * exp(-y_i * h_t(x_i))``;
+* the final score is the additive margin ``f(x) = sum_t h_t(x)``, which is
+  converted to a posterior probability with logistic (Platt) calibration
+  (:class:`repro.ml.calibration.PlattCalibrator`), exactly as in Section
+  4.4 of the paper.
+
+The resulting model is linear in the space of stump indicator functions,
+which the paper argues is robust against the label noise inherent in
+tickets (unreported problems are mislabelled negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.calibration import PlattCalibrator
+from repro.ml.stumps import Stump, StumpSearch
+
+__all__ = ["BStumpConfig", "WeakLearner", "BStump"]
+
+
+@dataclass(frozen=True)
+class BStumpConfig:
+    """Training configuration for :class:`BStump`.
+
+    Attributes:
+        n_rounds: number of boosting iterations T.  The paper uses 800 for
+            the ticket predictor and 200 for the trouble locator, chosen by
+            cross-validation; our simulated datasets are smaller so the
+            defaults here are lower and everything is overridable.
+        early_stop_z: stop early when the best achievable Z of a round
+            exceeds this value (a Z of ~1.0 means the weak learner is no
+            better than abstaining, so further rounds only overfit noise).
+        calibrate: fit a Platt calibrator on the training margins so that
+            :meth:`BStump.predict_proba` is available.
+        missing_policy: how stumps treat NaN values -- "score" (default)
+            gives missing values their own confidence-rated block,
+            "abstain" outputs 0 (see :mod:`repro.ml.stumps`).
+        max_split_points: per-feature candidate-threshold cap per round
+            (quantile-strided above the cap; exact below).
+    """
+
+    n_rounds: int = 200
+    early_stop_z: float = 0.999999
+    calibrate: bool = True
+    missing_policy: str = "score"
+    max_split_points: int = 256
+
+
+@dataclass(frozen=True)
+class WeakLearner:
+    """One boosting round: a stump and the Z it achieved when selected."""
+
+    stump: Stump
+    round_index: int
+    z: float
+
+
+@dataclass
+class BStump:
+    """AdaBoost over decision stumps with Platt-calibrated outputs.
+
+    Typical use::
+
+        model = BStump(BStumpConfig(n_rounds=400))
+        model.fit(X_train, y_train, categorical=mask)
+        scores = model.decision_function(X_test)   # additive margin f(x)
+        probs = model.predict_proba(X_test)        # P(y=+1 | x)
+
+    ``X`` is a dense float matrix with NaN for missing values; ``y`` holds
+    labels in {-1, +1} (0/1 labels are converted automatically).
+    """
+
+    config: BStumpConfig = field(default_factory=BStumpConfig)
+    learners: list[WeakLearner] = field(default_factory=list)
+    calibrator: PlattCalibrator | None = None
+    n_features_: int | None = None
+    train_z_: list[float] = field(default_factory=list)
+
+    @staticmethod
+    def _canonical_labels(y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=float)
+        uniq = set(np.unique(y).tolist())
+        if uniq <= {0.0, 1.0}:
+            return np.where(y > 0, 1.0, -1.0)
+        if uniq <= {-1.0, 1.0}:
+            return y
+        raise ValueError(f"labels must be in {{0,1}} or {{-1,+1}}, got {sorted(uniq)}")
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        categorical: np.ndarray | None = None,
+        sample_weight: np.ndarray | None = None,
+    ) -> "BStump":
+        """Train the boosted model.
+
+        Args:
+            X: (n_samples, n_features) float matrix, NaN = missing.
+            y: labels, {0, 1} or {-1, +1}.
+            categorical: optional boolean mask marking categorical columns.
+            sample_weight: optional non-negative initial example weights.
+
+        Returns:
+            self, for chaining.
+        """
+        X = np.asarray(X, dtype=float)
+        y = self._canonical_labels(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must have one label per row of X")
+        if len(np.unique(y)) < 2:
+            raise ValueError("training data must contain both classes")
+
+        n = X.shape[0]
+        if sample_weight is None:
+            weights = np.full(n, 1.0 / n)
+        else:
+            weights = np.asarray(sample_weight, dtype=float)
+            if weights.shape != (n,):
+                raise ValueError("sample_weight must have one entry per row")
+            if np.any(weights < 0):
+                raise ValueError("sample_weight must be non-negative")
+            weights = weights / np.sum(weights)
+
+        search = StumpSearch(
+            X,
+            y,
+            categorical,
+            missing_policy=self.config.missing_policy,
+            max_split_points=self.config.max_split_points,
+        )
+        self.learners = []
+        self.train_z_ = []
+        self.n_features_ = X.shape[1]
+
+        margin = np.zeros(n)
+        for t in range(self.config.n_rounds):
+            stump = search.best_stump(weights)
+            if stump.z >= self.config.early_stop_z and t > 0:
+                break
+            self.learners.append(WeakLearner(stump=stump, round_index=t, z=stump.z))
+            self.train_z_.append(stump.z)
+            h = stump.predict(X)
+            margin += h
+            weights = weights * np.exp(-y * h)
+            total = np.sum(weights)
+            if not np.isfinite(total) or total <= 0:
+                break
+            weights /= total
+
+        if not self.learners:
+            raise RuntimeError("boosting selected no weak learners")
+
+        if self.config.calibrate:
+            self.calibrator = PlattCalibrator().fit(margin, y)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Additive margin ``f(x) = sum_t h_t(x)`` for each row of ``X``."""
+        if not self.learners:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_} columns, got {X.shape}"
+            )
+        margin = np.zeros(X.shape[0])
+        for learner in self.learners:
+            margin += learner.stump.predict(X)
+        return margin
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Calibrated posterior probability ``P(y = +1 | x)`` per row."""
+        if self.calibrator is None:
+            raise RuntimeError("model was fitted without calibration")
+        return self.calibrator.transform(self.decision_function(X))
+
+    def predict(self, X: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+        """Hard labels in {-1, +1} by thresholding the margin."""
+        return np.where(self.decision_function(X) >= threshold, 1.0, -1.0)
+
+    def feature_importances(self) -> np.ndarray:
+        """Total absolute score mass each feature contributes.
+
+        For each selected stump, both block scores weigh in; features never
+        selected get 0.  This powers Fig-9-style introspection of which line
+        features drive an inference.
+        """
+        if self.n_features_ is None:
+            raise RuntimeError("model is not fitted")
+        importances = np.zeros(self.n_features_)
+        for learner in self.learners:
+            stump = learner.stump
+            importances[stump.feature] += abs(stump.s_lo) + abs(stump.s_hi)
+        return importances
+
+    def explain(self, x: np.ndarray, top_k: int = 10) -> list[tuple[int, float]]:
+        """Per-feature score contributions for a single example.
+
+        Returns up to ``top_k`` (feature_index, contribution) pairs sorted
+        by absolute contribution, mirroring the schematic in Fig. 9 where
+        bottom-node feature ranges feed signed scores upward.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 1 or x.shape[0] != self.n_features_:
+            raise ValueError(f"x must be 1-D with {self.n_features_} entries")
+        contributions: dict[int, float] = {}
+        row = x[None, :]
+        for learner in self.learners:
+            value = float(learner.stump.predict(row)[0])
+            contributions[learner.stump.feature] = (
+                contributions.get(learner.stump.feature, 0.0) + value
+            )
+        ranked = sorted(contributions.items(), key=lambda kv: -abs(kv[1]))
+        return ranked[:top_k]

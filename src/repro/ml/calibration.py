@@ -1,0 +1,116 @@
+"""Platt (logistic) calibration of classifier margins.
+
+The paper converts BStump's additive score ``f(x)`` into a posterior
+probability "using logistic calibration" (Section 4.4).  Platt's method
+fits a two-parameter sigmoid
+
+.. math::
+
+    P(y = +1 | f) = \\frac{1}{1 + \\exp(A f + B)}
+
+by regularised maximum likelihood.  We use Platt's target smoothing
+(Lin, Lin & Weng 2007 formulation) and Newton's method with backtracking,
+which is numerically stable even for perfectly separated margins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PlattCalibrator"]
+
+
+@dataclass
+class PlattCalibrator:
+    """Maps real-valued margins to calibrated probabilities.
+
+    Attributes:
+        a: slope of the fitted sigmoid (negative for a well-oriented
+            classifier whose larger margins mean "more positive").
+        b: intercept of the fitted sigmoid.
+        max_iter: Newton iteration cap.
+        tol: gradient-norm convergence tolerance.
+    """
+
+    a: float = field(default=-1.0)
+    b: float = field(default=0.0)
+    max_iter: int = 100
+    tol: float = 1e-10
+    fitted_: bool = False
+
+    def fit(self, margins: np.ndarray, labels: np.ndarray) -> "PlattCalibrator":
+        """Fit the sigmoid on training ``margins`` and {-1,+1}/{0,1} labels."""
+        f = np.asarray(margins, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if f.shape != y.shape or f.ndim != 1:
+            raise ValueError("margins and labels must be equal-length 1-D arrays")
+        if f.size == 0:
+            raise ValueError("cannot calibrate on empty data")
+        pos = y > 0
+
+        n_pos = float(np.sum(pos))
+        n_neg = float(f.size - n_pos)
+        # Platt's smoothed targets avoid infinite log-likelihood on
+        # separable data.
+        t_pos = (n_pos + 1.0) / (n_pos + 2.0)
+        t_neg = 1.0 / (n_neg + 2.0)
+        t = np.where(pos, t_pos, t_neg)
+
+        a = 0.0
+        b = math.log((n_neg + 1.0) / (n_pos + 1.0))
+
+        def negative_log_likelihood(a_: float, b_: float) -> float:
+            z = a_ * f + b_
+            # log(1 + e^z) - (1 - t) * z, computed stably.
+            return float(np.sum(np.logaddexp(0.0, z) - (1.0 - t) * z))
+
+        loss = negative_log_likelihood(a, b)
+        for _ in range(self.max_iter):
+            z = a * f + b
+            p = 1.0 / (1.0 + np.exp(np.clip(z, -500, 500)))  # P(y=+1)
+            d = (1.0 - p) - (1.0 - t)  # dNLL/dz = sigmoid(z) - (1 - t)
+            grad_a = float(np.sum(d * f))
+            grad_b = float(np.sum(d))
+            w = p * (1.0 - p)
+            h_aa = float(np.sum(w * f * f)) + 1e-12
+            h_ab = float(np.sum(w * f))
+            h_bb = float(np.sum(w)) + 1e-12
+            det = h_aa * h_bb - h_ab * h_ab
+            if abs(det) < 1e-30:
+                break
+            step_a = (h_bb * grad_a - h_ab * grad_b) / det
+            step_b = (h_aa * grad_b - h_ab * grad_a) / det
+            if math.hypot(grad_a, grad_b) < self.tol:
+                break
+            # Backtracking line search keeps the update monotone.
+            scale = 1.0
+            for _ in range(30):
+                new_a = a - scale * step_a
+                new_b = b - scale * step_b
+                new_loss = negative_log_likelihood(new_a, new_b)
+                if new_loss <= loss + 1e-12:
+                    a, b, loss = new_a, new_b, new_loss
+                    break
+                scale *= 0.5
+            else:
+                break
+
+        self.a = float(a)
+        self.b = float(b)
+        self.fitted_ = True
+        return self
+
+    def transform(self, margins: np.ndarray) -> np.ndarray:
+        """Return ``P(y = +1 | margin)`` for each margin."""
+        if not self.fitted_:
+            raise RuntimeError("calibrator is not fitted")
+        f = np.asarray(margins, dtype=float)
+        z = np.clip(self.a * f + self.b, -500, 500)
+        return 1.0 / (1.0 + np.exp(z))
+
+    def fit_transform(self, margins: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Convenience: fit on (margins, labels) and return probabilities."""
+        return self.fit(margins, labels).transform(margins)

@@ -1,0 +1,208 @@
+"""Ranking and classification metrics used throughout the paper.
+
+The central metric is the *top-N average precision* ``AP(N)`` from
+Section 4.3:
+
+.. math::
+
+    AP(N) = \\frac{1}{N} \\sum_{r=1}^{N} Prec(r) \\cdot Tkt(u_r)
+
+where ``Prec(r)`` is the precision over the first ``r`` ranked predictions
+and ``Tkt(u_r)`` indicates whether the r-th ranked line actually produced a
+ticket.  ``AP(N)`` rewards rankings that place true future tickets near the
+top of the list, which is exactly what matters when only the top N
+predictions can be dispatched.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "precision_at",
+    "top_n_average_precision",
+    "average_precision",
+    "accuracy_at_n",
+    "roc_curve",
+    "auc",
+    "entropy",
+    "gain_ratio",
+    "rank_by_score",
+]
+
+
+def rank_by_score(scores: np.ndarray) -> np.ndarray:
+    """Return indices that sort ``scores`` in decreasing order.
+
+    Ties are broken deterministically by original index so that repeated
+    evaluations of the same scores produce identical rankings.
+    """
+    scores = np.asarray(scores, dtype=float)
+    # ``np.argsort`` is ascending and stable with kind="stable"; negate for
+    # a descending, first-index-wins ordering.
+    return np.argsort(-scores, kind="stable")
+
+
+def _ranked_labels(labels: np.ndarray, scores: np.ndarray | None) -> np.ndarray:
+    labels = np.asarray(labels)
+    if scores is None:
+        return labels.astype(float)
+    scores = np.asarray(scores, dtype=float)
+    if scores.shape != labels.shape:
+        raise ValueError(
+            f"scores shape {scores.shape} != labels shape {labels.shape}"
+        )
+    return labels[rank_by_score(scores)].astype(float)
+
+
+def precision_at(labels: np.ndarray, r: int, scores: np.ndarray | None = None) -> float:
+    """Precision over the first ``r`` predictions.
+
+    ``labels`` are binary ground-truth indicators.  When ``scores`` is
+    given, labels are first ordered by decreasing score; otherwise
+    ``labels`` must already be in rank order.
+    """
+    if r <= 0:
+        raise ValueError(f"r must be positive, got {r}")
+    ranked = _ranked_labels(labels, scores)
+    r = min(r, len(ranked))
+    return float(np.mean(ranked[:r]))
+
+
+def top_n_average_precision(
+    labels: np.ndarray, n: int, scores: np.ndarray | None = None
+) -> float:
+    """Top-N average precision AP(N) from Section 4.3 of the paper.
+
+    AP(N) sums precision-at-r over the ranks ``r`` holding true positives
+    within the top N and divides by N.  A perfect ranking over a list with
+    at least N positives scores 1.0; a ranking whose top N contains no
+    positives scores 0.0.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    ranked = _ranked_labels(labels, scores)
+    top = ranked[:n]
+    if top.size == 0:
+        return 0.0
+    hits = np.cumsum(top)
+    ranks = np.arange(1, top.size + 1)
+    precisions = hits / ranks
+    return float(np.sum(precisions * top) / n)
+
+
+def average_precision(labels: np.ndarray, scores: np.ndarray | None = None) -> float:
+    """Classic average precision over the full ranked list (Table 4 baseline).
+
+    Equal to the mean of precision-at-r over the ranks of the true
+    positives; 0.0 when there are no positives.
+    """
+    ranked = _ranked_labels(labels, scores)
+    total_pos = float(np.sum(ranked))
+    if total_pos == 0:
+        return 0.0
+    hits = np.cumsum(ranked)
+    ranks = np.arange(1, ranked.size + 1)
+    precisions = hits / ranks
+    return float(np.sum(precisions * ranked) / total_pos)
+
+
+def accuracy_at_n(labels: np.ndarray, n: int, scores: np.ndarray | None = None) -> float:
+    """The paper's evaluation "accuracy": precision over the top N.
+
+    Section 5.1: *"the proportion of subscribers associated with the top N
+    predictions who have issued tickets within 4 weeks"*.
+    """
+    return precision_at(labels, n, scores)
+
+
+def roc_curve(labels: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (false-positive rate, true-positive rate) arrays.
+
+    Points are produced at every distinct score threshold, in order of
+    decreasing threshold, and include the (0, 0) and (1, 1) endpoints.
+    """
+    labels = np.asarray(labels, dtype=float)
+    scores = np.asarray(scores, dtype=float)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    order = np.argsort(-scores, kind="stable")
+    labels = labels[order]
+    scores = scores[order]
+    n_pos = float(np.sum(labels))
+    n_neg = float(labels.size - n_pos)
+    tp = np.cumsum(labels)
+    fp = np.cumsum(1.0 - labels)
+    # Only keep the last point of each tied-score run.
+    distinct = np.r_[scores[1:] != scores[:-1], True]
+    tp = tp[distinct]
+    fp = fp[distinct]
+    tpr = tp / n_pos if n_pos > 0 else np.zeros_like(tp)
+    fpr = fp / n_neg if n_neg > 0 else np.zeros_like(fp)
+    return np.r_[0.0, fpr], np.r_[0.0, tpr]
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal).
+
+    Degenerate inputs (single-class labels) return 0.5, the value of an
+    uninformative ranking, so that feature-selection loops never crash on
+    constant features.
+    """
+    labels = np.asarray(labels, dtype=float)
+    if np.all(labels == labels.flat[0] if labels.size else True):
+        return 0.5
+    fpr, tpr = roc_curve(labels, scores)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(tpr, fpr))
+
+
+def entropy(labels: np.ndarray) -> float:
+    """Shannon entropy (bits) of a discrete label array."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    probs = counts / labels.size
+    return float(-np.sum(probs * np.log2(probs)))
+
+
+def gain_ratio(
+    feature: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> float:
+    """Gain ratio of ``feature`` with respect to binary ``labels``.
+
+    Table 4: *"the total entropy decrease of the result attribute by knowing
+    one particular feature"*, normalised by the feature's own split
+    entropy (Quinlan's gain ratio).  Continuous features are discretised
+    into ``n_bins`` equal-frequency bins; missing values (NaN) form their
+    own bin, mirroring how the stump learner abstains on them.
+    """
+    feature = np.asarray(feature, dtype=float)
+    labels = np.asarray(labels)
+    if feature.shape != labels.shape:
+        raise ValueError("feature and labels must have the same shape")
+    if feature.size == 0:
+        return 0.0
+
+    missing = np.isnan(feature)
+    present = feature[~missing]
+    bins = np.full(feature.shape, -1, dtype=int)
+    if present.size:
+        quantiles = np.quantile(present, np.linspace(0, 1, n_bins + 1)[1:-1])
+        bins[~missing] = np.searchsorted(quantiles, present, side="right")
+
+    base = entropy(labels)
+    conditional = 0.0
+    split_entropy = 0.0
+    for value in np.unique(bins):
+        mask = bins == value
+        weight = float(np.mean(mask))
+        conditional += weight * entropy(labels[mask])
+        split_entropy -= weight * math.log2(weight)
+    gain = base - conditional
+    if split_entropy <= 0:
+        return 0.0
+    return float(gain / split_entropy)

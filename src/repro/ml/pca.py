@@ -1,0 +1,93 @@
+"""Principal component analysis for the PCA feature-selection baseline.
+
+Table 4 lists "Top principal components" as one of the feature-selection
+criteria NEVERMIND is compared against (Fig. 6).  Selecting *features* via
+PCA is done the usual way: run PCA on the standardised feature matrix and
+rank original features by their total squared loading on the leading
+components, weighted by explained variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+@dataclass
+class PCA:
+    """Plain covariance-eigendecomposition PCA.
+
+    Missing values (NaN) are imputed with the column mean before the
+    decomposition, matching how the feature-selection baseline has to cope
+    with modem-off gaps in the line measurements.
+
+    Attributes:
+        n_components: number of leading components to retain (None = all).
+    """
+
+    n_components: int | None = None
+    components_: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    explained_variance_: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    explained_variance_ratio_: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    mean_: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    scale_: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def _prepare(self, X: np.ndarray) -> np.ndarray:
+        X = np.array(X, dtype=float, copy=True)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        col_mean = np.nanmean(np.where(np.isfinite(X), X, np.nan), axis=0)
+        col_mean = np.where(np.isfinite(col_mean), col_mean, 0.0)
+        mask = ~np.isfinite(X)
+        X[mask] = np.broadcast_to(col_mean, X.shape)[mask]
+        return X
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        """Fit components on (NaN-imputed, standardised) ``X``."""
+        X = self._prepare(X)
+        self.mean_ = X.mean(axis=0)
+        self.scale_ = X.std(axis=0)
+        self.scale_[self.scale_ == 0] = 1.0
+        Z = (X - self.mean_) / self.scale_
+        cov = np.cov(Z, rowvar=False, ddof=1)
+        cov = np.atleast_2d(cov)
+        eigenvalues, eigenvectors = np.linalg.eigh(cov)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+        eigenvectors = eigenvectors[:, order]
+        k = self.n_components or len(eigenvalues)
+        k = min(k, len(eigenvalues))
+        self.components_ = eigenvectors[:, :k].T
+        self.explained_variance_ = eigenvalues[:k]
+        total = float(np.sum(eigenvalues))
+        self.explained_variance_ratio_ = (
+            self.explained_variance_ / total if total > 0 else self.explained_variance_
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project ``X`` onto the fitted components."""
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        X = self._prepare(X)
+        Z = (X - self.mean_) / self.scale_
+        return Z @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(X).transform(X)
+
+    def feature_scores(self) -> np.ndarray:
+        """Variance-weighted squared loadings per original feature.
+
+        The score of feature j is ``sum_c lambda_c * V[c, j]^2``; ranking
+        features by this score yields the "top principal components"
+        selection baseline of Table 4.
+        """
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        weights = self.explained_variance_[:, None]
+        return np.sum(weights * self.components_**2, axis=0)

@@ -1,0 +1,104 @@
+"""Model serialization: save and load trained NEVERMIND models as JSON.
+
+An operational deployment (Fig. 3) trains weekly-or-less but scores every
+Saturday, usually on different machines; models therefore need a stable
+on-disk form.  Everything in this reproduction serialises to plain JSON --
+a BStump is just a list of stumps plus two calibration scalars, which is
+also pleasantly auditable by operations staff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.ml.boostexter import BStump, BStumpConfig, WeakLearner
+from repro.ml.calibration import PlattCalibrator
+from repro.ml.stumps import Stump
+
+__all__ = [
+    "bstump_to_dict",
+    "bstump_from_dict",
+    "save_bstump",
+    "load_bstump",
+]
+
+_FORMAT_VERSION = 1
+
+
+def bstump_to_dict(model: BStump) -> dict[str, Any]:
+    """Serialise a fitted BStump (with its calibrator) to plain data."""
+    if not model.learners:
+        raise ValueError("cannot serialise an unfitted model")
+    payload: dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "n_rounds": model.config.n_rounds,
+            "early_stop_z": model.config.early_stop_z,
+            "calibrate": model.config.calibrate,
+            "missing_policy": model.config.missing_policy,
+            "max_split_points": model.config.max_split_points,
+        },
+        "n_features": model.n_features_,
+        "learners": [
+            {
+                "feature": learner.stump.feature,
+                "threshold": learner.stump.threshold,
+                "s_lo": learner.stump.s_lo,
+                "s_hi": learner.stump.s_hi,
+                "s_miss": learner.stump.s_miss,
+                "categorical": learner.stump.categorical,
+                "z": learner.stump.z,
+                "round_index": learner.round_index,
+            }
+            for learner in model.learners
+        ],
+    }
+    if model.calibrator is not None:
+        payload["calibrator"] = {"a": model.calibrator.a, "b": model.calibrator.b}
+    return payload
+
+
+def bstump_from_dict(payload: dict[str, Any]) -> BStump:
+    """Rebuild a BStump from :func:`bstump_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version: {version!r}")
+    config = BStumpConfig(**payload["config"])
+    model = BStump(config)
+    model.n_features_ = int(payload["n_features"])
+    model.learners = [
+        WeakLearner(
+            stump=Stump(
+                feature=int(entry["feature"]),
+                threshold=float(entry["threshold"]),
+                s_lo=float(entry["s_lo"]),
+                s_hi=float(entry["s_hi"]),
+                s_miss=float(entry["s_miss"]),
+                categorical=bool(entry["categorical"]),
+                z=float(entry["z"]),
+            ),
+            round_index=int(entry["round_index"]),
+            z=float(entry["z"]),
+        )
+        for entry in payload["learners"]
+    ]
+    model.train_z_ = [learner.z for learner in model.learners]
+    if "calibrator" in payload:
+        calibrator = PlattCalibrator()
+        calibrator.a = float(payload["calibrator"]["a"])
+        calibrator.b = float(payload["calibrator"]["b"])
+        calibrator.fitted_ = True
+        model.calibrator = calibrator
+    return model
+
+
+def save_bstump(model: BStump, path: str | Path) -> None:
+    """Write a fitted model to a JSON file."""
+    Path(path).write_text(json.dumps(bstump_to_dict(model)))
+
+
+def load_bstump(path: str | Path) -> BStump:
+    """Read a model previously written by :func:`save_bstump`."""
+    return bstump_from_dict(json.loads(Path(path).read_text()))

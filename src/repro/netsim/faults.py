@@ -1,0 +1,223 @@
+"""Vectorised fault state and dynamics for the simulated plant.
+
+Each line carries at most one active customer-edge fault at a time (the
+paper notes that when several devices fail, the recorded disposition is the
+device closest to the end host -- modelling the dominant fault captures the
+same observable).  A fault is a reference into the 52-entry disposition
+catalog plus a severity in [0, 1]:
+
+* *hard failures* arrive at severity 1 (service-killing);
+* *degradations* arrive at a small severity and grow week over week;
+* *intermittent* faults may self-clear before anyone acts.
+
+The :meth:`FaultModel.effects` method turns the per-line fault state into
+per-line physical-effect arrays for :class:`repro.netsim.physics.LinePhysics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.components import DispositionArrays, disposition_arrays
+
+__all__ = ["FaultState", "FaultEffects", "FaultModel"]
+
+_FLAG_SEVERITY = 0.25  # severity above which boolean signatures switch on
+
+
+@dataclass
+class FaultState:
+    """Per-line fault bookkeeping (parallel arrays over lines).
+
+    Attributes:
+        disposition: catalog index of the active fault, -1 when healthy.
+        severity: current severity in [0, 1]; 0 when healthy.
+        onset_day: absolute simulation day the fault appeared, -1 if none.
+    """
+
+    disposition: np.ndarray
+    severity: np.ndarray
+    onset_day: np.ndarray
+
+    @classmethod
+    def healthy(cls, n_lines: int) -> "FaultState":
+        """A fully healthy plant of ``n_lines`` lines."""
+        return cls(
+            disposition=np.full(n_lines, -1, dtype=int),
+            severity=np.zeros(n_lines),
+            onset_day=np.full(n_lines, -1, dtype=int),
+        )
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.disposition)
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean mask of lines with an active fault."""
+        return self.disposition >= 0
+
+    def clear(self, lines: np.ndarray) -> None:
+        """Return the given lines to the healthy state."""
+        self.disposition[lines] = -1
+        self.severity[lines] = 0.0
+        self.onset_day[lines] = -1
+
+
+#: Downstream / upstream coupling of a fault's noise and attenuation by
+#: major location.  A defect near the customer end (HN/F2) sits next to the
+#: upstream transmitter and hurts the upstream direction more; a defect at
+#: the DSLAM end (DS) couples into the downstream path; mid-loop plant
+#: (F1) hits both directions alike.  This directional asymmetry is the main
+#: physical clue the trouble locator can learn from line tests alone.
+_LOCATION_DN_FACTOR = np.array([0.75, 0.85, 1.0, 1.30])  # HN, F2, F1, DS
+_LOCATION_UP_FACTOR = np.array([1.35, 1.20, 1.0, 0.70])
+
+
+@dataclass(frozen=True)
+class FaultEffects:
+    """Severity-scaled physical effects per line (inputs to the physics).
+
+    ``noise_db`` / ``atten_db`` are the downstream penalties;
+    ``noise_db_up`` / ``atten_db_up`` the upstream ones (they differ by the
+    fault location's directional coupling).
+    """
+
+    noise_db: np.ndarray
+    noise_db_up: np.ndarray
+    atten_db: np.ndarray
+    atten_db_up: np.ndarray
+    rate_factor: np.ndarray
+    cv_rate: np.ndarray
+    dropout: np.ndarray
+    off_prob: np.ndarray
+    bridge_tap: np.ndarray
+    crosstalk: np.ndarray
+    cells_factor: np.ndarray
+
+
+@dataclass
+class FaultModel:
+    """Samples onsets and evolves fault severities.
+
+    Attributes:
+        rate_scale: global multiplier on all catalog onset rates; lets
+            experiments densify faults without touching the catalog.
+        directional: apply the location-dependent downstream/upstream
+            coupling (the default).  Disabling it makes every fault hit
+            both directions identically -- the ablation that shows how
+            much of the trouble locator's edge comes from directional
+            physics.
+        arrays: the flattened disposition catalog.
+    """
+
+    rate_scale: float = 1.0
+    directional: bool = True
+    arrays: DispositionArrays = field(default_factory=disposition_arrays)
+
+    def __post_init__(self) -> None:
+        if self.rate_scale < 0:
+            raise ValueError("rate_scale must be non-negative")
+        rates = self.arrays.onset_rate * self.rate_scale
+        self._total_rate = float(np.sum(rates))
+        if self._total_rate >= 1.0:
+            raise ValueError(
+                f"scaled weekly onset probability {self._total_rate:.3f} >= 1; "
+                "lower rate_scale"
+            )
+        self._type_probs = (
+            rates / self._total_rate if self._total_rate > 0 else rates
+        )
+
+    @property
+    def weekly_onset_probability(self) -> float:
+        """Probability a healthy line develops some fault this week."""
+        return self._total_rate
+
+    def sample_onsets(
+        self, state: FaultState, rng: np.random.Generator, week_start_day: int
+    ) -> np.ndarray:
+        """Inject this week's new faults into ``state``.
+
+        Only currently healthy lines are eligible.  Returns the indices of
+        the newly faulted lines.
+        """
+        healthy = np.flatnonzero(~state.active)
+        if healthy.size == 0 or self._total_rate == 0:
+            return np.empty(0, dtype=int)
+        struck = healthy[rng.random(healthy.size) < self._total_rate]
+        if struck.size == 0:
+            return struck
+        kinds = rng.choice(self.arrays.n, size=struck.size, p=self._type_probs)
+        state.disposition[struck] = kinds
+        hard = self.arrays.hard_failure[kinds]
+        initial = np.where(hard, 1.0, 0.15 + 0.15 * rng.random(struck.size))
+        state.severity[struck] = initial
+        state.onset_day[struck] = week_start_day + rng.integers(0, 7, size=struck.size)
+        return struck
+
+    def advance_week(self, state: FaultState, rng: np.random.Generator) -> np.ndarray:
+        """Grow severities and apply self-clearing; returns self-cleared lines."""
+        active = np.flatnonzero(state.active)
+        if active.size == 0:
+            return active
+        kinds = state.disposition[active]
+        growth = self.arrays.severity_growth[kinds]
+        state.severity[active] = np.clip(state.severity[active] + growth, 0.0, 1.0)
+        clears = active[rng.random(active.size) < self.arrays.self_clear[kinds]]
+        state.clear(clears)
+        return clears
+
+    def effects(self, state: FaultState) -> FaultEffects:
+        """Severity-scaled per-line physical effects of the current faults."""
+        n = state.n_lines
+        noise_dn = np.zeros(n)
+        noise_up = np.zeros(n)
+        atten_dn = np.zeros(n)
+        atten_up = np.zeros(n)
+        rate_factor = np.ones(n)
+        cv = np.zeros(n)
+        dropout = np.zeros(n)
+        off = np.zeros(n)
+        bt = np.zeros(n, dtype=bool)
+        xt = np.zeros(n, dtype=bool)
+        cells = np.ones(n)
+
+        active = np.flatnonzero(state.active)
+        if active.size:
+            kinds = state.disposition[active]
+            sev = state.severity[active]
+            locations = self.arrays.location[kinds]
+            if self.directional:
+                dn = _LOCATION_DN_FACTOR[locations]
+                up = _LOCATION_UP_FACTOR[locations]
+            else:
+                dn = np.ones(active.size)
+                up = np.ones(active.size)
+            noise_dn[active] = self.arrays.noise_db[kinds] * sev * dn
+            noise_up[active] = self.arrays.noise_db[kinds] * sev * up
+            atten_dn[active] = self.arrays.atten_db[kinds] * sev * dn
+            atten_up[active] = self.arrays.atten_db[kinds] * sev * up
+            rate_factor[active] = 1.0 - sev * (1.0 - self.arrays.rate_factor[kinds])
+            cv[active] = self.arrays.cv_rate[kinds] * sev
+            dropout[active] = self.arrays.dropout[kinds] * sev
+            off[active] = self.arrays.off_prob[kinds] * sev
+            flags_on = sev >= _FLAG_SEVERITY
+            bt[active] = self.arrays.sets_bt[kinds] & flags_on
+            xt[active] = self.arrays.sets_crosstalk[kinds] & flags_on
+            cells[active] = 1.0 - sev * (1.0 - self.arrays.cells_factor[kinds])
+        return FaultEffects(
+            noise_db=noise_dn,
+            noise_db_up=noise_up,
+            atten_db=atten_dn,
+            atten_db_up=atten_up,
+            rate_factor=rate_factor,
+            cv_rate=cv,
+            dropout=dropout,
+            off_prob=off,
+            bridge_tap=bt,
+            crosstalk=xt,
+            cells_factor=cells,
+        )

@@ -1,0 +1,200 @@
+"""Subscriber population builder.
+
+Generates a plant of ``n_lines`` subscribers spread over DSLAMs (several
+tens of lines each, per Section 2.1) and BRAS servers, with:
+
+* loop lengths drawn from a right-skewed distribution (a gamma fit to the
+  1-18 kft range of real copper plants);
+* service tiers assigned by popularity but *provision-checked* against the
+  loop: customers on loops beyond a tier's reach are usually provisioned a
+  slower tier, with a small misprovisioning rate that leaves some lines
+  born marginal (the natural candidates for the paper's "reduce speed to
+  stabilize the line" disposition);
+* per-line ambient noise and static bridge-tap / crosstalk flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.physics import LoopConditions
+from repro.netsim.profiles import PROFILES
+from repro.netsim.topology import Bras, Dslam, Topology
+
+__all__ = ["PopulationConfig", "Population", "build_population"]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs of the population generator.
+
+    Attributes:
+        n_lines: total subscriber count.
+        mean_lines_per_dslam: average DSLAM fill ("several tens").
+        dslams_per_bras: DSLAMs aggregated under each BRAS.
+        loop_shape, loop_scale_kft: gamma parameters of the loop-length
+            distribution (shape 2.2, scale 2.6 gives a 5.7 kft mean with a
+            long tail past 15 kft).
+        misprovision_rate: probability a customer keeps a tier their loop
+            cannot support instead of being bumped down.
+        ambient_noise_sigma_db: spread of the per-line environmental noise
+            penalty (half-normal).
+        static_bridge_tap_rate: fraction of loops built with a legacy
+            bridge tap.
+        static_crosstalk_rate: fraction of loops in high-crosstalk binders.
+        seed: generator seed for reproducibility.
+    """
+
+    n_lines: int = 10_000
+    mean_lines_per_dslam: int = 48
+    dslams_per_bras: int = 60
+    loop_shape: float = 2.2
+    loop_scale_kft: float = 2.6
+    misprovision_rate: float = 0.05
+    ambient_noise_sigma_db: float = 1.5
+    static_bridge_tap_rate: float = 0.06
+    static_crosstalk_rate: float = 0.08
+    seed: int = 7
+
+
+@dataclass
+class Population:
+    """A generated subscriber base, as parallel arrays plus the topology.
+
+    All arrays are indexed by line id in ``[0, n_lines)``.
+    """
+
+    config: PopulationConfig
+    topology: Topology
+    loop_kft: np.ndarray
+    profile_idx: np.ndarray
+    ambient_noise_db: np.ndarray
+    static_bridge_tap: np.ndarray
+    static_crosstalk: np.ndarray
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.loop_kft)
+
+    @property
+    def dslam_idx(self) -> np.ndarray:
+        return self.topology.line_dslam
+
+    @property
+    def bras_idx(self) -> np.ndarray:
+        return self.topology.line_bras
+
+    @property
+    def profile_down_kbps(self) -> np.ndarray:
+        return np.array([PROFILES[i].down_kbps for i in self.profile_idx])
+
+    @property
+    def profile_up_kbps(self) -> np.ndarray:
+        return np.array([PROFILES[i].up_kbps for i in self.profile_idx])
+
+    def conditions(self) -> LoopConditions:
+        """Bundle the static plant state for the physics layer."""
+        down = np.array([p.down_kbps for p in PROFILES])[self.profile_idx]
+        up = np.array([p.up_kbps for p in PROFILES])[self.profile_idx]
+        return LoopConditions(
+            loop_kft=self.loop_kft,
+            profile_down_kbps=down,
+            profile_up_kbps=up,
+            ambient_noise_db=self.ambient_noise_db,
+            static_bridge_tap=self.static_bridge_tap,
+            static_crosstalk=self.static_crosstalk,
+        )
+
+
+def build_population(config: PopulationConfig | None = None) -> Population:
+    """Generate a population from ``config`` (or the defaults)."""
+    config = config or PopulationConfig()
+    if config.n_lines <= 0:
+        raise ValueError("n_lines must be positive")
+    if config.mean_lines_per_dslam <= 0:
+        raise ValueError("mean_lines_per_dslam must be positive")
+    rng = np.random.default_rng(config.seed)
+    n = config.n_lines
+
+    loop_kft = rng.gamma(config.loop_shape, config.loop_scale_kft, size=n)
+    loop_kft = np.clip(loop_kft, 0.3, 22.0)
+
+    popularity = np.array([p.popularity for p in PROFILES])
+    popularity = popularity / popularity.sum()
+    desired = rng.choice(len(PROFILES), size=n, p=popularity)
+
+    # Provisioning: bump customers down to the fastest tier their loop
+    # supports, except for a small misprovisioned fraction.
+    max_reach = np.array([p.max_loop_kft for p in PROFILES])
+    profile_idx = desired.copy()
+    keep_anyway = rng.random(n) < config.misprovision_rate
+    for i in range(n):
+        if loop_kft[i] <= max_reach[profile_idx[i]] or keep_anyway[i]:
+            continue
+        supported = np.flatnonzero(max_reach >= loop_kft[i])
+        if supported.size:
+            # Fastest supportable tier at or below the desired one.
+            candidates = supported[supported <= profile_idx[i]]
+            profile_idx[i] = int(candidates.max()) if candidates.size else int(supported.min())
+        else:
+            profile_idx[i] = 0  # even basic is marginal on this loop
+
+    ambient = np.abs(rng.normal(0.0, config.ambient_noise_sigma_db, size=n))
+    static_bt = rng.random(n) < config.static_bridge_tap_rate
+    static_xt = rng.random(n) < config.static_crosstalk_rate
+
+    topology = _build_topology(n, config, rng)
+    return Population(
+        config=config,
+        topology=topology,
+        loop_kft=loop_kft,
+        profile_idx=profile_idx,
+        ambient_noise_db=ambient,
+        static_bridge_tap=static_bt,
+        static_crosstalk=static_xt,
+    )
+
+
+def _build_topology(n: int, config: PopulationConfig, rng: np.random.Generator) -> Topology:
+    """Assign lines to DSLAMs (variable fill) and DSLAMs to BRAS servers."""
+    fills: list[int] = []
+    remaining = n
+    while remaining > 0:
+        fill = int(np.clip(rng.normal(config.mean_lines_per_dslam,
+                                      config.mean_lines_per_dslam * 0.25), 8, None))
+        fill = min(fill, remaining)
+        fills.append(fill)
+        remaining -= fill
+
+    line_ids = rng.permutation(n)
+    line_dslam = np.empty(n, dtype=int)
+    dslams: list[Dslam] = []
+    cursor = 0
+    n_dslams = len(fills)
+    for dslam_id, fill in enumerate(fills):
+        members = np.sort(line_ids[cursor:cursor + fill])
+        cursor += fill
+        bras_id = dslam_id // config.dslams_per_bras
+        geo = dslam_id % max(1, n_dslams // 4 or 1)
+        dslams.append(Dslam(dslam_id=dslam_id, bras_id=bras_id, geo=geo,
+                            line_ids=members))
+        line_dslam[members] = dslam_id
+
+    n_brases = (n_dslams + config.dslams_per_bras - 1) // config.dslams_per_bras
+    brases = [
+        Bras(
+            bras_id=b,
+            dslam_ids=np.array(
+                [d.dslam_id for d in dslams if d.bras_id == b], dtype=int
+            ),
+        )
+        for b in range(n_brases)
+    ]
+    line_bras = np.array([dslams[d].bras_id for d in line_dslam], dtype=int)
+    topology = Topology(
+        brases=brases, dslams=dslams, line_dslam=line_dslam, line_bras=line_bras
+    )
+    topology.validate()
+    return topology

@@ -1,0 +1,135 @@
+"""Subscriber service profiles.
+
+Section 3.3 of the paper: *"Subscriber Profiles ... specify the parameters
+(or expected values of the line features) for individual DSL lines, which
+depend on the type and level of service that a customer has subscribed
+for"*.  The paper's two examples -- a basic profile at 768/384 kbps and an
+advanced profile at 2.5 Mbps / 768 kbps -- anchor the catalog below; the
+other tiers fill out the speed ladder a 2009-era ADSL/ADSL2+ provider
+offered.
+
+Profiles matter twice:
+
+* the *plant simulator* uses them as the provisioned sync-rate targets, and
+  lines whose loop cannot physically sustain the profile show degraded
+  features (the paper's 15 kft loop-length rule-of-thumb);
+* the *feature encoder* divides basic features by the profile expectation
+  to form the Table-3 "Profile" customer features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServiceProfile", "PROFILES", "profile_by_name", "PROFILE_NAMES"]
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """One service tier.
+
+    Attributes:
+        name: marketing name of the tier.
+        down_kbps: provisioned downstream sync rate.
+        up_kbps: provisioned upstream sync rate.
+        min_down_kbps: minimum acceptable downstream rate; agents escalate
+            tickets when the measured rate falls below this (Section 3.3's
+            manual-rule example).
+        min_up_kbps: minimum acceptable upstream rate.
+        target_noise_margin_db: noise margin the DSLAM profile targets.
+        max_loop_kft: loop length beyond which this tier is generally not
+            supportable (the 15 kft expert rule generalised per tier).
+        popularity: relative share of the subscriber base on this tier.
+    """
+
+    name: str
+    down_kbps: float
+    up_kbps: float
+    min_down_kbps: float
+    min_up_kbps: float
+    target_noise_margin_db: float
+    max_loop_kft: float
+    popularity: float
+
+    @property
+    def expected_relative_capacity(self) -> float:
+        """Healthy-line relative capacity (used rate / attainable rate).
+
+        Operators escalate above 0.92 (Section 3.3): a healthy line should
+        have attainable headroom over its provisioned rate.
+        """
+        return 0.75
+
+
+# The speed ladder.  Popularities sum to 1 and skew toward the low tiers,
+# matching a 2009 subscriber mix.
+PROFILES: tuple[ServiceProfile, ...] = (
+    ServiceProfile(
+        name="basic",
+        down_kbps=768.0,
+        up_kbps=384.0,
+        min_down_kbps=512.0,
+        min_up_kbps=256.0,
+        target_noise_margin_db=12.0,
+        max_loop_kft=17.0,
+        popularity=0.34,
+    ),
+    ServiceProfile(
+        name="express",
+        down_kbps=1536.0,
+        up_kbps=384.0,
+        min_down_kbps=1024.0,
+        min_up_kbps=256.0,
+        target_noise_margin_db=10.0,
+        max_loop_kft=14.0,
+        popularity=0.28,
+    ),
+    ServiceProfile(
+        name="pro",
+        down_kbps=2560.0,
+        up_kbps=768.0,
+        min_down_kbps=1792.0,
+        min_up_kbps=512.0,
+        target_noise_margin_db=9.0,
+        max_loop_kft=11.0,
+        popularity=0.22,
+    ),
+    ServiceProfile(
+        name="elite",
+        down_kbps=6016.0,
+        up_kbps=768.0,
+        min_down_kbps=4096.0,
+        min_up_kbps=512.0,
+        target_noise_margin_db=8.0,
+        max_loop_kft=8.0,
+        popularity=0.12,
+    ),
+    ServiceProfile(
+        name="max-turbo",
+        down_kbps=10240.0,
+        up_kbps=1024.0,
+        min_down_kbps=7168.0,
+        min_up_kbps=768.0,
+        target_noise_margin_db=6.0,
+        max_loop_kft=5.5,
+        popularity=0.04,
+    ),
+)
+
+PROFILE_NAMES: tuple[str, ...] = tuple(p.name for p in PROFILES)
+
+_BY_NAME = {p.name: p for p in PROFILES}
+
+
+def profile_by_name(name: str) -> ServiceProfile:
+    """Look up a profile by its tier name.
+
+    Raises:
+        KeyError: if the name is not a known tier.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; known tiers: {', '.join(PROFILE_NAMES)}"
+        ) from None

@@ -1,0 +1,128 @@
+"""Canned plant scenarios.
+
+The paper's network spans "many different geo-locations" whose plants age
+and misbehave differently.  These presets bundle coherent parameter sets
+so experiments and examples can say *what kind* of plant they run on
+instead of hand-tuning a dozen knobs:
+
+* ``suburban``   -- the default mixed plant;
+* ``urban``      -- short loops, dense binders (crosstalk), fast tiers;
+* ``rural``      -- long loops, many marginal basic-profile lines;
+* ``storm_season`` -- elevated outside-plant (F2/F1) fault pressure and
+  outage rate, the weeks after severe weather;
+* ``outage_prone`` -- degrading DSLAM fleet, for Table-5-style analyses.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.population import PopulationConfig
+from repro.netsim.simulator import SimulationConfig
+from repro.tickets.customers import CustomerConfig
+from repro.tickets.outage import OutageConfig
+
+__all__ = ["SCENARIOS", "scenario", "scenario_names"]
+
+
+def _suburban(n_lines: int, n_weeks: int, seed: int) -> SimulationConfig:
+    """The balanced default plant (what the test suite and benches use)."""
+    return SimulationConfig(
+        n_weeks=n_weeks,
+        population=PopulationConfig(n_lines=n_lines, seed=seed),
+        fault_rate_scale=3.0,
+        seed=seed,
+    )
+
+
+def _urban(n_lines: int, n_weeks: int, seed: int) -> SimulationConfig:
+    """Short loops, crowded binders: fast tiers, more crosstalk, fewer
+    reach problems but plenty of in-building (HN) failures."""
+    return SimulationConfig(
+        n_weeks=n_weeks,
+        population=PopulationConfig(
+            n_lines=n_lines,
+            seed=seed,
+            loop_shape=2.0,
+            loop_scale_kft=1.6,          # ~3.2 kft mean
+            static_crosstalk_rate=0.22,  # dense binders
+            static_bridge_tap_rate=0.03,
+            mean_lines_per_dslam=64,
+        ),
+        fault_rate_scale=3.0,
+        seed=seed,
+    )
+
+
+def _rural(n_lines: int, n_weeks: int, seed: int) -> SimulationConfig:
+    """Long copper: many loops past the 15 kft rule, marginal margins,
+    lots of speed-downgrade candidates."""
+    return SimulationConfig(
+        n_weeks=n_weeks,
+        population=PopulationConfig(
+            n_lines=n_lines,
+            seed=seed,
+            loop_shape=3.2,
+            loop_scale_kft=3.4,          # ~10.9 kft mean, heavy tail
+            misprovision_rate=0.10,
+            mean_lines_per_dslam=24,     # sparse DSLAMs
+        ),
+        fault_rate_scale=3.0,
+        seed=seed,
+    )
+
+
+def _storm_season(n_lines: int, n_weeks: int, seed: int) -> SimulationConfig:
+    """After severe weather: outside plant (drops, splices, buried wire)
+    fails at several times the base rate and outages spike."""
+    return SimulationConfig(
+        n_weeks=n_weeks,
+        population=PopulationConfig(n_lines=n_lines, seed=seed),
+        outages=OutageConfig(weekly_rate=0.03, max_days=4, seed=seed),
+        fault_rate_scale=6.0,
+        seed=seed,
+    )
+
+
+def _outage_prone(n_lines: int, n_weeks: int, seed: int) -> SimulationConfig:
+    """A degrading DSLAM fleet: frequent outages with long degradation
+    precursors -- the regime of the paper's Table-5 analysis."""
+    return SimulationConfig(
+        n_weeks=n_weeks,
+        population=PopulationConfig(n_lines=n_lines, seed=seed),
+        outages=OutageConfig(
+            weekly_rate=0.05, precursor_weeks=3, precursor_noise_db=6.0,
+            seed=seed,
+        ),
+        fault_rate_scale=3.0,
+        seed=seed,
+    )
+
+
+SCENARIOS = {
+    "suburban": _suburban,
+    "urban": _urban,
+    "rural": _rural,
+    "storm_season": _storm_season,
+    "outage_prone": _outage_prone,
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All available scenario presets."""
+    return tuple(SCENARIOS)
+
+
+def scenario(
+    name: str, n_lines: int = 5000, n_weeks: int = 22, seed: int = 101
+) -> SimulationConfig:
+    """A :class:`SimulationConfig` for the named scenario preset.
+
+    Raises:
+        KeyError: for unknown scenario names.
+    """
+    try:
+        build = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+    return build(n_lines, n_weeks, seed)

@@ -1,0 +1,113 @@
+"""Object model of the DSL access network hierarchy (Fig. 1).
+
+The hierarchy is: BRAS -> ATM switch -> DSLAM -> dedicated copper line ->
+customer home network.  The ATM layer is transparent to everything the
+paper measures, so we keep BRAS and DSLAM as the two aggregation levels
+(the paper's outage analysis operates on DSLAMs and the traffic analysis
+on BRAS servers).
+
+The heavy per-line state lives in :class:`repro.netsim.population.Population`
+as parallel numpy arrays; this module provides the id-and-membership view
+used for grouping, reporting and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Line", "Dslam", "Bras", "Topology"]
+
+
+@dataclass(frozen=True)
+class Line:
+    """A dedicated subscriber loop.
+
+    Attributes:
+        line_id: index of this line in all population arrays.
+        dslam_id: serving DSLAM index.
+        bras_id: upstream BRAS index.
+        loop_kft: working loop length in kilofeet.
+        profile: service-tier name.
+    """
+
+    line_id: int
+    dslam_id: int
+    bras_id: int
+    loop_kft: float
+    profile: str
+
+
+@dataclass(frozen=True)
+class Dslam:
+    """A DSL access multiplexer terminating several tens of lines.
+
+    Attributes:
+        dslam_id: index of this DSLAM.
+        bras_id: upstream BRAS index.
+        geo: coarse geolocation bucket (used only for reporting).
+        line_ids: indices of the lines this DSLAM serves.
+    """
+
+    dslam_id: int
+    bras_id: int
+    geo: int
+    line_ids: np.ndarray
+
+
+@dataclass(frozen=True)
+class Bras:
+    """A broadband remote access server aggregating many DSLAMs."""
+
+    bras_id: int
+    dslam_ids: np.ndarray
+
+
+@dataclass
+class Topology:
+    """The assembled hierarchy with id-based lookups."""
+
+    brases: list[Bras] = field(default_factory=list)
+    dslams: list[Dslam] = field(default_factory=list)
+    line_dslam: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    line_bras: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.line_dslam)
+
+    @property
+    def n_dslams(self) -> int:
+        return len(self.dslams)
+
+    @property
+    def n_brases(self) -> int:
+        return len(self.brases)
+
+    def lines_of_dslam(self, dslam_id: int) -> np.ndarray:
+        """Line indices served by a DSLAM."""
+        return self.dslams[dslam_id].line_ids
+
+    def lines_of_bras(self, bras_id: int) -> np.ndarray:
+        """Line indices aggregated under a BRAS."""
+        return np.flatnonzero(self.line_bras == bras_id)
+
+    def validate(self) -> None:
+        """Check referential integrity; raises ValueError on any breakage."""
+        n = self.n_lines
+        seen = np.zeros(n, dtype=bool)
+        for dslam in self.dslams:
+            if dslam.bras_id < 0 or dslam.bras_id >= self.n_brases:
+                raise ValueError(f"DSLAM {dslam.dslam_id} references bad BRAS")
+            if np.any(seen[dslam.line_ids]):
+                raise ValueError("a line is served by two DSLAMs")
+            seen[dslam.line_ids] = True
+            if np.any(self.line_dslam[dslam.line_ids] != dslam.dslam_id):
+                raise ValueError("line_dslam disagrees with DSLAM membership")
+        if not np.all(seen):
+            raise ValueError("some lines are not served by any DSLAM")
+        for bras in self.brases:
+            for d in bras.dslam_ids:
+                if self.dslams[int(d)].bras_id != bras.bras_id:
+                    raise ValueError("BRAS membership disagrees with DSLAM uplink")

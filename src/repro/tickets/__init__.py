@@ -1,0 +1,45 @@
+"""Customer-care simulation: tickets, outages, IVR and dispatches.
+
+This package models the reactive side of Fig. 3 (top box):
+
+* :mod:`repro.tickets.customers` -- who the subscribers are: usage
+  intensity, tolerance, vacation (not-on-site) episodes, and the weekly
+  reporting seasonality (tickets peak on Monday, Section 3.3);
+* :mod:`repro.tickets.ticketing` -- trouble tickets and the ticket log;
+* :mod:`repro.tickets.outage` -- DSLAM outage events with degradation
+  precursors, and the IVR system that absorbs calls during outages
+  (Section 5.2's first incorrect-prediction scenario);
+* :mod:`repro.tickets.dispatch` -- ATDS and the field technicians: remote
+  resolutions, truck rolls, noisy disposition notes, occasional failed
+  fixes that cause repeat tickets.
+"""
+
+from repro.tickets.customers import CustomerBehavior, CustomerConfig, build_customers
+from repro.tickets.dispatch import AtdsConfig, DispatchRecord, Dispatcher
+from repro.tickets.outage import OutageConfig, OutageEvent, OutageSchedule
+from repro.tickets.ticketing import (
+    DAY_OF_WEEK_WEIGHTS,
+    IvrCall,
+    Ticket,
+    TicketCategory,
+    TicketLog,
+    TicketSource,
+)
+
+__all__ = [
+    "CustomerBehavior",
+    "CustomerConfig",
+    "build_customers",
+    "AtdsConfig",
+    "DispatchRecord",
+    "Dispatcher",
+    "OutageConfig",
+    "OutageEvent",
+    "OutageSchedule",
+    "DAY_OF_WEEK_WEIGHTS",
+    "IvrCall",
+    "Ticket",
+    "TicketCategory",
+    "TicketLog",
+    "TicketSource",
+]

@@ -1,0 +1,128 @@
+"""Customer churn model (the paper's motivating business metric).
+
+The paper's introduction and conclusion motivate NEVERMIND with churn:
+*"a lengthy resolution can lead to customer dissatisfaction and ultimately
+lead to churn, i.e., customers terminating their contracts"*, and
+unnecessary repeat tickets are *"a noticeable contributor to the increase
+in churn"*.  The evaluation never quantifies churn (the trial had not run
+long enough), so this module is an extension: a simple dissatisfaction
+hazard that turns the simulator's ground truth into the business outcome
+the paper argues about.
+
+Model: each customer accumulates dissatisfaction from (a) days living with
+an unresolved perceivable problem and (b) each repeat ticket for the same
+fault; dissatisfaction maps to a weekly churn hazard through a logistic
+link.  Comparing a reactive run against a proactive (pipeline) run of the
+same seed estimates the churn avoided by fixing problems early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.components import disposition_arrays
+from repro.netsim.simulator import SimulationResult
+from repro.tickets.ticketing import TicketSource
+
+__all__ = ["ChurnConfig", "ChurnReport", "estimate_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Dissatisfaction-to-churn parameters.
+
+    Attributes:
+        base_weekly_hazard: churn probability per customer-week with zero
+            dissatisfaction (plan changes, moves, ...).
+        problem_day_weight: dissatisfaction per day spent with an active,
+            perceivable problem.
+        repeat_ticket_weight: dissatisfaction per ticket beyond the first
+            for the same fault episode.
+        hazard_scale: converts dissatisfaction into added log-odds of
+            churning in a given week.
+    """
+
+    base_weekly_hazard: float = 0.0008
+    problem_day_weight: float = 0.02
+    repeat_ticket_weight: float = 0.5
+    hazard_scale: float = 0.35
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Churn estimate for one simulation run.
+
+    Attributes:
+        expected_churners: expected number of customers lost over the run.
+        churn_rate: expected_churners / population.
+        dissatisfaction: per-line accumulated dissatisfaction score.
+        problem_days: per-line days spent with an active perceivable fault.
+        repeat_tickets: per-line count of repeat customer tickets.
+    """
+
+    expected_churners: float
+    churn_rate: float
+    dissatisfaction: np.ndarray
+    problem_days: np.ndarray
+    repeat_tickets: np.ndarray
+
+
+def estimate_churn(
+    result: SimulationResult, config: ChurnConfig | None = None
+) -> ChurnReport:
+    """Estimate expected churn from a finished simulation.
+
+    Deterministic given the simulation output: returns the *expected*
+    churner count under the hazard model rather than sampling, so
+    reactive-vs-proactive comparisons are noise-free.
+    """
+    config = config or ChurnConfig()
+    n = result.n_lines
+    n_weeks = result.config.n_weeks
+    end_day = n_weeks * 7
+    perceive = disposition_arrays().perceivability
+
+    problem_days = np.zeros(n)
+    for event in result.fault_events:
+        cleared = event.cleared_day if event.cleared_day >= 0 else end_day
+        duration = max(0, cleared - event.onset_day)
+        # Weight problem-days by how noticeable the fault class is: a dead
+        # line hurts every day, slow browsing hurts less.
+        problem_days[event.line_id] += duration * perceive[event.disposition]
+
+    repeat_tickets = np.zeros(n)
+    seen: dict[tuple[int, int], int] = {}
+    for ticket in result.ticket_log.tickets:
+        if ticket.source is not TicketSource.CUSTOMER:
+            continue
+        if ticket.fault_disposition < 0:
+            continue
+        key = (ticket.line_id, ticket.fault_onset_day)
+        seen[key] = seen.get(key, 0) + 1
+    for (line_id, _), count in seen.items():
+        if count > 1:
+            repeat_tickets[line_id] += count - 1
+
+    dissatisfaction = (
+        config.problem_day_weight * problem_days
+        + config.repeat_ticket_weight * repeat_tickets
+    )
+
+    base_logit = np.log(
+        config.base_weekly_hazard / (1.0 - config.base_weekly_hazard)
+    )
+    weekly_hazard = 1.0 / (
+        1.0 + np.exp(-(base_logit + config.hazard_scale * dissatisfaction))
+    )
+    survive = (1.0 - weekly_hazard) ** n_weeks
+    churn_prob = 1.0 - survive
+    expected = float(np.sum(churn_prob))
+    return ChurnReport(
+        expected_churners=expected,
+        churn_rate=expected / n,
+        dissatisfaction=dissatisfaction,
+        problem_days=problem_days,
+        repeat_tickets=repeat_tickets,
+    )

@@ -1,0 +1,200 @@
+"""ATDS and the field-technician workforce.
+
+Section 3.1: tickets the agents cannot close are escalated to ATDS
+(Automatic Testing and Dispatching System), which either resolves them
+remotely (configuration changes, modem reorders) or schedules a truck
+roll.  The field technician's disposition note is the paper's ground
+truth for the trouble locator -- and the paper warns it "can be very
+noisy", which we model explicitly:
+
+* a fraction of notes carry the wrong disposition, usually another
+  disposition at the same major location (mistaking one corroded wire for
+  another), occasionally a different location entirely;
+* a fraction of dispatches fail to actually fix the fault, producing the
+  repeat tickets the Table-3 "Ticket" feature exists to capture;
+* dispatches for lines that turn out healthy (self-cleared faults, false
+  predictions) close as "no trouble found" and record no disposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.components import DISPOSITIONS, disposition_arrays
+
+__all__ = ["AtdsConfig", "DispatchRecord", "Dispatcher"]
+
+
+@dataclass(frozen=True)
+class AtdsConfig:
+    """ATDS behaviour parameters.
+
+    Attributes:
+        remote_fix_rate: fraction of edge tickets resolved without a truck
+            roll (software help, profile change, modem reorder).
+        min_delay_days, max_delay_days: report-to-resolution delay range.
+        disposition_noise: probability the recorded disposition is wrong.
+        same_location_given_noise: given a wrong code, probability it at
+            least names the correct major location.
+        failed_fix_rate: probability the dispatch does not actually clear
+            the fault (leads to repeat tickets).
+        weekly_capacity: proactive (NEVERMIND) dispatches ATDS can absorb
+            per week *after* serving customer tickets; customer tickets
+            always have priority (Section 3.2).
+    """
+
+    remote_fix_rate: float = 0.22
+    min_delay_days: int = 1
+    max_delay_days: int = 3
+    disposition_noise: float = 0.12
+    same_location_given_noise: float = 0.8
+    failed_fix_rate: float = 0.08
+    weekly_capacity: int = 400
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """Outcome of one ATDS action (remote fix or truck roll).
+
+    Attributes:
+        ticket_id: the ticket this dispatch served.
+        line_id: the subscriber line.
+        day: resolution day (absolute).
+        truck_roll: whether a field technician was dispatched.
+        true_disposition: catalog index of the actual fault, -1 if the
+            line was healthy at dispatch time.
+        recorded_disposition: technician's disposition note (catalog
+            index), -1 for "no trouble found" or remote closures without
+            a code.
+        fixed: whether the fault was actually cleared.
+    """
+
+    ticket_id: int
+    line_id: int
+    day: int
+    truck_roll: bool
+    true_disposition: int
+    recorded_disposition: int
+    fixed: bool
+
+
+@dataclass
+class Dispatcher:
+    """Resolves tickets into dispatch records with noisy dispositions."""
+
+    config: AtdsConfig = field(default_factory=AtdsConfig)
+    records: list[DispatchRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        arrays = disposition_arrays()
+        self._locations = arrays.location
+        self._by_location: dict[int, np.ndarray] = {
+            loc: np.flatnonzero(arrays.location == loc)
+            for loc in np.unique(arrays.location)
+        }
+        self._n_dispositions = arrays.n
+
+    def record_disposition(self, true_disposition: int, rng: np.random.Generator) -> int:
+        """Sample the technician's (possibly wrong) disposition note."""
+        if true_disposition < 0:
+            return -1
+        if rng.random() >= self.config.disposition_noise:
+            return int(true_disposition)
+        location = int(self._locations[true_disposition])
+        if rng.random() < self.config.same_location_given_noise:
+            candidates = self._by_location[location]
+        else:
+            candidates = np.flatnonzero(self._locations != location)
+        candidates = candidates[candidates != true_disposition]
+        if candidates.size == 0:
+            return int(true_disposition)
+        return int(rng.choice(candidates))
+
+    def resolve(
+        self,
+        ticket_id: int,
+        line_id: int,
+        report_day: int,
+        true_disposition: int,
+        rng: np.random.Generator,
+    ) -> DispatchRecord:
+        """Resolve one ticket and append the dispatch record.
+
+        Returns the record; callers clear the plant fault when
+        ``record.fixed`` is True (on ``record.day``).
+        """
+        delay = int(
+            rng.integers(self.config.min_delay_days, self.config.max_delay_days + 1)
+        )
+        day = report_day + delay
+        if true_disposition < 0:
+            record = DispatchRecord(
+                ticket_id=ticket_id,
+                line_id=line_id,
+                day=day,
+                truck_roll=False,
+                true_disposition=-1,
+                recorded_disposition=-1,
+                fixed=True,
+            )
+            self.records.append(record)
+            return record
+
+        remote = rng.random() < self.config.remote_fix_rate
+        fixed = rng.random() >= self.config.failed_fix_rate
+        recorded = (
+            self.record_disposition(true_disposition, rng) if fixed else -1
+        )
+        record = DispatchRecord(
+            ticket_id=ticket_id,
+            line_id=line_id,
+            day=day,
+            truck_roll=not remote,
+            true_disposition=int(true_disposition),
+            recorded_disposition=recorded,
+            fixed=fixed,
+        )
+        self.records.append(record)
+        return record
+
+    # ----- analysis views -------------------------------------------------
+
+    def disposition_counts(self) -> np.ndarray:
+        """Recorded-disposition histogram over the catalog."""
+        counts = np.zeros(self._n_dispositions, dtype=int)
+        for record in self.records:
+            if record.recorded_disposition >= 0:
+                counts[record.recorded_disposition] += 1
+        return counts
+
+    def location_counts(self) -> np.ndarray:
+        """Recorded dispatches per major location (HN, F2, F1, DS)."""
+        counts = np.zeros(4, dtype=int)
+        for record in self.records:
+            if record.recorded_disposition >= 0:
+                counts[self._locations[record.recorded_disposition]] += 1
+        return counts
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate dispatch statistics."""
+        n = len(self.records)
+        if n == 0:
+            return {"dispatches": 0, "truck_rolls": 0, "no_trouble_found": 0,
+                    "failed_fixes": 0}
+        return {
+            "dispatches": n,
+            "truck_rolls": sum(r.truck_roll for r in self.records),
+            "no_trouble_found": sum(
+                r.true_disposition < 0 for r in self.records
+            ),
+            "failed_fixes": sum(not r.fixed for r in self.records),
+        }
+
+    @staticmethod
+    def disposition_name(index: int) -> str:
+        """Human-readable name of a catalog disposition index."""
+        if index < 0:
+            return "no trouble found"
+        return DISPOSITIONS[index].name

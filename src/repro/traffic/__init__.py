@@ -1,0 +1,5 @@
+"""Per-customer traffic observation (the BRAS byte counts of Section 5.2)."""
+
+from repro.traffic.usage import TrafficConfig, TrafficLog, TrafficModel
+
+__all__ = ["TrafficConfig", "TrafficLog", "TrafficModel"]

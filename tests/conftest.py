@@ -1,0 +1,62 @@
+"""Shared fixtures: one small simulated world reused across test modules.
+
+The simulation is deterministic (seeded) and session-scoped, so the test
+suite pays for it once.  Keep the scale small here -- benchmarks own the
+realistic scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DslSimulator,
+    PopulationConfig,
+    SimulationConfig,
+    paper_style_split,
+)
+
+
+@pytest.fixture(scope="session")
+def small_result():
+    """A 2,500-line, 20-week simulated world with densified faults."""
+    config = SimulationConfig(
+        n_weeks=20,
+        population=PopulationConfig(n_lines=2500, seed=5),
+        fault_rate_scale=4.0,
+        seed=99,
+    )
+    return DslSimulator(config).run()
+
+
+@pytest.fixture(scope="session")
+def locator_world():
+    """A dispatch-dense world for the trouble-locator comparisons.
+
+    The basic-vs-learned locator gap is variance-dominated below ~1,000
+    training dispatches, so these tests get a denser plant than
+    ``small_result``.
+    """
+    config = SimulationConfig(
+        n_weeks=22,
+        population=PopulationConfig(n_lines=4000, seed=8),
+        fault_rate_scale=6.0,
+        seed=17,
+    )
+    return DslSimulator(config).run()
+
+
+@pytest.fixture(scope="session")
+def small_split(small_result):
+    """A paper-style split matching the small world's horizon."""
+    return paper_style_split(
+        small_result.config.n_weeks, history=6, train=3, selection=2, test=2,
+        horizon_weeks=3,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,105 @@
+"""Tests for capacity-planning economics (repro.core.capacity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import PredictionOutcome
+from repro.core.capacity import CapacityEconomics, optimal_capacity, value_curve
+
+
+def outcome_from_hits(hits):
+    hits = np.asarray(hits, dtype=bool)
+    return PredictionOutcome(
+        week=0,
+        day=5,
+        ranked_lines=np.arange(len(hits)),
+        hits=hits,
+        delays=np.where(hits, 3, -1),
+    )
+
+
+def declining_precision_outcome(rng, n=2000, top_precision=0.6, decay=500.0):
+    """Hits whose local precision decays geometrically with rank."""
+    ranks = np.arange(n)
+    p = top_precision * np.exp(-ranks / decay)
+    return outcome_from_hits(rng.random(n) < p)
+
+
+class TestEconomicsValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityEconomics(dispatch_cost=0.0)
+        with pytest.raises(ValueError):
+            CapacityEconomics(avoided_ticket_value=-1.0)
+        with pytest.raises(ValueError):
+            CapacityEconomics(smoothing_window=0)
+
+
+class TestValueCurve:
+    def test_all_hits_grow_linearly(self):
+        outcome = outcome_from_hits(np.ones(10))
+        econ = CapacityEconomics(dispatch_cost=1.0, avoided_ticket_value=4.0)
+        curve = value_curve([outcome], econ)
+        assert np.allclose(curve, 3.0 * np.arange(1, 11))
+
+    def test_all_misses_lose_linearly(self):
+        outcome = outcome_from_hits(np.zeros(10))
+        curve = value_curve([outcome], CapacityEconomics())
+        assert np.allclose(curve, -np.arange(1, 11))
+
+    def test_max_n_truncates(self):
+        outcome = outcome_from_hits(np.ones(10))
+        assert len(value_curve([outcome], max_n=4)) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            value_curve([])
+
+
+class TestOptimalCapacity:
+    def test_interior_optimum_for_declining_precision(self, rng):
+        outcomes = [declining_precision_outcome(rng) for _ in range(4)]
+        econ = CapacityEconomics(dispatch_cost=1.0, avoided_ticket_value=4.0)
+        best_n, best_value = optimal_capacity(outcomes, econ)
+        # Precision starts at ~0.6 (marginal value +1.4) and decays to ~0
+        # (marginal value -1): the optimum is strictly interior.
+        assert 50 < best_n < 1950
+        assert best_value > 0
+
+    def test_worthless_ranking_returns_zero(self, rng):
+        outcome = outcome_from_hits(rng.random(500) < 0.01)
+        econ = CapacityEconomics(dispatch_cost=1.0, avoided_ticket_value=2.0)
+        best_n, best_value = optimal_capacity([outcome], econ)
+        assert best_n == 0
+        assert best_value == 0.0
+
+    def test_higher_ticket_value_grows_capacity(self, rng):
+        outcomes = [declining_precision_outcome(rng) for _ in range(4)]
+        cheap = optimal_capacity(
+            outcomes, CapacityEconomics(avoided_ticket_value=2.5)
+        )[0]
+        rich = optimal_capacity(
+            outcomes, CapacityEconomics(avoided_ticket_value=12.0)
+        )[0]
+        assert rich > cheap
+
+    def test_real_predictor_outcome_yields_positive_capacity(
+        self, small_result, small_split
+    ):
+        from repro.core.analysis import evaluate_predictions
+        from repro.core.predictor import PredictorConfig, TicketPredictor
+
+        predictor = TicketPredictor(
+            PredictorConfig(capacity=60, horizon_weeks=3, train_rounds=40,
+                            selection_rounds=3, include_derived=False)
+        ).fit(small_result, small_split)
+        week = small_split.test_weeks[0]
+        outcome = evaluate_predictions(
+            small_result, predictor.rank_week(small_result, week), week,
+            horizon_weeks=3,
+        )
+        best_n, value = optimal_capacity(
+            [outcome], CapacityEconomics(avoided_ticket_value=8.0)
+        )
+        assert best_n > 0
+        assert value > 0

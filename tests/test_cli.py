@@ -1,0 +1,83 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.lines == 5000
+        assert args.weeks == 22
+
+    def test_predict_flags(self):
+        args = build_parser().parse_args(
+            ["predict", "--lines", "800", "--capacity", "30", "--rounds", "10"]
+        )
+        assert args.capacity == 30
+        assert args.rounds == 10
+
+    def test_locate_flags(self):
+        args = build_parser().parse_args(["locate", "--rounds", "15"])
+        assert args.rounds == 15
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy"])
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        code = main(["simulate", "--lines", "600", "--weeks", "6",
+                     "--fault-scale", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "customer-edge tickets" in out
+        assert "DSLAM outages" in out
+
+    def test_predict_runs(self, capsys):
+        code = main([
+            "predict", "--lines", "1200", "--weeks", "18",
+            "--fault-scale", "5", "--capacity", "25", "--rounds", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "lift" in out
+
+    def test_locate_runs(self, capsys):
+        code = main([
+            "locate", "--lines", "1500", "--weeks", "16",
+            "--fault-scale", "6", "--rounds", "15",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "median tests" in out
+
+    def test_export_runs(self, capsys, tmp_path):
+        out_dir = tmp_path / "extracts"
+        code = main([
+            "export", "--lines", "300", "--weeks", "4",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        assert (out_dir / "measurements.csv").exists()
+        assert (out_dir / "tickets.csv").exists()
+
+    def test_scenario_flag(self, capsys):
+        code = main([
+            "simulate", "--lines", "400", "--weeks", "4",
+            "--scenario", "urban",
+        ])
+        assert code == 0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "--lines", "100", "--weeks", "2",
+                  "--scenario", "lunar"])

@@ -1,0 +1,112 @@
+"""Tests for cohort analysis and seasonal fault modulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import evaluate_predictions
+from repro.core.cohorts import (
+    cohort_by_loop_length,
+    cohort_by_profile,
+    hit_location_mix,
+)
+from repro.netsim.population import PopulationConfig
+from repro.netsim.seasonality import (
+    SeasonalDslSimulator,
+    SeasonalProfile,
+    seasonal_rate_multipliers,
+)
+from repro.netsim.simulator import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def outcome(request):
+    result = request.getfixturevalue("small_result")
+    # A simple oracle-free ranking: any ranking works for slicing tests.
+    rng = np.random.default_rng(3)
+    ranked = rng.permutation(result.n_lines)
+    return result, evaluate_predictions(result, ranked, week=12, horizon_weeks=3)
+
+
+class TestCohorts:
+    def test_loop_length_partition(self, outcome):
+        result, out = outcome
+        cohorts = cohort_by_loop_length(result, out, n=500)
+        assert sum(c.submitted for c in cohorts) == 500
+        assert sum(c.population for c in cohorts) == result.n_lines
+        for c in cohorts:
+            assert 0.0 <= c.precision <= 1.0
+            assert 0.0 <= c.coverage <= 1.0
+
+    def test_profile_partition(self, outcome):
+        result, out = outcome
+        cohorts = cohort_by_profile(result, out, n=500)
+        assert sum(c.submitted for c in cohorts) == 500
+        names = {c.name for c in cohorts}
+        assert "basic" in names and "elite" in names
+
+    def test_bad_edges_rejected(self, outcome):
+        result, out = outcome
+        with pytest.raises(ValueError):
+            cohort_by_loop_length(result, out, n=10, edges_kft=(5.0, 1.0))
+
+    def test_hit_location_mix_distribution(self, outcome):
+        result, out = outcome
+        mix = hit_location_mix(result, out, n=result.n_lines)
+        assert set(mix) == {"HN", "F2", "F1", "DS"}
+        total = sum(mix.values())
+        assert total == pytest.approx(1.0, abs=1e-9) or total == 0.0
+
+
+class TestSeasonality:
+    def test_multipliers_shape_and_floor(self):
+        m = seasonal_rate_multipliers(0)
+        assert m.shape == (52,)
+        assert np.all(m >= 1.0 - 1e-12)
+
+    def test_moisture_peak_week(self):
+        profile = SeasonalProfile(moisture_amplitude=0.6, moisture_peak_week=14)
+        peak = profile.moisture_factor(14)
+        trough = profile.moisture_factor(14 + 26)
+        assert peak == pytest.approx(1.6)
+        assert trough == pytest.approx(1.0)
+
+    def test_storm_faults_track_storm_season(self):
+        from repro.netsim.components import DISPOSITION_INDEX
+        drop = DISPOSITION_INDEX["f2-aerial-drop-damaged"]
+        modem = DISPOSITION_INDEX["hn-modem-defective"]
+        at_peak = seasonal_rate_multipliers(34)
+        assert at_peak[drop] > 1.3
+        assert at_peak[modem] == 1.0
+
+    def test_seasonal_simulator_runs_and_modulates(self):
+        config = SimulationConfig(
+            n_weeks=8, population=PopulationConfig(n_lines=800, seed=4),
+            fault_rate_scale=5.0, seed=6,
+        )
+        profile = SeasonalProfile(storm_amplitude=3.0, storm_peak_week=2,
+                                  moisture_amplitude=0.0)
+        sim = SeasonalDslSimulator(config, profile)
+        result = sim.run()
+        assert len(result.measurements.filled_weeks) == 8
+        # Storm-class faults should be over-represented near the peak.
+        from repro.netsim.seasonality import _CLASSES
+        storm_codes = set(np.flatnonzero(_CLASSES == "storm").tolist())
+        early = [e for e in result.fault_events if e.onset_day < 28]
+        share = np.mean([e.disposition in storm_codes for e in early])
+        baseline_sim = SeasonalDslSimulator(
+            config, SeasonalProfile(storm_amplitude=0.0, moisture_amplitude=0.0)
+        )
+        baseline = baseline_sim.run()
+        early_base = [e for e in baseline.fault_events if e.onset_day < 28]
+        share_base = np.mean([e.disposition in storm_codes for e in early_base])
+        assert share > share_base
+
+    def test_total_rate_capped(self):
+        config = SimulationConfig(
+            n_weeks=2, population=PopulationConfig(n_lines=100),
+            fault_rate_scale=50.0,
+        )
+        profile = SeasonalProfile(storm_amplitude=50.0)
+        sim = SeasonalDslSimulator(config, profile)
+        sim.run()
+        assert sim.fault_model._total_rate <= 0.99

@@ -1,0 +1,130 @@
+"""Tests for the Section-5 analyses (repro.core.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    PredictionOutcome,
+    accuracy_curve,
+    evaluate_predictions,
+    explain_incorrect_by_absence,
+    explain_incorrect_by_outage,
+    ground_truth_problem_fraction,
+    missed_ticket_fraction,
+    urgency_cdf,
+)
+from repro.traffic.usage import TrafficLog
+
+
+def make_outcome(hits, delays=None, week=10, day=75):
+    hits = np.asarray(hits, dtype=bool)
+    if delays is None:
+        delays = np.where(hits, 3, -1)
+    return PredictionOutcome(
+        week=week,
+        day=day,
+        ranked_lines=np.arange(len(hits)),
+        hits=hits,
+        delays=np.asarray(delays),
+    )
+
+
+class TestPredictionOutcome:
+    def test_accuracy_at(self):
+        outcome = make_outcome([1, 1, 0, 0, 1])
+        assert outcome.accuracy_at(2) == 1.0
+        assert outcome.accuracy_at(4) == 0.5
+
+    def test_incorrect_and_correct_partition(self):
+        outcome = make_outcome([1, 0, 1, 0])
+        assert list(outcome.correct_top(4)) == [0, 2]
+        assert list(outcome.incorrect_top(4)) == [1, 3]
+
+    def test_evaluate_against_simulation(self, small_result):
+        week = 12
+        ranked = np.arange(small_result.n_lines)
+        outcome = evaluate_predictions(small_result, ranked, week, horizon_weeks=3)
+        assert outcome.day == int(small_result.measurements.saturday_day[week])
+        delays = small_result.ticket_log.first_edge_ticket_after(
+            small_result.n_lines, outcome.day, 21
+        )
+        assert np.array_equal(outcome.hits, delays >= 0)
+
+
+class TestAccuracyCurve:
+    def test_curve_averages_outcomes(self):
+        a = make_outcome([1, 1, 0, 0])
+        b = make_outcome([0, 1, 1, 0])
+        curve = accuracy_curve([a, b], grid=np.array([2, 4]))
+        assert curve[0] == pytest.approx((1.0 + 0.5) / 2)
+        assert curve[1] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_curve([], np.array([1]))
+
+
+class TestUrgency:
+    def test_cdf_monotone_and_bounded(self):
+        outcome = make_outcome([1, 1, 1, 0], delays=[1, 5, 20, -1])
+        cdf = urgency_cdf([outcome], n=4, max_days=28)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] == 0.0
+        assert cdf[28] == 1.0
+        assert cdf[5] == pytest.approx(2 / 3)
+
+    def test_cdf_ignores_unticketed(self):
+        outcome = make_outcome([0, 0], delays=[-1, -1])
+        cdf = urgency_cdf([outcome], n=2)
+        assert np.all(cdf == 0)
+
+    def test_missed_fraction(self):
+        # tickets at days 1, 5, 20: fixing within 2 days misses day-1 only.
+        outcome = make_outcome([1, 1, 1], delays=[1, 5, 20])
+        assert missed_ticket_fraction([outcome], n=3, fix_days=2) == pytest.approx(1 / 3)
+        assert missed_ticket_fraction([outcome], n=3, fix_days=30) == 1.0
+
+    def test_missed_fraction_empty(self):
+        outcome = make_outcome([0], delays=[-1])
+        assert missed_ticket_fraction([outcome], n=1, fix_days=2) == 0.0
+
+
+class TestOutageExplanation:
+    def test_structure_and_monotonicity(self, small_result):
+        week = 10
+        ranked = np.arange(small_result.n_lines)
+        outcome = evaluate_predictions(small_result, ranked, week, horizon_weeks=3)
+        rows = explain_incorrect_by_outage(small_result, outcome, n=200,
+                                           horizons_weeks=(1, 2, 3, 4))
+        assert [r.horizon_weeks for r in rows] == [1, 2, 3, 4]
+        fracs = [r.incorrect_fraction for r in rows]
+        # Larger windows can only include more outages (Table 5, row 1).
+        assert all(b >= a - 1e-12 for a, b in zip(fracs, fracs[1:]))
+        for row in rows:
+            assert 0.0 <= row.incorrect_fraction <= 1.0
+            assert 0.0 <= row.p_value <= 1.0
+
+
+class TestAbsence:
+    def test_counts_only_sampled_lines(self):
+        daily = np.zeros((2, 40), dtype=np.float32)
+        daily[0, :] = 5.0  # line 0 always active
+        log = TrafficLog(line_ids=np.array([0, 1]), daily_bytes=daily)
+        observed, absent = explain_incorrect_by_absence(
+            log, incorrect_lines=np.array([0, 1, 99]), day=20
+        )
+        assert observed == 2
+        assert absent == 1  # line 1 silent, line 99 not sampled
+
+
+class TestGroundTruth:
+    def test_fraction_of_active_faults(self, small_result):
+        day = 80
+        active = small_result.fault_active_on(day)
+        lines = np.flatnonzero(active)[:10]
+        assert ground_truth_problem_fraction(small_result, lines, day) == 1.0
+        idle = np.flatnonzero(~active)[:10]
+        assert ground_truth_problem_fraction(small_result, idle, day) == 0.0
+
+    def test_empty_lines(self, small_result):
+        assert ground_truth_problem_fraction(small_result, np.array([]), 10) == 0.0

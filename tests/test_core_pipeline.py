@@ -1,0 +1,92 @@
+"""Tests for the closed operational loop (repro.core.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import NevermindPipeline, PipelineConfig
+from repro.core.predictor import PredictorConfig
+from repro.netsim.population import PopulationConfig
+from repro.netsim.simulator import SimulationConfig
+from repro.tickets.ticketing import TicketSource
+
+
+@pytest.fixture(scope="module")
+def finished_pipeline():
+    simulation = SimulationConfig(
+        n_weeks=20,
+        population=PopulationConfig(n_lines=1500, seed=13),
+        fault_rate_scale=6.0,
+        seed=77,
+    )
+    config = PipelineConfig(
+        warmup_weeks=13,
+        predictor=PredictorConfig(
+            capacity=40, horizon_weeks=3, train_rounds=40, selection_rounds=3,
+            include_derived=False,
+        ),
+    )
+    pipeline = NevermindPipeline(simulation, config)
+    pipeline.run()
+    return pipeline
+
+
+class TestLoop:
+    def test_warmup_produces_no_reports(self, finished_pipeline):
+        weeks = [r.week for r in finished_pipeline.reports]
+        assert min(weeks) >= finished_pipeline.config.warmup_weeks - 1
+
+    def test_reports_every_live_week(self, finished_pipeline):
+        weeks = [r.week for r in finished_pipeline.reports]
+        assert weeks == sorted(weeks)
+        assert len(weeks) >= 5
+
+    def test_capacity_respected(self, finished_pipeline):
+        for report in finished_pipeline.reports:
+            assert len(report.submitted) == 40
+
+    def test_finds_real_problems_above_chance(self, finished_pipeline):
+        summary = finished_pipeline.summary()
+        assert summary["real_problems"] > 0
+        sim = finished_pipeline.simulator
+        # Baseline: random lines would hit active faults at the plant's
+        # fault prevalence; the predictor should multiply that.
+        prevalence = np.mean(sim.result().fault_active_on(14 * 7))
+        assert summary["precision"] > 2 * prevalence
+
+    def test_proactive_dispatches_recorded(self, finished_pipeline):
+        result = finished_pipeline.simulator.result()
+        proactive = [t for t in result.ticket_log.tickets
+                     if t.source is TicketSource.NEVERMIND]
+        assert len(proactive) == sum(
+            len(r.submitted) for r in finished_pipeline.reports
+        )
+
+    def test_fixes_clear_faults(self, finished_pipeline):
+        result = finished_pipeline.simulator.result()
+        proactive_clears = [e for e in result.fault_events
+                            if e.clear_cause == "proactive"]
+        assert len(proactive_clears) > 0
+        summary = finished_pipeline.summary()
+        assert summary["fixed"] == len(proactive_clears)
+
+    def test_summary_consistency(self, finished_pipeline):
+        summary = finished_pipeline.summary()
+        assert summary["weeks"] == len(finished_pipeline.reports)
+        assert summary["real_problems"] <= summary["submitted"]
+        assert summary["fixed"] <= summary["real_problems"]
+        per_report = sum(r.real_problems for r in finished_pipeline.reports)
+        assert summary["real_problems"] == per_report
+
+
+class TestConfig:
+    def test_empty_summary_before_run(self):
+        simulation = SimulationConfig(
+            n_weeks=4, population=PopulationConfig(n_lines=200))
+        pipeline = NevermindPipeline(simulation, PipelineConfig(warmup_weeks=99))
+        assert pipeline.summary()["weeks"] == 0
+
+    def test_step_returns_none_during_warmup(self):
+        simulation = SimulationConfig(
+            n_weeks=4, population=PopulationConfig(n_lines=200))
+        pipeline = NevermindPipeline(simulation, PipelineConfig(warmup_weeks=99))
+        assert pipeline.step() is None

@@ -1,0 +1,91 @@
+"""Tests for the CSV extracts (repro.data.export)."""
+
+import csv
+
+import pytest
+
+from repro.data.export import (
+    export_all,
+    export_dispatches_csv,
+    export_measurements_csv,
+    export_subscribers_csv,
+    export_tickets_csv,
+)
+from repro.measurement.records import FEATURE_NAMES
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestMeasurementsExport:
+    def test_row_count_and_header(self, small_result, tmp_path):
+        path = tmp_path / "m.csv"
+        rows = export_measurements_csv(small_result, path, weeks=[5, 6])
+        assert rows == 2 * small_result.n_lines
+        content = read_csv(path)
+        assert content[0] == ["subscriber", "week", "test_day", *FEATURE_NAMES]
+        assert len(content) == rows + 1
+
+    def test_missing_cells_empty(self, small_result, tmp_path):
+        path = tmp_path / "m.csv"
+        export_measurements_csv(small_result, path, weeks=[10])
+        content = read_csv(path)
+        state_col = 3 + FEATURE_NAMES.index("state")
+        dnbr_col = 3 + FEATURE_NAMES.index("dnbr")
+        off_rows = [r for r in content[1:] if r[state_col] == "0"]
+        assert off_rows, "some modems should be off in week 10"
+        assert all(r[dnbr_col] == "" for r in off_rows)
+
+    def test_no_raw_line_ids(self, small_result, tmp_path):
+        path = tmp_path / "m.csv"
+        export_measurements_csv(small_result, path, weeks=[5])
+        content = read_csv(path)
+        subscribers = {r[0] for r in content[1:]}
+        # Anonymous tokens are 16-char hex, not small integers.
+        assert all(len(s) == 16 for s in subscribers)
+
+
+class TestTicketExport:
+    def test_ticket_rows(self, small_result, tmp_path):
+        path = tmp_path / "t.csv"
+        rows = export_tickets_csv(small_result, path)
+        assert rows == len(small_result.ticket_log.tickets)
+        content = read_csv(path)
+        categories = {r[3] for r in content[1:]}
+        assert "customer_edge" in categories
+
+    def test_dispatch_rows(self, small_result, tmp_path):
+        path = tmp_path / "d.csv"
+        rows = export_dispatches_csv(small_result, path)
+        assert rows == len(small_result.dispatcher.records)
+        content = read_csv(path)
+        locations = {r[5] for r in content[1:] if r[5]}
+        assert locations <= {"HN", "F2", "F1", "DS"}
+
+    def test_subscriber_rows(self, small_result, tmp_path):
+        path = tmp_path / "s.csv"
+        rows = export_subscribers_csv(small_result, path)
+        assert rows == small_result.n_lines
+        content = read_csv(path)
+        profiles = {r[1] for r in content[1:]}
+        assert "basic" in profiles
+
+
+class TestExportAll:
+    def test_writes_all_files(self, small_result, tmp_path):
+        counts = export_all(small_result, tmp_path / "extract", salt="s")
+        directory = tmp_path / "extract"
+        for name in ("measurements", "tickets", "dispatches", "subscribers"):
+            assert (directory / f"{name}.csv").exists()
+            assert counts[name] > 0
+
+    def test_salt_changes_tokens_consistently(self, small_result, tmp_path):
+        path_a = tmp_path / "a.csv"
+        path_b = tmp_path / "b.csv"
+        export_subscribers_csv(small_result, path_a, salt="one")
+        export_subscribers_csv(small_result, path_b, salt="two")
+        a = {r[0] for r in read_csv(path_a)[1:]}
+        b = {r[0] for r in read_csv(path_b)[1:]}
+        assert a.isdisjoint(b)

@@ -1,0 +1,77 @@
+"""Tests for deployment drift monitoring (repro.core.drift)."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import DriftReport, WeeklyPerformance, drift_report, weekly_performance
+from repro.core.predictor import PredictorConfig, TicketPredictor
+
+
+@pytest.fixture(scope="module")
+def deployed(request):
+    result = request.getfixturevalue("small_result")
+    split = request.getfixturevalue("small_split")
+    predictor = TicketPredictor(
+        PredictorConfig(capacity=60, horizon_weeks=3, train_rounds=40,
+                        selection_rounds=3, include_derived=False)
+    ).fit(result, split)
+    return result, split, predictor
+
+
+class TestWeeklyPerformance:
+    def test_measures_each_week(self, deployed):
+        result, split, predictor = deployed
+        weeks = list(split.test_weeks)
+        perf = weekly_performance(result, predictor, weeks)
+        assert [w.week for w in perf] == weeks
+        for w in perf:
+            assert 0.0 <= w.accuracy <= 1.0
+            assert 0.0 < w.base_rate < 1.0
+            assert w.calibration_error >= 0.0
+            assert w.lift == pytest.approx(w.accuracy / w.base_rate)
+
+    def test_calibration_is_reasonable(self, deployed):
+        result, split, predictor = deployed
+        perf = weekly_performance(result, predictor, list(split.test_weeks))
+        # Platt calibration keeps mean probability near the base rate.
+        assert all(w.calibration_error < 0.1 for w in perf)
+
+    def test_empty_weeks_rejected(self, deployed):
+        result, _, predictor = deployed
+        with pytest.raises(ValueError):
+            weekly_performance(result, predictor, [])
+
+
+class TestDriftReport:
+    def test_report_structure(self, deployed):
+        result, split, predictor = deployed
+        report = drift_report(result, predictor, list(split.test_weeks))
+        assert isinstance(report, DriftReport)
+        assert len(report.weekly) == len(split.test_weeks)
+        assert 0.0 <= report.relative_drop <= 1.0
+        text = report.render()
+        assert "retrain" in text
+
+    def test_threshold_validation(self, deployed):
+        result, split, predictor = deployed
+        with pytest.raises(ValueError):
+            drift_report(result, predictor, list(split.test_weeks),
+                         relative_drop_threshold=0.0)
+
+    def test_recommendation_logic(self):
+        # Synthetic weekly series exercising the decision rule directly.
+        def make(accs):
+            weekly = tuple(
+                WeeklyPerformance(week=i, accuracy=a, base_rate=0.05,
+                                  calibration_error=0.0)
+                for i, a in enumerate(accs)
+            )
+            first, last = accs[0], accs[-1]
+            drop = max(0.0, (first - last) / first)
+            return DriftReport(
+                weekly=weekly, accuracy_slope=0.0, relative_drop=drop,
+                retrain_recommended=drop >= 0.25, threshold=0.25,
+            )
+
+        assert make([0.4, 0.38, 0.37]).retrain_recommended is False
+        assert make([0.4, 0.32, 0.25]).retrain_recommended is True

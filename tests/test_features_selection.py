@@ -1,0 +1,126 @@
+"""Unit tests for feature selection (repro.features.selection)."""
+
+import numpy as np
+import pytest
+
+from repro.features.encoding import FeatureSet
+from repro.features.selection import (
+    select_features_auc,
+    select_features_average_precision,
+    select_features_gain_ratio,
+    select_features_pca,
+    select_features_top_n_ap,
+    single_feature_ap,
+)
+
+
+def synthetic_sets(rng, n=4000, n_noise=6):
+    """Two feature sets (train/test) where feature 0 is strongly
+    predictive, feature 1 weakly, and the rest are noise."""
+    def make():
+        latent = rng.random(n) < 0.08
+        strong = latent * 3.0 + rng.normal(size=n)
+        weak = latent * 0.8 + rng.normal(size=n)
+        noise = rng.normal(size=(n, n_noise))
+        X = np.column_stack([strong, weak, noise])
+        return X, latent.astype(float)
+
+    X_tr, y_tr = make()
+    X_te, y_te = make()
+    names = ["strong", "weak"] + [f"noise{i}" for i in range(n_noise)]
+    groups = ["basic"] * (2 + n_noise)
+    cat = np.zeros(2 + n_noise, dtype=bool)
+    train = FeatureSet(X_tr, list(names), list(groups), cat)
+    test = FeatureSet(X_te, list(names), list(groups), cat.copy())
+    return train, y_tr, test, y_te
+
+
+class TestSingleFeatureAp:
+    def test_strong_feature_scores_highest(self, rng):
+        train, y_tr, test, y_te = synthetic_sets(rng)
+        scores = single_feature_ap(train, y_tr, test, y_te, n=100)
+        assert np.argmax(scores) == 0
+        assert scores[0] > 2 * np.max(scores[2:])
+
+    def test_constant_feature_scores_zero(self, rng):
+        train, y_tr, test, y_te = synthetic_sets(rng, n=500)
+        train.matrix[:, 3] = 1.0
+        test.matrix[:, 3] = 1.0
+        scores = single_feature_ap(train, y_tr, test, y_te, n=50)
+        assert scores[3] == 0.0
+
+    def test_fully_missing_feature_scores_zero(self, rng):
+        train, y_tr, test, y_te = synthetic_sets(rng, n=500)
+        train.matrix[:, 4] = np.nan
+        scores = single_feature_ap(train, y_tr, test, y_te, n=50)
+        assert scores[4] == 0.0
+
+    def test_misaligned_sets_rejected(self, rng):
+        train, y_tr, test, y_te = synthetic_sets(rng, n=200)
+        with pytest.raises(ValueError):
+            single_feature_ap(train, y_tr, test.subset([0, 1]), y_te, n=50)
+
+    def test_partial_missing_tolerated(self, rng):
+        train, y_tr, test, y_te = synthetic_sets(rng)
+        train.matrix[rng.random(train.matrix.shape) < 0.2] = np.nan
+        test.matrix[rng.random(test.matrix.shape) < 0.2] = np.nan
+        scores = single_feature_ap(train, y_tr, test, y_te, n=100)
+        assert np.argmax(scores) == 0
+
+
+class TestTopNApSelection:
+    def test_top_k_mode(self, rng):
+        train, y_tr, test, y_te = synthetic_sets(rng)
+        result = select_features_top_n_ap(train, y_tr, test, y_te, n=100, top_k=2)
+        assert result.method == "top_n_ap"
+        assert list(result.selected)[:1] == [0]
+        assert len(result.selected) == 2
+
+    def test_threshold_mode_filters_noise(self, rng):
+        train, y_tr, test, y_te = synthetic_sets(rng)
+        scores = single_feature_ap(train, y_tr, test, y_te, n=100)
+        threshold = float(scores[0]) * 0.5
+        result = select_features_top_n_ap(
+            train, y_tr, test, y_te, n=100,
+            thresholds={"default": threshold},
+        )
+        assert 0 in result.selected
+        noise_selected = [j for j in result.selected if j >= 2]
+        assert len(noise_selected) == 0
+
+
+class TestBaselines:
+    def test_auc_ranks_signal_first(self, rng):
+        train, y_tr, *_ = synthetic_sets(rng)
+        result = select_features_auc(train, y_tr, top_k=3)
+        assert result.selected[0] == 0
+
+    def test_auc_handles_inverted_features(self, rng):
+        train, y_tr, *_ = synthetic_sets(rng)
+        train.matrix[:, 5] = -train.matrix[:, 0]  # inverted copy of signal
+        result = select_features_auc(train, y_tr, top_k=2)
+        assert set(result.selected) == {0, 5}
+
+    def test_average_precision_ranks_signal_first(self, rng):
+        train, y_tr, *_ = synthetic_sets(rng)
+        result = select_features_average_precision(train, y_tr, top_k=3)
+        assert result.selected[0] == 0
+
+    def test_gain_ratio_ranks_signal_first(self, rng):
+        train, y_tr, *_ = synthetic_sets(rng)
+        result = select_features_gain_ratio(train, y_tr, top_k=3)
+        assert result.selected[0] == 0
+
+    def test_pca_is_unsupervised(self, rng):
+        train, y_tr, *_ = synthetic_sets(rng)
+        a = select_features_pca(train, y_tr, top_k=4)
+        b = select_features_pca(train, np.zeros_like(y_tr), top_k=4)
+        assert np.array_equal(a.selected, b.selected)
+
+    def test_all_selectors_return_k(self, rng):
+        train, y_tr, *_ = synthetic_sets(rng, n=800)
+        for select in (select_features_auc, select_features_average_precision,
+                       select_features_pca, select_features_gain_ratio):
+            result = select(train, y_tr, top_k=5)
+            assert len(result.selected) == 5
+            assert len(result.scores) == train.n_features

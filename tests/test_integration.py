@@ -1,0 +1,111 @@
+"""End-to-end integration tests spanning all modules.
+
+These walk the full paper pipeline on the shared small world: simulate ->
+encode -> select -> train -> rank -> analyse, plus the locator chain and
+the Section-5.2 post-analyses.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CombinedLocator,
+    ExperienceModel,
+    LocatorConfig,
+    PredictorConfig,
+    TicketPredictor,
+    accuracy_curve,
+    build_locator_dataset,
+    evaluate_predictions,
+    explain_incorrect_by_absence,
+    explain_incorrect_by_outage,
+    ground_truth_problem_fraction,
+    missed_ticket_fraction,
+    ranks_of_truth,
+    urgency_cdf,
+)
+
+
+@pytest.fixture(scope="module")
+def full_chain(request):
+    result = request.getfixturevalue("small_result")
+    split = request.getfixturevalue("small_split")
+    predictor = TicketPredictor(
+        PredictorConfig(capacity=60, horizon_weeks=3, train_rounds=60,
+                        selection_rounds=3, product_pool=8)
+    ).fit(result, split)
+    outcomes = [
+        evaluate_predictions(result, predictor.rank_week(result, week), week,
+                             horizon_weeks=3)
+        for week in split.test_weeks
+    ]
+    return result, split, predictor, outcomes
+
+
+class TestPredictorChain:
+    def test_accuracy_curve_decreasing_tail(self, full_chain):
+        result, _, _, outcomes = full_chain
+        grid = np.array([30, 60, 200, 1000, result.n_lines])
+        curve = accuracy_curve(outcomes, grid)
+        # The curve converges to the base rate as the cut grows.
+        base_rate = np.mean([o.hits.mean() for o in outcomes])
+        assert curve[-1] == pytest.approx(base_rate, abs=1e-6)
+        assert curve[0] > 2 * base_rate
+
+    def test_urgency_cdf_shape(self, full_chain):
+        _, _, predictor, outcomes = full_chain
+        cdf = urgency_cdf(outcomes, n=predictor.config.capacity, max_days=21)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == 1.0
+
+    def test_missed_fraction_monotone_in_sla(self, full_chain):
+        _, _, predictor, outcomes = full_chain
+        n = predictor.config.capacity
+        fractions = [missed_ticket_fraction(outcomes, n, d) for d in (1, 2, 5, 10)]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_incorrect_predictions_are_often_real_problems(self, full_chain):
+        """Section 5.2's central point: many 'incorrect' predictions are
+        unreported real problems."""
+        result, _, predictor, outcomes = full_chain
+        outcome = outcomes[0]
+        incorrect = outcome.incorrect_top(predictor.config.capacity)
+        frac = ground_truth_problem_fraction(result, incorrect, outcome.day)
+        base = ground_truth_problem_fraction(
+            result, np.arange(result.n_lines), outcome.day
+        )
+        assert frac > base
+
+    def test_outage_explanation_runs(self, full_chain):
+        result, _, predictor, outcomes = full_chain
+        rows = explain_incorrect_by_outage(
+            result, outcomes[0], predictor.config.capacity
+        )
+        assert len(rows) == 4
+
+    def test_absence_analysis_runs(self, full_chain):
+        result, _, predictor, outcomes = full_chain
+        incorrect = outcomes[0].incorrect_top(predictor.config.capacity)
+        observed, absent = explain_incorrect_by_absence(
+            result.traffic, incorrect, outcomes[0].day
+        )
+        assert 0 <= absent <= observed <= len(incorrect)
+
+
+class TestLocatorChain:
+    def test_combined_beats_basic_end_to_end(self, locator_world):
+        small_result = locator_world
+        horizon = small_result.config.n_weeks * 7
+        train = build_locator_dataset(small_result, 30, horizon * 2 // 3)
+        test = build_locator_dataset(small_result, horizon * 2 // 3 + 1, horizon)
+        config = LocatorConfig(n_rounds=30)
+        basic = ExperienceModel(config).fit(train)
+        combined = CombinedLocator(config).fit(train)
+        X = test.features.matrix
+        rb = ranks_of_truth(basic.predict_proba(X), test.disposition)
+        rc = ranks_of_truth(combined.predict_proba(X), test.disposition)
+        assert rc.mean() < rb.mean()
+        # Fig-10 shape: the gain concentrates on deep basic ranks.
+        deep = rb >= 16
+        if deep.sum() >= 20:
+            assert (rb - rc)[deep].mean() > 0

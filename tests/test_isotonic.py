@@ -1,0 +1,103 @@
+"""Tests for isotonic calibration (repro.ml.isotonic)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import PlattCalibrator
+from repro.ml.isotonic import IsotonicCalibrator, pool_adjacent_violators
+
+
+class TestPav:
+    def test_already_monotone_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(pool_adjacent_violators(values), values)
+
+    def test_single_violation_pooled(self):
+        fit = pool_adjacent_violators(np.array([1.0, 3.0, 2.0]))
+        assert list(fit) == [1.0, 2.5, 2.5]
+
+    def test_output_nondecreasing(self, rng):
+        values = rng.normal(size=200)
+        fit = pool_adjacent_violators(values)
+        assert np.all(np.diff(fit) >= -1e-12)
+
+    def test_weighted_pooling(self):
+        # Heavy weight on the second value dominates the pooled mean.
+        fit = pool_adjacent_violators(
+            np.array([3.0, 1.0]), weights=np.array([1.0, 9.0])
+        )
+        assert fit[0] == pytest.approx(1.2)
+        assert fit[0] == fit[1]
+
+    def test_preserves_weighted_mean(self, rng):
+        values = rng.normal(size=100)
+        weights = rng.uniform(0.5, 2.0, size=100)
+        fit = pool_adjacent_violators(values, weights)
+        assert np.average(fit, weights=weights) == pytest.approx(
+            np.average(values, weights=weights)
+        )
+
+    def test_empty(self):
+        assert pool_adjacent_violators(np.array([])).size == 0
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            pool_adjacent_violators(np.ones(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            pool_adjacent_violators(np.ones(3), np.ones(4))
+
+
+class TestIsotonicCalibrator:
+    def make_data(self, rng, n=20000, link=None):
+        margins = rng.normal(scale=2.0, size=n)
+        if link is None:
+            link = lambda m: 1.0 / (1.0 + np.exp(-m))
+        p = link(margins)
+        return margins, (rng.random(n) < p).astype(float)
+
+    def test_monotone_output(self, rng):
+        margins, labels = self.make_data(rng)
+        cal = IsotonicCalibrator().fit(margins, labels)
+        grid = np.linspace(-6, 6, 50)
+        probs = cal.transform(grid)
+        assert np.all(np.diff(probs) >= -1e-12)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_calibration_quality(self, rng):
+        margins, labels = self.make_data(rng)
+        cal = IsotonicCalibrator().fit(margins, labels)
+        probs = cal.transform(margins)
+        assert abs(probs.mean() - labels.mean()) < 0.02
+
+    def test_beats_platt_on_non_sigmoid_link(self, rng):
+        """A hard step link breaks the sigmoid assumption; isotonic
+        adapts."""
+        link = lambda m: np.where(m > 0.5, 0.9, 0.1)
+        margins, labels = self.make_data(rng, n=40000, link=link)
+        iso = IsotonicCalibrator().fit(margins, labels).transform(margins)
+        platt = PlattCalibrator().fit(margins, labels).transform(margins)
+        truth = link(margins)
+        iso_mse = np.mean((iso - truth) ** 2)
+        platt_mse = np.mean((platt - truth) ** 2)
+        assert iso_mse < platt_mse
+
+    def test_minus_one_labels(self, rng):
+        margins, labels = self.make_data(rng, n=2000)
+        cal = IsotonicCalibrator().fit(margins, np.where(labels > 0, 1.0, -1.0))
+        assert cal.fitted_
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IsotonicCalibrator().transform(np.zeros(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IsotonicCalibrator().fit(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            IsotonicCalibrator().fit(np.array([]), np.array([]))
+
+    def test_fit_transform(self, rng):
+        margins, labels = self.make_data(rng, n=1000)
+        a = IsotonicCalibrator().fit_transform(margins, labels)
+        b = IsotonicCalibrator().fit(margins, labels).transform(margins)
+        assert np.allclose(a, b)

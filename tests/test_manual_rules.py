@@ -1,0 +1,90 @@
+"""Tests for the Section-3.3 manual escalation rules baseline."""
+
+import numpy as np
+import pytest
+
+from repro.features.manual_rules import (
+    LOOP_LENGTH_DOWNGRADE_FT,
+    RELATIVE_CAPACITY_ESCALATION,
+    manual_rule_flags,
+    manual_rule_score,
+)
+from repro.ml.metrics import precision_at
+
+
+@pytest.fixture(scope="module")
+def week_state(small_result):
+    week = 12
+    matrix = small_result.measurements.week_matrix(week)
+    day = int(small_result.measurements.saturday_day[week])
+    return np.asarray(matrix, dtype=float), day
+
+
+class TestRuleSemantics:
+    def test_paper_constants(self):
+        assert RELATIVE_CAPACITY_ESCALATION == 0.92
+        assert LOOP_LENGTH_DOWNGRADE_FT == 15_000.0
+
+    def test_flags_shapes_and_types(self, small_result, week_state):
+        matrix, _ = week_state
+        flags = manual_rule_flags(matrix, small_result.population)
+        assert set(flags) == {
+            "below_min_rate", "high_relative_capacity", "long_loop",
+            "modem_unreachable",
+        }
+        for values in flags.values():
+            assert values.dtype == bool
+            assert values.shape == (small_result.n_lines,)
+
+    def test_long_loop_rule_tracks_true_loops(self, small_result, week_state):
+        matrix, _ = week_state
+        flags = manual_rule_flags(matrix, small_result.population)
+        flagged = flags["long_loop"]
+        if flagged.any():
+            assert small_result.population.loop_kft[flagged].mean() > 13.0
+
+    def test_missing_records_do_not_fire_rate_rules(self, small_result, week_state):
+        matrix, _ = week_state
+        flags = manual_rule_flags(matrix, small_result.population)
+        missing = np.isnan(matrix[:, 1])  # dnbr missing
+        assert not flags["below_min_rate"][missing].any()
+        assert flags["modem_unreachable"][missing].all()
+
+    def test_size_mismatch_rejected(self, small_result):
+        with pytest.raises(ValueError):
+            manual_rule_flags(np.zeros((3, 25)), small_result.population)
+
+
+class TestRuleQuality:
+    def test_rules_enrich_for_real_faults(self, small_result, week_state):
+        """The manual rules are not useless -- they fire disproportionately
+        on genuinely faulty lines (that is why operators used them)."""
+        matrix, day = week_state
+        score = manual_rule_score(matrix, small_result.population)
+        active = small_result.fault_active_on(day)
+        flagged = score > 0
+        assert active[flagged].mean() > active.mean()
+
+    def test_learned_model_beats_manual_rules(self, small_result, small_split):
+        """The paper's premise: learned inference outranks rule counting."""
+        from repro.core.predictor import PredictorConfig, TicketPredictor
+
+        week = small_split.test_weeks[0]
+        matrix = np.asarray(small_result.measurements.week_matrix(week), float)
+        manual = manual_rule_score(matrix, small_result.population)
+
+        predictor = TicketPredictor(
+            PredictorConfig(capacity=60, horizon_weeks=3, train_rounds=60,
+                            selection_rounds=3, product_pool=8)
+        ).fit(small_result, small_split)
+        learned = predictor.score_week(small_result, week)
+
+        day = int(small_result.measurements.saturday_day[week])
+        labels = (
+            small_result.ticket_log.first_edge_ticket_after(
+                small_result.n_lines, day, 21
+            ) >= 0
+        ).astype(float)
+        p_manual = precision_at(labels, 60, manual)
+        p_learned = precision_at(labels, 60, learned)
+        assert p_learned > p_manual

@@ -1,0 +1,116 @@
+"""Coverage for smaller paths: pipeline internals, result helpers, reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import NevermindPipeline, PipelineConfig, WeeklyReport
+from repro.core.predictor import PredictorConfig
+from repro.netsim.population import PopulationConfig
+from repro.netsim.simulator import (
+    DslSimulator,
+    FaultEvent,
+    SimulationConfig,
+)
+
+
+class TestWeeklyReport:
+    def test_precision_zero_when_empty(self):
+        report = WeeklyReport(
+            week=3, submitted=np.array([], dtype=int), real_problems=0,
+            fixed=0, no_trouble_found=0,
+        )
+        assert report.precision == 0.0
+
+    def test_precision_ratio(self):
+        report = WeeklyReport(
+            week=3, submitted=np.arange(10), real_problems=4, fixed=3,
+            no_trouble_found=6,
+        )
+        assert report.precision == pytest.approx(0.4)
+
+
+class TestFaultEvent:
+    def test_active_window_semantics(self):
+        event = FaultEvent(line_id=1, disposition=2, onset_day=10,
+                           cleared_day=20)
+        assert not event.active_on(9)
+        assert event.active_on(10)
+        assert event.active_on(19)
+        assert not event.active_on(20)  # cleared that day
+
+    def test_open_event_active_forever(self):
+        event = FaultEvent(line_id=1, disposition=2, onset_day=10)
+        assert event.active_on(10_000)
+
+    def test_fault_active_on_matches_events(self, small_result):
+        day = 70
+        mask = small_result.fault_active_on(day)
+        expected = np.zeros(small_result.n_lines, dtype=bool)
+        for event in small_result.fault_events:
+            if event.active_on(day):
+                expected[event.line_id] = True
+        assert np.array_equal(mask, expected)
+
+
+class TestPipelineTrainingSplit:
+    def make_pipeline(self, warmup):
+        return NevermindPipeline(
+            SimulationConfig(n_weeks=30,
+                             population=PopulationConfig(n_lines=100)),
+            PipelineConfig(warmup_weeks=warmup,
+                           predictor=PredictorConfig(horizon_weeks=4)),
+        )
+
+    def test_split_fits_history(self):
+        pipeline = self.make_pipeline(warmup=16)
+        split = pipeline._training_split(week=15)
+        split.validate(16)
+        # Every labeled week leaves a full horizon before "now".
+        for week in split.train_weeks + split.selection_weeks:
+            assert week * 7 + 5 + 28 <= 16 * 7 - 1
+
+    def test_split_scales_with_more_history(self):
+        pipeline = self.make_pipeline(warmup=25)
+        split = pipeline._training_split(week=24)
+        assert len(split.history_weeks) > 5
+        assert len(split.train_weeks) >= 2
+
+    def test_retrain_cadence(self):
+        config = SimulationConfig(
+            n_weeks=24, population=PopulationConfig(n_lines=600, seed=3),
+            fault_rate_scale=6.0, seed=9,
+        )
+        pipeline = NevermindPipeline(
+            config,
+            PipelineConfig(
+                warmup_weeks=16, retrain_every=3,
+                predictor=PredictorConfig(
+                    capacity=20, train_rounds=10, selection_rounds=2,
+                    include_derived=False,
+                ),
+            ),
+        )
+        trained_weeks = []
+        original_fit = pipeline.predictor.fit
+
+        def tracking_fit(result, split):
+            trained_weeks.append(pipeline.simulator.week)
+            return original_fit(result, split)
+
+        pipeline.predictor.fit = tracking_fit
+        pipeline.run()
+        assert len(trained_weeks) >= 2  # initial train + a retrain
+
+
+class TestSimulationResultHelpers:
+    def test_result_snapshot_midway(self):
+        sim = DslSimulator(SimulationConfig(
+            n_weeks=6, population=PopulationConfig(n_lines=200)))
+        sim.run(n_weeks=2)
+        snapshot = sim.result()
+        assert list(snapshot.measurements.filled_weeks) == [0, 1]
+        sim.run()
+        assert len(sim.result().measurements.filled_weeks) == 6
+
+    def test_n_lines_property(self, small_result):
+        assert small_result.n_lines == small_result.population.n_lines

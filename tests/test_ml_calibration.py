@@ -1,0 +1,74 @@
+"""Unit tests for Platt calibration (repro.ml.calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import PlattCalibrator
+
+
+def sigmoid_data(rng, n=4000, a=1.5, b=-0.3):
+    margins = rng.normal(size=n) * 2.0
+    p = 1.0 / (1.0 + np.exp(-(a * margins + b)))
+    labels = (rng.random(n) < p).astype(float)
+    return margins, labels
+
+
+class TestFit:
+    def test_recovers_monotone_map(self, rng):
+        margins, labels = sigmoid_data(rng)
+        cal = PlattCalibrator().fit(margins, labels)
+        probs = cal.transform(np.array([-3.0, 0.0, 3.0]))
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_mean_probability_matches_rate(self, rng):
+        margins, labels = sigmoid_data(rng)
+        cal = PlattCalibrator().fit(margins, labels)
+        assert abs(cal.transform(margins).mean() - labels.mean()) < 0.02
+
+    def test_calibration_quality_binned(self, rng):
+        margins, labels = sigmoid_data(rng, n=20000)
+        cal = PlattCalibrator().fit(margins, labels)
+        probs = cal.transform(margins)
+        for lo in (0.1, 0.3, 0.5, 0.7):
+            mask = (probs >= lo) & (probs < lo + 0.2)
+            if mask.sum() > 200:
+                assert abs(probs[mask].mean() - labels[mask].mean()) < 0.06
+
+    def test_separable_data_does_not_blow_up(self):
+        margins = np.array([-2.0, -1.0, 1.0, 2.0])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        cal = PlattCalibrator().fit(margins, labels)
+        probs = cal.transform(margins)
+        assert np.all(np.isfinite(probs))
+        assert probs[0] < 0.5 < probs[-1]
+
+    def test_minus_one_labels_accepted(self, rng):
+        margins, labels = sigmoid_data(rng, n=500)
+        cal = PlattCalibrator().fit(margins, np.where(labels > 0, 1.0, -1.0))
+        assert cal.fitted_
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit(np.zeros(3), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit(np.array([]), np.array([]))
+
+
+class TestTransform:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().transform(np.zeros(3))
+
+    def test_output_in_unit_interval(self, rng):
+        margins, labels = sigmoid_data(rng, n=500)
+        cal = PlattCalibrator().fit(margins, labels)
+        extreme = cal.transform(np.array([-1e6, 1e6]))
+        assert np.all((extreme >= 0) & (extreme <= 1))
+
+    def test_fit_transform_equals_fit_then_transform(self, rng):
+        margins, labels = sigmoid_data(rng, n=500)
+        a = PlattCalibrator().fit_transform(margins, labels)
+        b = PlattCalibrator().fit(margins, labels).transform(margins)
+        assert np.allclose(a, b)

@@ -1,0 +1,90 @@
+"""Unit tests for logistic regression with Wald inference (repro.ml.logistic)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import fit_logistic_regression
+
+
+def logit_data(rng, n=5000, beta=(0.8, -1.2), intercept=0.4):
+    X = rng.normal(size=(n, len(beta)))
+    z = intercept + X @ np.array(beta)
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-z))).astype(float)
+    return X, y
+
+
+class TestFit:
+    def test_recovers_coefficients(self, rng):
+        X, y = logit_data(rng)
+        fit = fit_logistic_regression(X, y)
+        assert fit.converged
+        assert fit.coefficients == pytest.approx([0.8, -1.2], abs=0.15)
+        assert fit.intercept == pytest.approx(0.4, abs=0.15)
+
+    def test_significant_covariate_small_p(self, rng):
+        X, y = logit_data(rng)
+        fit = fit_logistic_regression(X, y)
+        assert np.all(fit.p_values < 0.01)
+
+    def test_noise_covariate_large_p(self, rng):
+        X, y = logit_data(rng, beta=(1.0, 0.0))
+        fit = fit_logistic_regression(X, y)
+        assert fit.p_values[0] < 0.01
+        assert fit.p_values[1] > 0.05
+
+    def test_accepts_1d_design(self, rng):
+        X, y = logit_data(rng, beta=(1.0,))
+        fit = fit_logistic_regression(X[:, 0], y)
+        assert fit.coefficients.shape == (1,)
+
+    def test_accepts_plus_minus_labels(self, rng):
+        X, y = logit_data(rng, n=500)
+        fit = fit_logistic_regression(X, np.where(y > 0, 1.0, -1.0))
+        assert fit.converged
+
+    def test_rejects_nonbinary(self, rng):
+        X = rng.normal(size=(10, 1))
+        with pytest.raises(ValueError):
+            fit_logistic_regression(X, np.arange(10.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_logistic_regression(np.empty((0, 1)), np.empty(0))
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            fit_logistic_regression(rng.normal(size=(5, 1)), np.zeros(4))
+
+    def test_separable_data_is_finite(self):
+        X = np.linspace(-1, 1, 40)[:, None]
+        y = (X[:, 0] > 0).astype(float)
+        fit = fit_logistic_regression(X, y)
+        assert np.all(np.isfinite(fit.coefficients))
+        assert np.all(np.isfinite(fit.std_errors))
+
+    def test_standard_errors_shrink_with_n(self, rng):
+        X_small, y_small = logit_data(rng, n=300)
+        X_big, y_big = logit_data(rng, n=30000)
+        se_small = fit_logistic_regression(X_small, y_small).std_errors[0]
+        se_big = fit_logistic_regression(X_big, y_big).std_errors[0]
+        assert se_big < se_small
+
+
+class TestPredict:
+    def test_predict_proba_range_and_quality(self, rng):
+        X, y = logit_data(rng)
+        fit = fit_logistic_regression(X, y)
+        p = fit.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+        assert np.mean((p > 0.5) == (y > 0.5)) > 0.7
+
+    def test_hard_predict(self, rng):
+        X, y = logit_data(rng, n=500)
+        fit = fit_logistic_regression(X, y)
+        labels = fit.predict(X)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_log_likelihood_negative(self, rng):
+        X, y = logit_data(rng, n=500)
+        fit = fit_logistic_regression(X, y)
+        assert fit.log_likelihood < 0

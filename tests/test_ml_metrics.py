@@ -1,0 +1,162 @@
+"""Unit tests for the ranking metrics (repro.ml.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_at_n,
+    auc,
+    average_precision,
+    entropy,
+    gain_ratio,
+    precision_at,
+    rank_by_score,
+    roc_curve,
+    top_n_average_precision,
+)
+
+
+class TestRankByScore:
+    def test_descending_order(self):
+        order = rank_by_score(np.array([0.1, 0.9, 0.5]))
+        assert list(order) == [1, 2, 0]
+
+    def test_stable_ties(self):
+        order = rank_by_score(np.array([0.5, 0.5, 0.5]))
+        assert list(order) == [0, 1, 2]
+
+
+class TestPrecisionAt:
+    def test_perfect_prefix(self):
+        labels = np.array([1, 1, 0, 0])
+        assert precision_at(labels, 2) == 1.0
+
+    def test_with_scores(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, 0.9, 0.2, 0.8])
+        assert precision_at(labels, 2, scores) == 1.0
+
+    def test_r_larger_than_list_uses_whole_list(self):
+        labels = np.array([1, 0])
+        assert precision_at(labels, 10) == 0.5
+
+    def test_rejects_nonpositive_r(self):
+        with pytest.raises(ValueError):
+            precision_at(np.array([1, 0]), 0)
+
+
+class TestTopNAveragePrecision:
+    def test_perfect_ranking_with_enough_positives(self):
+        labels = np.ones(5)
+        assert top_n_average_precision(labels, 5) == 1.0
+
+    def test_no_positives_in_top(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        assert top_n_average_precision(labels, 3) == 0.0
+
+    def test_paper_definition_by_hand(self):
+        # ranks:      1  2  3  4
+        # labels:     1  0  1  0
+        # Prec(r):    1 .5 2/3 .5
+        # AP(4) = (1*1 + 2/3*1) / 4
+        labels = np.array([1, 0, 1, 0])
+        expected = (1.0 + 2.0 / 3.0) / 4.0
+        assert top_n_average_precision(labels, 4) == pytest.approx(expected)
+
+    def test_prefers_front_loaded_rankings(self):
+        front = top_n_average_precision(np.array([1, 1, 0, 0]), 4)
+        back = top_n_average_precision(np.array([0, 0, 1, 1]), 4)
+        assert front > back
+
+    def test_scores_reorder_labels(self):
+        labels = np.array([0, 1])
+        scores = np.array([0.2, 0.9])
+        assert top_n_average_precision(labels, 1, scores) == 1.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            top_n_average_precision(np.array([1.0]), 0)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(np.array([1, 1, 0, 0])) == 1.0
+
+    def test_no_positives_is_zero(self):
+        assert average_precision(np.zeros(4)) == 0.0
+
+    def test_known_value(self):
+        # positives at ranks 1 and 3: AP = (1 + 2/3) / 2
+        labels = np.array([1, 0, 1, 0])
+        assert average_precision(labels) == pytest.approx((1 + 2 / 3) / 2)
+
+
+class TestAccuracyAtN:
+    def test_matches_paper_definition(self):
+        labels = np.array([1, 1, 0, 1, 0])
+        scores = -np.arange(5.0)
+        assert accuracy_at_n(labels, 3, scores) == pytest.approx(2 / 3)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc(labels, scores) == pytest.approx(1.0)
+
+    def test_reversed_separation(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self, rng):
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert abs(auc(labels, scores) - 0.5) < 0.05
+
+    def test_single_class_defaults_to_half(self):
+        assert auc(np.zeros(5), np.arange(5.0)) == 0.5
+
+    def test_roc_endpoints(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.7, 0.5, 0.1])
+        fpr, tpr = roc_curve(labels, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_roc_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1, 0]), np.array([0.5]))
+
+
+class TestEntropyGainRatio:
+    def test_entropy_uniform_binary(self):
+        assert entropy(np.array([0, 1, 0, 1])) == pytest.approx(1.0)
+
+    def test_entropy_pure(self):
+        assert entropy(np.ones(10)) == 0.0
+
+    def test_entropy_empty(self):
+        assert entropy(np.array([])) == 0.0
+
+    def test_gain_ratio_informative_feature(self, rng):
+        labels = rng.integers(0, 2, size=2000)
+        feature = labels + 0.01 * rng.normal(size=2000)
+        noise = rng.normal(size=2000)
+        assert gain_ratio(feature, labels) > gain_ratio(noise, labels)
+
+    def test_gain_ratio_handles_missing(self, rng):
+        labels = rng.integers(0, 2, size=500)
+        feature = labels.astype(float)
+        feature[:100] = np.nan
+        assert gain_ratio(feature, labels) > 0.1
+
+    def test_gain_ratio_constant_feature_is_zero(self):
+        labels = np.array([0, 1, 0, 1])
+        assert gain_ratio(np.ones(4), labels) == 0.0
+
+    def test_gain_ratio_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gain_ratio(np.ones(3), np.ones(4))

@@ -1,0 +1,67 @@
+"""Unit tests for PCA (repro.ml.pca)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCA
+
+
+class TestFit:
+    def test_explained_variance_sorted(self, rng):
+        X = rng.normal(size=(500, 6)) * np.array([5, 3, 2, 1, 0.5, 0.1])
+        pca = PCA().fit(X)
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-9)
+
+    def test_ratio_sums_to_one(self, rng):
+        X = rng.normal(size=(300, 4))
+        pca = PCA().fit(X)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_n_components_respected(self, rng):
+        X = rng.normal(size=(100, 5))
+        pca = PCA(n_components=2).fit(X)
+        assert pca.components_.shape == (2, 5)
+
+    def test_handles_missing_values(self, rng):
+        X = rng.normal(size=(200, 3))
+        X[rng.random((200, 3)) < 0.2] = np.nan
+        pca = PCA().fit(X)
+        assert np.all(np.isfinite(pca.components_))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros(5))
+
+
+class TestTransform:
+    def test_projection_shape(self, rng):
+        X = rng.normal(size=(50, 4))
+        Z = PCA(n_components=2).fit_transform(X)
+        assert Z.shape == (50, 2)
+
+    def test_components_decorrelated(self, rng):
+        X = rng.normal(size=(2000, 4))
+        X[:, 1] += X[:, 0]
+        Z = PCA().fit_transform(X)
+        cov = np.cov(Z, rowvar=False)
+        off_diag = cov - np.diag(np.diag(cov))
+        assert np.max(np.abs(off_diag)) < 0.05
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.zeros((2, 2)))
+
+
+class TestFeatureScores:
+    def test_dominant_feature_scores_highest(self, rng):
+        X = rng.normal(size=(400, 3))
+        X[:, 2] *= 10.0  # after standardisation all scales equal...
+        X[:, 0] = X[:, 1] + 0.1 * rng.normal(size=400)  # ...but 0,1 correlate
+        scores = PCA(n_components=1).fit(X).feature_scores()
+        # The leading component is the correlated pair, not the lone axis.
+        assert scores[0] > scores[2] and scores[1] > scores[2]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA().feature_scores()

@@ -1,0 +1,92 @@
+"""Unit tests for the disposition catalog (repro.netsim.components)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.components import (
+    DISPOSITION_INDEX,
+    DISPOSITIONS,
+    Location,
+    disposition_arrays,
+    dispositions_at,
+)
+
+
+class TestCatalogShape:
+    def test_exactly_52_dispositions(self):
+        """Section 6.3 trains models for 52 dispositions."""
+        assert len(DISPOSITIONS) == 52
+
+    def test_codes_unique_and_indexed(self):
+        assert len(DISPOSITION_INDEX) == 52
+        for code, idx in DISPOSITION_INDEX.items():
+            assert DISPOSITIONS[idx].code == code
+
+    def test_every_location_populated(self):
+        for location in Location:
+            assert len(dispositions_at(location)) >= 8
+
+    def test_no_dominant_disposition_per_location(self):
+        """Section 2.2: 'there is no dominant disposition in these major
+        locations'."""
+        for location in Location:
+            rates = [d.onset_rate for d in dispositions_at(location)]
+            assert max(rates) / sum(rates) < 0.5
+
+    def test_total_weekly_rate_below_few_percent(self):
+        total = sum(d.onset_rate for d in DISPOSITIONS)
+        assert 0.001 < total < 0.05
+
+    def test_code_prefix_matches_location(self):
+        prefixes = {Location.HN: "hn-", Location.F2: "f2-",
+                    Location.F1: "f1-", Location.DS: "ds-"}
+        for d in DISPOSITIONS:
+            assert d.code.startswith(prefixes[d.location])
+
+
+class TestSemantics:
+    def test_hard_failures_are_perceivable(self):
+        for d in DISPOSITIONS:
+            if d.hard_failure:
+                assert d.perceivability >= 0.3
+
+    def test_effects_in_valid_ranges(self):
+        for d in DISPOSITIONS:
+            assert 0.0 <= d.effect.rate_factor <= 1.0
+            assert 0.0 <= d.effect.dropout <= 1.0
+            assert 0.0 <= d.effect.off_prob <= 1.0
+            assert 0.0 < d.effect.cells_factor <= 1.0
+            assert d.effect.noise_db >= 0.0
+            assert d.effect.atten_db >= 0.0
+
+    def test_probabilities_are_probabilities(self):
+        for d in DISPOSITIONS:
+            assert 0.0 < d.onset_rate < 1.0
+            assert 0.0 < d.perceivability <= 1.0
+            assert 0.0 <= d.self_clear < 1.0
+            assert 0.0 < d.severity_growth <= 1.0
+
+    def test_bridge_tap_dispositions_set_flag(self):
+        bt = DISPOSITIONS[DISPOSITION_INDEX["f1-bridge-tap-removed"]]
+        assert bt.effect.sets_bt
+        assert bt.effect.rate_factor < 1.0
+
+    def test_location_description_nonempty(self):
+        for location in Location:
+            assert location.description
+
+
+class TestArrays:
+    def test_arrays_align_with_catalog(self):
+        arrays = disposition_arrays()
+        assert arrays.n == 52
+        for i, d in enumerate(DISPOSITIONS):
+            assert arrays.onset_rate[i] == d.onset_rate
+            assert arrays.location[i] == int(d.location)
+            assert arrays.rate_factor[i] == d.effect.rate_factor
+
+    def test_array_dtypes(self):
+        arrays = disposition_arrays()
+        assert arrays.hard_failure.dtype == bool
+        assert arrays.sets_bt.dtype == bool
+        assert np.issubdtype(arrays.location.dtype, np.integer)

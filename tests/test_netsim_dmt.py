@@ -1,0 +1,173 @@
+"""Unit tests for the DMT per-tone physics (repro.netsim.dmt)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.dmt import DmtConfig, DmtLinePhysics, DmtModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DmtModel()
+
+
+class TestToneGrid:
+    def test_adsl2plus_tone_ranges(self, model):
+        down = model.tones()
+        up = model.tones(upstream=True)
+        assert down[0] == 33 and down[-1] == 511
+        assert up[0] == 7 and up[-1] == 31
+
+    def test_frequencies_on_grid(self, model):
+        freqs = model.tone_frequencies_hz()
+        assert freqs[0] == pytest.approx(33 * 4312.5)
+        assert np.all(np.diff(freqs) == pytest.approx(4312.5))
+
+    def test_bad_tone_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            DmtModel(DmtConfig(down_tone_lo=5, up_tone_hi=31))
+
+
+class TestLoss:
+    def test_loss_grows_with_frequency_and_length(self, model):
+        freqs = model.tone_frequencies_hz()
+        short = model.loop_loss_db(3.0, freqs)
+        long = model.loop_loss_db(12.0, freqs)
+        assert np.all(np.diff(short) > 0)
+        assert np.all(long > short)
+
+    def test_loss_linear_in_length(self, model):
+        freqs = model.tone_frequencies_hz()[:10]
+        assert np.allclose(model.loop_loss_db(10.0, freqs),
+                           2 * model.loop_loss_db(5.0, freqs))
+
+    def test_negative_length_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.loop_loss_db(-1.0, np.array([1e5]))
+
+    def test_bridge_tap_notch_shape(self, model):
+        freqs = model.tone_frequencies_hz()
+        notch = model.bridge_tap_loss_db(freqs)
+        assert np.all(notch >= 0)
+        assert notch.max() <= model.config.bridge_tap_depth_db + 1e-9
+        assert notch.max() > 0.5 * model.config.bridge_tap_depth_db
+
+    def test_no_tap_no_notch(self, model):
+        freqs = model.tone_frequencies_hz()
+        assert np.all(model.bridge_tap_loss_db(freqs, tap_kft=0.0) == 0)
+
+
+class TestRates:
+    def test_reach_rate_curve_realistic(self, model):
+        """Anchor the curve to field ADSL2+ numbers: >20 Mbps on short
+        loops, ~1-3 Mbps at 12-15 kft (the 15 kft basic-profile rule),
+        sub-Mbps at 18 kft."""
+        assert model.attainable_kbps(0.5) > 20_000
+        assert 1_500 < model.attainable_kbps(12.0) < 4_000
+        assert 700 < model.attainable_kbps(15.0) < 2_000
+        assert model.attainable_kbps(18.0) < 1_000
+
+    def test_rate_monotone_in_length(self, model):
+        rates = [model.attainable_kbps(L) for L in np.linspace(0.5, 20, 15)]
+        assert all(b <= a + 1e-9 for a, b in zip(rates, rates[1:]))
+
+    def test_upstream_survives_long_loops(self, model):
+        """Upstream lives in the low band and degrades much more slowly --
+        the physical basis of the locator's directional signal."""
+        dn_drop = model.attainable_kbps(3.0) / model.attainable_kbps(15.0)
+        up_drop = model.attainable_kbps(3.0, upstream=True) / model.attainable_kbps(
+            15.0, upstream=True
+        )
+        assert dn_drop > 5 * up_drop
+
+    def test_impairments_reduce_rate(self, model):
+        base = model.attainable_kbps(8.0)
+        assert model.attainable_kbps(8.0, extra_noise_db=8.0) < base
+        assert model.attainable_kbps(8.0, extra_atten_db=10.0) < base
+        assert model.attainable_kbps(8.0, bridge_tap=True) < base
+        assert model.attainable_kbps(8.0, crosstalk=True) < base
+
+    def test_bit_cap_respected(self, model):
+        bits = model.bits_per_tone(np.array([200.0]))
+        assert bits[0] == model.config.max_bits_per_tone
+
+    def test_zero_snr_zero_bits(self, model):
+        assert model.bits_per_tone(np.array([-50.0]))[0] == 0
+
+    def test_highest_carrier_decays(self, model):
+        assert model.highest_carrier(1.0) == 511
+        assert model.highest_carrier(18.0) < model.highest_carrier(9.0) < 511
+
+
+class TestAdapter:
+    @pytest.fixture(scope="class")
+    def physics(self):
+        return DmtLinePhysics()
+
+    def test_matches_tone_model_on_grid(self, physics):
+        direct = physics.dmt.attainable_kbps(9.0)
+        adapted = physics.clean_attainable_kbps(np.array([9.0]))
+        assert adapted[0] == pytest.approx(direct, rel=0.02)
+
+    def test_vectorised_monotone(self, physics):
+        loops = np.linspace(0.5, 20, 30)
+        rates = physics.clean_attainable_kbps(loops)
+        assert np.all(np.diff(rates) <= 1e-6)
+
+    def test_interface_compatible_with_line_tester(self, physics):
+        """The whole measurement stack runs unchanged on DMT physics."""
+        from repro.measurement.linetest import LineTester
+        from repro.netsim.faults import FaultModel, FaultState
+        from repro.netsim.population import PopulationConfig, build_population
+
+        population = build_population(PopulationConfig(n_lines=300, seed=9))
+        effects = FaultModel().effects(FaultState.healthy(300))
+        tester = LineTester(physics=physics)
+        out = tester.run(
+            population.conditions(), effects, np.full(300, 0.5),
+            np.zeros(300, dtype=bool), np.random.default_rng(0),
+        )
+        assert out.shape == (300, 25)
+        from repro.measurement.records import feature_index
+        on = out[:, feature_index("state")] == 1.0
+        assert np.corrcoef(
+            population.loop_kft[on], out[on, feature_index("dnaten")]
+        )[0, 1] > 0.9
+
+    def test_highest_carrier_adapter(self, physics):
+        hicar = physics.highest_carrier(np.array([2.0, 16.0]), np.zeros(2))
+        assert hicar[0] > hicar[1]
+        assert hicar[0] <= physics.max_carrier
+
+
+class TestSimulatorIntegration:
+    def test_simulator_runs_on_dmt_physics(self):
+        from repro.netsim.simulator import (
+            DslSimulator,
+            PopulationConfig,
+            SimulationConfig,
+        )
+
+        config = SimulationConfig(
+            n_weeks=5,
+            population=PopulationConfig(n_lines=400, seed=6),
+            fault_rate_scale=5.0,
+            physics_model="dmt",
+            seed=8,
+        )
+        result = DslSimulator(config).run()
+        assert len(result.measurements.filled_weeks) == 5
+
+    def test_unknown_physics_model_rejected(self):
+        from repro.netsim.simulator import (
+            DslSimulator,
+            PopulationConfig,
+            SimulationConfig,
+        )
+
+        config = SimulationConfig(
+            n_weeks=2, population=PopulationConfig(n_lines=50),
+            physics_model="quantum",
+        )
+        with pytest.raises(ValueError):
+            DslSimulator(config)

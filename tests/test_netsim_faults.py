@@ -1,0 +1,129 @@
+"""Unit tests for the fault model (repro.netsim.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.components import DISPOSITION_INDEX, disposition_arrays
+from repro.netsim.faults import FaultModel, FaultState
+
+
+class TestFaultState:
+    def test_healthy_start(self):
+        state = FaultState.healthy(10)
+        assert not state.active.any()
+        assert np.all(state.severity == 0)
+
+    def test_clear(self):
+        state = FaultState.healthy(5)
+        state.disposition[2] = 7
+        state.severity[2] = 0.5
+        state.onset_day[2] = 3
+        state.clear(np.array([2]))
+        assert not state.active.any()
+
+
+class TestOnsets:
+    def test_rates_respected(self, rng):
+        model = FaultModel(rate_scale=10.0)
+        state = FaultState.healthy(50_000)
+        struck = model.sample_onsets(state, rng, week_start_day=0)
+        expected = model.weekly_onset_probability * 50_000
+        assert struck.size == pytest.approx(expected, rel=0.15)
+
+    def test_onset_day_within_week(self, rng):
+        model = FaultModel(rate_scale=10.0)
+        state = FaultState.healthy(20_000)
+        struck = model.sample_onsets(state, rng, week_start_day=14)
+        days = state.onset_day[struck]
+        assert np.all((days >= 14) & (days < 21))
+
+    def test_hard_failures_start_at_full_severity(self, rng):
+        model = FaultModel(rate_scale=10.0)
+        state = FaultState.healthy(100_000)
+        model.sample_onsets(state, rng, 0)
+        arrays = disposition_arrays()
+        active = np.flatnonzero(state.active)
+        hard = arrays.hard_failure[state.disposition[active]]
+        assert np.all(state.severity[active[hard]] == 1.0)
+        assert np.all(state.severity[active[~hard]] < 0.5)
+
+    def test_faulty_lines_not_restruck(self, rng):
+        model = FaultModel(rate_scale=10.0)
+        state = FaultState.healthy(1000)
+        state.disposition[:] = 0  # everyone already faulty
+        state.severity[:] = 0.5
+        struck = model.sample_onsets(state, rng, 0)
+        assert struck.size == 0
+
+    def test_rate_scale_cap(self):
+        with pytest.raises(ValueError):
+            FaultModel(rate_scale=1e9)
+
+    def test_negative_rate_scale_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel(rate_scale=-1.0)
+
+
+class TestAdvance:
+    def test_severity_grows_and_clips(self, rng):
+        model = FaultModel()
+        state = FaultState.healthy(3)
+        code = DISPOSITION_INDEX["hn-inside-wire-corroded"]  # growth 0.12
+        state.disposition[:] = code
+        state.severity[:] = 0.95
+        state.onset_day[:] = 0
+        model.advance_week(state, rng)
+        surviving = state.active
+        assert np.all(state.severity[surviving] == 1.0)
+
+    def test_self_clearing_faults_clear_eventually(self, rng):
+        model = FaultModel()
+        code = DISPOSITION_INDEX["hn-cable-loose"]  # self_clear 0.12
+        state = FaultState.healthy(5000)
+        state.disposition[:] = code
+        state.severity[:] = 0.5
+        state.onset_day[:] = 0
+        cleared = model.advance_week(state, rng)
+        assert cleared.size == pytest.approx(5000 * 0.12, rel=0.25)
+
+    def test_non_clearing_faults_persist(self, rng):
+        model = FaultModel()
+        code = DISPOSITION_INDEX["hn-modem-defective"]  # self_clear 0
+        state = FaultState.healthy(1000)
+        state.disposition[:] = code
+        state.severity[:] = 1.0
+        state.onset_day[:] = 0
+        cleared = model.advance_week(state, rng)
+        assert cleared.size == 0
+
+
+class TestEffects:
+    def test_healthy_lines_have_neutral_effects(self):
+        model = FaultModel()
+        effects = model.effects(FaultState.healthy(4))
+        assert np.all(effects.noise_db == 0)
+        assert np.all(effects.rate_factor == 1.0)
+        assert np.all(effects.cells_factor == 1.0)
+        assert not effects.bridge_tap.any()
+
+    def test_effects_scale_with_severity(self):
+        model = FaultModel()
+        code = DISPOSITION_INDEX["f1-wire-conductor-wet"]
+        state = FaultState.healthy(2)
+        state.disposition[:] = code
+        state.severity[:] = [0.2, 1.0]
+        state.onset_day[:] = 0
+        effects = model.effects(state)
+        assert effects.noise_db[1] == pytest.approx(5 * effects.noise_db[0])
+        assert effects.cv_rate[1] > effects.cv_rate[0]
+
+    def test_flags_gate_on_severity(self):
+        model = FaultModel()
+        code = DISPOSITION_INDEX["f1-bridge-tap-removed"]
+        state = FaultState.healthy(2)
+        state.disposition[:] = code
+        state.severity[:] = [0.1, 0.9]
+        state.onset_day[:] = 0
+        effects = model.effects(state)
+        assert not effects.bridge_tap[0]
+        assert effects.bridge_tap[1]

@@ -1,0 +1,129 @@
+"""Unit tests for the loop physics (repro.netsim.physics)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.physics import LinePhysics, LoopConditions
+
+
+@pytest.fixture()
+def physics():
+    return LinePhysics()
+
+
+def make_conditions(loop_kft, down=768.0, up=384.0):
+    loop = np.asarray(loop_kft, dtype=float)
+    n = loop.size
+    return LoopConditions(
+        loop_kft=loop,
+        profile_down_kbps=np.full(n, down),
+        profile_up_kbps=np.full(n, up),
+        ambient_noise_db=np.zeros(n),
+        static_bridge_tap=np.zeros(n, dtype=bool),
+        static_crosstalk=np.zeros(n, dtype=bool),
+    )
+
+
+def no_fault(n):
+    return dict(
+        extra_noise_db=np.zeros(n),
+        extra_atten_db=np.zeros(n),
+        rate_factor=np.ones(n),
+        bridge_tap=np.zeros(n, dtype=bool),
+        crosstalk=np.zeros(n, dtype=bool),
+    )
+
+
+class TestAttenuation:
+    def test_monotone_in_length(self, physics):
+        loops = np.array([1.0, 5.0, 10.0, 18.0])
+        atten = physics.attenuation_db(loops)
+        assert np.all(np.diff(atten) > 0)
+
+    def test_upstream_below_downstream(self, physics):
+        loops = np.array([8.0])
+        assert physics.attenuation_db(loops, upstream=True) < physics.attenuation_db(loops)
+
+
+class TestAttainableRate:
+    def test_decays_with_distance(self, physics):
+        loops = np.array([0.5, 4.0, 9.0, 15.0, 20.0])
+        rates = physics.clean_attainable_kbps(loops)
+        assert np.all(np.diff(rates) < 0)
+
+    def test_fifteen_kft_rule(self, physics):
+        """The paper's manual rule: loops past 15 kft cannot comfortably
+        hold even the basic profile -- exactly the regime where a speed
+        downgrade stabilises the line."""
+        rate_15 = float(physics.clean_attainable_kbps(np.array([15.0]))[0])
+        assert rate_15 < 768.0 / physics.sync_headroom * 2.0
+        rate_5 = float(physics.clean_attainable_kbps(np.array([5.0]))[0])
+        assert rate_5 > 2.0 * 768.0
+
+    def test_noise_reduces_attainable(self, physics):
+        cond = make_conditions([6.0, 6.0])
+        kw = no_fault(2)
+        kw["extra_noise_db"] = np.array([0.0, 8.0])
+        rates = physics.attainable_kbps(cond, **kw)
+        assert rates[1] < rates[0]
+
+    def test_bridge_tap_penalty(self, physics):
+        cond = make_conditions([6.0, 6.0])
+        kw = no_fault(2)
+        kw["bridge_tap"] = np.array([False, True])
+        rates = physics.attainable_kbps(cond, **kw)
+        assert rates[1] == pytest.approx(rates[0] * physics.bt_rate_penalty)
+
+    def test_rate_floor(self, physics):
+        rates = physics.clean_attainable_kbps(np.array([100.0]))
+        assert rates[0] == physics.min_rate_kbps
+
+
+class TestSyncAndMargin:
+    def test_sync_capped_by_profile(self, physics):
+        sync = physics.sync_rate_kbps(np.array([9000.0]), np.array([768.0]))
+        assert sync[0] == 768.0
+
+    def test_sync_capped_by_loop(self, physics):
+        sync = physics.sync_rate_kbps(np.array([500.0]), np.array([768.0]))
+        assert sync[0] == pytest.approx(500.0 * physics.sync_headroom)
+
+    def test_margin_grows_with_headroom(self, physics):
+        margins = physics.noise_margin_db(
+            np.array([1000.0, 3000.0, 8000.0]), np.full(3, 768.0)
+        )
+        assert np.all(np.diff(margins) > 0)
+
+    def test_margin_clipped_to_range(self, physics):
+        margins = physics.noise_margin_db(np.array([1e6, 0.0]), np.array([768.0, 768.0]))
+        assert margins[0] == physics.max_noise_margin_db
+        assert margins[1] == 0.0
+
+    def test_relative_capacity_92_rule(self, physics):
+        """A line syncing at nearly its attainable rate (> 0.92) is the
+        operators' escalation trigger; healthy lines sit well below."""
+        tight = physics.relative_capacity(np.array([760.0]), np.array([800.0]))
+        roomy = physics.relative_capacity(np.array([768.0]), np.array([4000.0]))
+        assert tight[0] > 0.92
+        assert roomy[0] < 0.5
+
+    def test_relative_capacity_clipped(self, physics):
+        rc = physics.relative_capacity(np.array([1000.0]), np.array([500.0]))
+        assert rc[0] == 1.0
+
+
+class TestCounters:
+    def test_code_violations_spike_below_knee(self, physics):
+        healthy = physics.code_violation_rate(np.array([15.0]), np.zeros(1))
+        marginal = physics.code_violation_rate(np.array([1.0]), np.zeros(1))
+        assert marginal[0] > healthy[0] * 5
+
+    def test_fault_cv_rate_adds(self, physics):
+        base = physics.code_violation_rate(np.array([15.0]), np.zeros(1))
+        faulted = physics.code_violation_rate(np.array([15.0]), np.array([20.0]))
+        assert faulted[0] == pytest.approx(base[0] + 20.0)
+
+    def test_highest_carrier_decays(self, physics):
+        hicar = physics.highest_carrier(np.array([1.0, 8.0, 16.0]), np.zeros(3))
+        assert np.all(np.diff(hicar) < 0)
+        assert hicar[0] <= physics.max_carrier

@@ -1,0 +1,39 @@
+"""Unit tests for service profiles (repro.netsim.profiles)."""
+
+import pytest
+
+from repro.netsim.profiles import PROFILE_NAMES, PROFILES, profile_by_name
+
+
+class TestCatalog:
+    def test_paper_anchor_tiers_present(self):
+        basic = profile_by_name("basic")
+        assert basic.down_kbps == 768.0
+        assert basic.up_kbps == 384.0
+        pro = profile_by_name("pro")
+        assert pro.down_kbps == pytest.approx(2560.0)
+        assert pro.up_kbps == 768.0
+
+    def test_popularity_is_a_distribution(self):
+        total = sum(p.popularity for p in PROFILES)
+        assert total == pytest.approx(1.0)
+
+    def test_speed_ladder_monotone(self):
+        downs = [p.down_kbps for p in PROFILES]
+        assert downs == sorted(downs)
+
+    def test_faster_tiers_have_shorter_reach(self):
+        reaches = [p.max_loop_kft for p in PROFILES]
+        assert reaches == sorted(reaches, reverse=True)
+
+    def test_min_rates_below_provisioned(self):
+        for p in PROFILES:
+            assert p.min_down_kbps < p.down_kbps
+            assert p.min_up_kbps < p.up_kbps
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("gigabit-fiber")
+
+    def test_names_unique(self):
+        assert len(set(PROFILE_NAMES)) == len(PROFILE_NAMES)

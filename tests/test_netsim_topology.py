@@ -1,0 +1,74 @@
+"""Unit tests for the topology object model (repro.netsim.topology)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.topology import Bras, Dslam, Topology
+
+
+def make_valid_topology():
+    """2 BRAS x 2 DSLAMs x 3 lines each."""
+    dslams = [
+        Dslam(dslam_id=0, bras_id=0, geo=0, line_ids=np.array([0, 1, 2])),
+        Dslam(dslam_id=1, bras_id=1, geo=1, line_ids=np.array([3, 4, 5])),
+    ]
+    brases = [
+        Bras(bras_id=0, dslam_ids=np.array([0])),
+        Bras(bras_id=1, dslam_ids=np.array([1])),
+    ]
+    line_dslam = np.array([0, 0, 0, 1, 1, 1])
+    line_bras = np.array([0, 0, 0, 1, 1, 1])
+    return Topology(brases=brases, dslams=dslams,
+                    line_dslam=line_dslam, line_bras=line_bras)
+
+
+class TestTopology:
+    def test_valid_topology_passes(self):
+        make_valid_topology().validate()
+
+    def test_counts(self):
+        topo = make_valid_topology()
+        assert topo.n_lines == 6
+        assert topo.n_dslams == 2
+        assert topo.n_brases == 2
+
+    def test_lines_of_dslam(self):
+        topo = make_valid_topology()
+        assert list(topo.lines_of_dslam(1)) == [3, 4, 5]
+
+    def test_lines_of_bras(self):
+        topo = make_valid_topology()
+        assert list(topo.lines_of_bras(0)) == [0, 1, 2]
+
+    def test_detects_orphan_line(self):
+        topo = make_valid_topology()
+        topo.dslams[1] = Dslam(dslam_id=1, bras_id=1, geo=1,
+                               line_ids=np.array([3, 4]))  # line 5 orphaned
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_detects_double_homed_line(self):
+        topo = make_valid_topology()
+        topo.dslams[1] = Dslam(dslam_id=1, bras_id=1, geo=1,
+                               line_ids=np.array([2, 3, 4, 5]))  # line 2 twice
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_detects_bad_bras_reference(self):
+        topo = make_valid_topology()
+        topo.dslams[0] = Dslam(dslam_id=0, bras_id=7, geo=0,
+                               line_ids=np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_detects_line_map_mismatch(self):
+        topo = make_valid_topology()
+        topo.line_dslam = np.array([1, 0, 0, 1, 1, 1])  # line 0 misfiled
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_detects_bras_membership_mismatch(self):
+        topo = make_valid_topology()
+        topo.brases[0] = Bras(bras_id=0, dslam_ids=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            topo.validate()

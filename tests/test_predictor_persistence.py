@@ -1,0 +1,50 @@
+"""Tests for TicketPredictor serialization (deploy-host round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PredictorConfig, TicketPredictor
+
+
+@pytest.fixture(scope="module")
+def fitted_predictor(request):
+    result = request.getfixturevalue("small_result")
+    split = request.getfixturevalue("small_split")
+    config = PredictorConfig(
+        capacity=50, horizon_weeks=3, train_rounds=30, selection_rounds=3,
+        product_pool=6,
+    )
+    return result, TicketPredictor(config).fit(result, split)
+
+
+class TestPredictorPersistence:
+    def test_roundtrip_scores_identical(self, fitted_predictor):
+        result, predictor = fitted_predictor
+        payload = predictor.to_dict()
+        json.dumps(payload)  # plain JSON
+        clone = TicketPredictor.from_dict(payload)
+        week = int(result.measurements.filled_weeks[-1])
+        assert np.allclose(
+            clone.score_week(result, week), predictor.score_week(result, week)
+        )
+
+    def test_recipes_preserved(self, fitted_predictor):
+        _, predictor = fitted_predictor
+        clone = TicketPredictor.from_dict(predictor.to_dict())
+        assert clone.recipes.base_indices == predictor.recipes.base_indices
+        assert clone.recipes.quad_indices == predictor.recipes.quad_indices
+        assert clone.recipes.product_pairs == predictor.recipes.product_pairs
+        assert clone.feature_names == predictor.feature_names
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            TicketPredictor().to_dict()
+
+    def test_bad_version_rejected(self, fitted_predictor):
+        _, predictor = fitted_predictor
+        payload = predictor.to_dict()
+        payload["format_version"] = 9
+        with pytest.raises(ValueError):
+            TicketPredictor.from_dict(payload)

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.calibration import PlattCalibrator
+from repro.ml.metrics import (
+    auc,
+    average_precision,
+    precision_at,
+    top_n_average_precision,
+)
+from repro.ml.stumps import fit_stump
+from repro.netsim.physics import LinePhysics
+
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def labeled_scores(draw, min_size=2, max_size=200):
+    n = draw(st.integers(min_size, max_size))
+    labels = draw(
+        hnp.arrays(np.int8, n, elements=st.integers(0, 1)).map(
+            lambda a: a.astype(float)
+        )
+    )
+    scores = draw(hnp.arrays(np.float64, n, elements=finite_floats))
+    return labels, scores
+
+
+class TestMetricProperties:
+    @given(labeled_scores())
+    def test_ap_n_bounded(self, data):
+        labels, scores = data
+        value = top_n_average_precision(labels, 10, scores)
+        assert 0.0 <= value <= 1.0
+
+    @given(labeled_scores())
+    def test_precision_bounded(self, data):
+        labels, scores = data
+        assert 0.0 <= precision_at(labels, 5, scores) <= 1.0
+
+    @given(labeled_scores())
+    def test_auc_bounded(self, data):
+        labels, scores = data
+        assert 0.0 <= auc(labels, scores) <= 1.0
+
+    @given(labeled_scores())
+    def test_average_precision_bounded(self, data):
+        labels, scores = data
+        assert 0.0 <= average_precision(labels, scores) <= 1.0
+
+    @given(labeled_scores())
+    def test_perfect_ranking_maximises_ap_n(self, data):
+        """Sorting true labels to the front can never score below any
+        other ordering of the same labels."""
+        labels, scores = data
+        n = 10
+        arbitrary = top_n_average_precision(labels, n, scores)
+        ideal = top_n_average_precision(np.sort(labels)[::-1], n)
+        assert ideal >= arbitrary - 1e-12
+
+    @given(labeled_scores(min_size=4))
+    def test_auc_antisymmetric(self, data):
+        labels, scores = data
+        if len(np.unique(labels)) < 2:
+            return
+        a = auc(labels, scores)
+        b = auc(labels, -scores)
+        assert a + b == pytest.approx(1.0, abs=1e-9)
+
+    @given(labeled_scores())
+    def test_ap_invariant_to_monotone_transform(self, data):
+        # Scaling by a power of two is exact in floating point, so the
+        # ranking (including tie structure) is provably unchanged.
+        labels, scores = data
+        a = top_n_average_precision(labels, 7, scores)
+        b = top_n_average_precision(labels, 7, 4.0 * scores)
+        assert a == pytest.approx(b)
+
+
+class TestStumpProperties:
+    @given(
+        hnp.arrays(np.float64, st.integers(4, 120), elements=finite_floats),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_z_bounded_and_prediction_finite(self, column, rnd):
+        n = len(column)
+        y = np.array([1.0 if rnd.random() < 0.5 else -1.0 for _ in range(n)])
+        if len(np.unique(y)) < 2:
+            return
+        weights = np.full(n, 1.0 / n)
+        stump = fit_stump(column, y, weights)
+        # Z of a normalised distribution never exceeds 1 (+ tolerance).
+        assert stump.z <= 1.0 + 1e-9
+        out = stump.predict(column[:, None])
+        assert np.all(np.isfinite(out))
+
+    @given(hnp.arrays(np.float64, st.integers(4, 60), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_perfectly_correlated_label_gives_small_z(self, column):
+        values = np.unique(column)
+        if len(values) < 2:
+            return
+        median = np.median(column)
+        y = np.where(column > median, 1.0, -1.0)
+        if len(np.unique(y)) < 2:
+            return
+        weights = np.full(len(column), 1.0 / len(column))
+        stump = fit_stump(column, y, weights)
+        assert stump.z < 0.7
+
+
+class TestCalibrationProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(10, 300),
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_output_is_probability_and_monotone(self, margins, rnd):
+        labels = np.array(
+            [1.0 if rnd.random() < 0.5 else 0.0 for _ in margins]
+        )
+        if len(np.unique(labels)) < 2:
+            return
+        cal = PlattCalibrator().fit(margins, labels)
+        grid = np.linspace(margins.min(), margins.max(), 20)
+        probs = cal.transform(grid)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+        diffs = np.diff(probs)
+        # The fitted sigmoid is monotone (in one direction or the other).
+        assert np.all(diffs >= -1e-12) or np.all(diffs <= 1e-12)
+
+
+class TestPhysicsProperties:
+    @given(
+        st.lists(st.floats(0.0, 25.0, allow_nan=False), min_size=2, max_size=50)
+    )
+    def test_attainable_monotone_in_loop(self, loops):
+        physics = LinePhysics()
+        loops = np.sort(np.asarray(loops))
+        rates = physics.clean_attainable_kbps(loops)
+        assert np.all(np.diff(rates) <= 1e-9)
+
+    @given(
+        st.floats(0.1, 20.0, allow_nan=False),
+        st.floats(0.0, 30.0, allow_nan=False),
+    )
+    def test_noise_never_raises_rate(self, loop, noise):
+        physics = LinePhysics()
+        cond_kwargs = dict(
+            loop_kft=np.array([loop]),
+            profile_down_kbps=np.array([768.0]),
+            profile_up_kbps=np.array([384.0]),
+            ambient_noise_db=np.zeros(1),
+            static_bridge_tap=np.zeros(1, dtype=bool),
+            static_crosstalk=np.zeros(1, dtype=bool),
+        )
+        from repro.netsim.physics import LoopConditions
+
+        cond = LoopConditions(**cond_kwargs)
+        clean = physics.attainable_kbps(
+            cond, np.zeros(1), np.zeros(1), np.ones(1),
+            np.zeros(1, dtype=bool), np.zeros(1, dtype=bool),
+        )
+        noisy = physics.attainable_kbps(
+            cond, np.array([noise]), np.zeros(1), np.ones(1),
+            np.zeros(1, dtype=bool), np.zeros(1, dtype=bool),
+        )
+        assert noisy[0] <= clean[0] + 1e-9
+
+    @given(st.floats(32.0, 10000.0), st.floats(32.0, 10000.0))
+    def test_relative_capacity_bounds(self, sync, attainable):
+        physics = LinePhysics()
+        rc = physics.relative_capacity(np.array([sync]), np.array([attainable]))
+        assert 0.0 <= rc[0] <= 1.0

@@ -1,0 +1,107 @@
+"""Property-based tests on the feature encoder and measurement store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.encoding import EncoderConfig, LineFeatureEncoder
+from repro.measurement.records import N_FEATURES, MeasurementStore, feature_index
+from repro.netsim.population import PopulationConfig, build_population
+
+
+@st.composite
+def measurement_worlds(draw):
+    """A tiny random population with a consistent measurement store."""
+    n_lines = draw(st.integers(3, 12))
+    n_weeks = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    store = MeasurementStore(n_lines=n_lines, n_weeks=n_weeks)
+    for week in range(n_weeks):
+        features = rng.normal(10.0, 3.0, size=(n_lines, N_FEATURES))
+        state = rng.random(n_lines) < 0.85
+        features[:, feature_index("state")] = state.astype(float)
+        features[~state, 1:] = np.nan
+        store.add_week(week, week * 7 + 5, features.astype(np.float32))
+    population = build_population(PopulationConfig(n_lines=n_lines, seed=seed))
+    return store, population
+
+
+class TestEncoderProperties:
+    @given(measurement_worlds())
+    @settings(max_examples=25, deadline=None)
+    def test_basic_block_equals_current_week(self, world):
+        store, population = world
+        week = store.n_weeks - 1
+        fs = LineFeatureEncoder().encode(store, week, population)
+        assert np.allclose(
+            fs.matrix[:, :N_FEATURES],
+            np.asarray(store.week_matrix(week), float),
+            equal_nan=True,
+            atol=1e-5,
+        )
+
+    @given(measurement_worlds())
+    @settings(max_examples=25, deadline=None)
+    def test_delta_block_is_exact_difference(self, world):
+        store, population = world
+        week = store.n_weeks - 1
+        fs = LineFeatureEncoder().encode(store, week, population)
+        current = np.asarray(store.week_matrix(week), float)
+        previous = np.asarray(store.week_matrix(week - 1), float)
+        delta = fs.matrix[:, N_FEATURES:2 * N_FEATURES]
+        assert np.allclose(delta, current - previous, equal_nan=True, atol=1e-4)
+
+    @given(measurement_worlds())
+    @settings(max_examples=25, deadline=None)
+    def test_column_count_is_invariant(self, world):
+        store, population = world
+        encoder = LineFeatureEncoder()
+        fs = encoder.encode(store, store.n_weeks - 1, population)
+        assert fs.n_features == encoder.base_feature_count()
+        assert len(fs.names) == fs.n_features
+        assert len(fs.groups) == fs.n_features
+        assert fs.categorical.shape == (fs.n_features,)
+
+    @given(measurement_worlds())
+    @settings(max_examples=25, deadline=None)
+    def test_quadratic_consistency(self, world):
+        store, population = world
+        encoder = LineFeatureEncoder(EncoderConfig(include_quadratic=True))
+        fs = encoder.encode(store, store.n_weeks - 1, population)
+        base_n = encoder.base_feature_count()
+        assert np.allclose(
+            fs.matrix[:, base_n:2 * base_n],
+            fs.matrix[:, :base_n] ** 2,
+            equal_nan=True,
+        )
+
+    @given(measurement_worlds(), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_subset_preserves_columns(self, world, pick_seed):
+        store, population = world
+        fs = LineFeatureEncoder().encode(store, store.n_weeks - 1, population)
+        rng = np.random.default_rng(pick_seed)
+        indices = rng.choice(fs.n_features, size=5, replace=False)
+        sub = fs.subset(indices)
+        for out_col, in_col in enumerate(indices):
+            assert np.allclose(
+                sub.matrix[:, out_col], fs.matrix[:, in_col], equal_nan=True
+            )
+            assert sub.names[out_col] == fs.names[in_col]
+
+
+class TestStoreProperties:
+    @given(st.integers(1, 20), st.integers(1, 10))
+    def test_fresh_store_is_all_missing(self, n_lines, n_weeks):
+        store = MeasurementStore(n_lines=n_lines, n_weeks=n_weeks)
+        assert np.all(np.isnan(store.data))
+        assert store.filled_weeks.size == 0
+
+    @given(measurement_worlds())
+    @settings(max_examples=25, deadline=None)
+    def test_modem_off_fraction_bounds(self, world):
+        store, _ = world
+        off = store.modem_off_fraction()
+        assert np.all((off >= 0.0) & (off <= 1.0))

@@ -1,0 +1,72 @@
+"""Tests for the one-shot evaluation report (repro.core.reporting)."""
+
+import pytest
+
+from repro.core.locator import LocatorConfig
+from repro.core.predictor import PredictorConfig
+from repro.core.reporting import EvaluationReport, full_evaluation_report
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    result = request.getfixturevalue("small_result")
+    split = request.getfixturevalue("small_split")
+    return full_evaluation_report(
+        result,
+        split,
+        predictor_config=PredictorConfig(
+            capacity=60, horizon_weeks=3, train_rounds=40, selection_rounds=3,
+            include_derived=False,
+        ),
+        locator_config=LocatorConfig(n_rounds=25),
+    )
+
+
+class TestStructure:
+    def test_all_sections_present(self, report):
+        assert set(report.sections) == {
+            "world (Section 3.3)",
+            "disposition mix (Table 1 / Fig 2)",
+            "ticket predictor (Section 5)",
+            "trouble locator (Section 6.3 / Fig 10)",
+        }
+
+    def test_headline_metrics_present(self, report):
+        for key in (
+            "edge_tickets", "accuracy_at_capacity", "base_ticket_rate",
+            "lift_at_capacity", "cdf_14_days", "missed_with_2day_fix",
+            "incorrect_real_fault_fraction", "locator_median_basic",
+            "locator_median_flat", "locator_median_combined",
+        ):
+            assert key in report.metrics, key
+
+    def test_location_shares_sum_to_one(self, report):
+        total = sum(
+            report.metrics[f"dispatch_share_{name}"]
+            for name in ("HN", "F2", "F1", "DS")
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_render_contains_all_sections(self, report):
+        text = report.render()
+        for name in report.sections:
+            assert f"=== {name} ===" in text
+
+
+class TestMetricSanity:
+    def test_accuracy_beats_base_rate(self, report):
+        assert report.metrics["accuracy_at_capacity"] > report.metrics[
+            "base_ticket_rate"
+        ]
+
+    def test_probabilities_bounded(self, report):
+        for key in ("accuracy_at_capacity", "base_ticket_rate", "cdf_14_days",
+                    "missed_with_2day_fix", "incorrect_real_fault_fraction"):
+            assert 0.0 <= report.metrics[key] <= 1.0
+
+    def test_locator_medians_ordered_sanely(self, report):
+        assert 1 <= report.metrics["locator_median_combined"] <= 52
+        assert 1 <= report.metrics["locator_median_basic"] <= 52
+
+    def test_empty_report_renders(self):
+        assert EvaluationReport().render() == ""

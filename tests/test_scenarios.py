@@ -1,0 +1,54 @@
+"""Tests for the canned plant scenarios (repro.netsim.scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.scenarios import SCENARIOS, scenario, scenario_names
+from repro.netsim.simulator import DslSimulator
+
+
+class TestCatalog:
+    def test_names(self):
+        assert set(scenario_names()) == {
+            "suburban", "urban", "rural", "storm_season", "outage_prone",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            scenario("underwater")
+
+    def test_all_scenarios_build_and_seed(self):
+        for name in SCENARIOS:
+            config = scenario(name, n_lines=300, n_weeks=4, seed=9)
+            assert config.n_weeks == 4
+            assert config.population.n_lines == 300
+
+
+class TestScenarioCharacter:
+    def test_urban_loops_shorter_than_rural(self):
+        urban = DslSimulator(scenario("urban", n_lines=2000, n_weeks=1))
+        rural = DslSimulator(scenario("rural", n_lines=2000, n_weeks=1))
+        assert urban.population.loop_kft.mean() < 0.5 * rural.population.loop_kft.mean()
+
+    def test_rural_has_more_marginal_lines(self):
+        urban = DslSimulator(scenario("urban", n_lines=2000, n_weeks=1))
+        rural = DslSimulator(scenario("rural", n_lines=2000, n_weeks=1))
+        assert np.mean(rural.population.loop_kft > 15.0) > 5 * np.mean(
+            urban.population.loop_kft > 15.0
+        )
+
+    def test_urban_crosstalk_rate(self):
+        urban = DslSimulator(scenario("urban", n_lines=2000, n_weeks=1))
+        assert urban.population.static_crosstalk.mean() > 0.15
+
+    def test_storm_season_generates_more_problems(self):
+        calm = DslSimulator(scenario("suburban", n_lines=1500, n_weeks=8)).run()
+        storm = DslSimulator(scenario("storm_season", n_lines=1500, n_weeks=8)).run()
+        assert len(storm.fault_events) > 1.4 * len(calm.fault_events)
+        assert len(storm.outages.events) >= len(calm.outages.events)
+
+    def test_outage_prone_outage_density(self):
+        world = DslSimulator(scenario("outage_prone", n_lines=1500, n_weeks=8)).run()
+        n_dslams = world.population.topology.n_dslams
+        # ~5%/week/DSLAM over 8 weeks.
+        assert len(world.outages.events) > 0.2 * n_dslams

@@ -1,0 +1,181 @@
+"""Integration-level tests of the week-by-week simulator."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.records import feature_index
+from repro.netsim.simulator import (
+    SATURDAY_OFFSET,
+    DslSimulator,
+    PopulationConfig,
+    SimulationConfig,
+)
+from repro.tickets.ticketing import TicketCategory, TicketSource
+
+
+class TestRun:
+    def test_measurements_every_week(self, small_result):
+        weeks = small_result.measurements.filled_weeks
+        assert list(weeks) == list(range(small_result.config.n_weeks))
+        saturdays = small_result.measurements.saturday_day
+        assert all(day % 7 == SATURDAY_OFFSET for day in saturdays)
+
+    def test_ticket_stream_is_substantial(self, small_result):
+        edge = small_result.ticket_log.edge_tickets()
+        assert len(edge) > 200
+
+    def test_weekly_seasonality_monday_peak(self, small_result):
+        hist = small_result.ticket_log.weekday_histogram()
+        assert hist[0] == hist.max()          # Monday peak
+        assert hist[5] + hist[6] < hist[0] + hist[1]  # weekend trough
+
+    def test_fault_events_have_valid_fields(self, small_result):
+        for event in small_result.fault_events:
+            assert 0 <= event.disposition < 52
+            assert event.onset_day >= 0
+            if event.cleared_day >= 0:
+                assert event.cleared_day >= event.onset_day
+                assert event.clear_cause in ("dispatch", "self", "proactive")
+
+    def test_tickets_reference_real_faults(self, small_result):
+        for ticket in small_result.ticket_log.edge_tickets():
+            if ticket.source is TicketSource.CUSTOMER:
+                assert ticket.fault_disposition >= 0
+                assert ticket.fault_onset_day <= ticket.day
+
+    def test_dispatch_clears_faults(self, small_result):
+        """A fixed dispatch must close its line's fault event."""
+        fixed_days = {}
+        for record in small_result.dispatcher.records:
+            if record.fixed and record.true_disposition >= 0:
+                fixed_days.setdefault(record.line_id, []).append(record.day)
+        closed = [e for e in small_result.fault_events
+                  if e.clear_cause == "dispatch"]
+        assert closed, "no dispatch-closed fault events at all"
+        for event in closed[:50]:
+            assert event.cleared_day in fixed_days.get(event.line_id, [])
+
+    def test_billing_tickets_present_but_unlabeled(self, small_result):
+        billing = [t for t in small_result.ticket_log.tickets
+                   if t.category is TicketCategory.BILLING]
+        assert billing
+        assert all(t.fault_disposition == -1 for t in billing)
+
+    def test_measured_features_track_faults(self, small_result):
+        """Lines with an active noisy fault at test time show elevated CV."""
+        week = 12
+        matrix = small_result.measurements.week_matrix(week)
+        day = int(small_result.measurements.saturday_day[week])
+        active = small_result.fault_active_on(day)
+        cv = matrix[:, feature_index("dncvcnt1")]
+        on = matrix[:, feature_index("state")] == 1.0
+        faulty_cv = np.nanmean(cv[on & active])
+        healthy_cv = np.nanmean(cv[on & ~active])
+        assert faulty_cv > healthy_cv * 1.5
+
+    def test_horizon_exhaustion_raises(self):
+        sim = DslSimulator(SimulationConfig(
+            n_weeks=2, population=PopulationConfig(n_lines=200)))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            sim.step()
+
+    def test_determinism(self):
+        config = SimulationConfig(
+            n_weeks=6, population=PopulationConfig(n_lines=500), seed=42
+        )
+        a = DslSimulator(config).run()
+        b = DslSimulator(config).run()
+        assert len(a.ticket_log) == len(b.ticket_log)
+        assert np.allclose(
+            a.measurements.week_matrix(3), b.measurements.week_matrix(3),
+            equal_nan=True,
+        )
+
+    def test_partial_run_and_resume(self):
+        config = SimulationConfig(
+            n_weeks=6, population=PopulationConfig(n_lines=300))
+        sim = DslSimulator(config)
+        sim.run(n_weeks=3)
+        assert sim.week == 3
+        result = sim.run()
+        assert list(result.measurements.filled_weeks) == list(range(6))
+
+
+class TestProactiveFixes:
+    def test_proactive_fix_clears_fault(self):
+        config = SimulationConfig(
+            n_weeks=8, population=PopulationConfig(n_lines=800),
+            fault_rate_scale=8.0, seed=7,
+        )
+        sim = DslSimulator(config)
+        for _ in range(4):
+            sim.step()
+        faulty = np.flatnonzero(sim.state.active)
+        assert faulty.size > 0
+        records = sim.apply_proactive_fixes(faulty[:5], day=sim.week * 7)
+        assert len(records) == 5
+        assert all(r.true_disposition >= 0 for r in records)
+        for record in records:
+            if record.fixed:
+                assert sim.state.disposition[record.line_id] == -1
+
+    def test_proactive_fix_on_healthy_line(self):
+        config = SimulationConfig(
+            n_weeks=4, population=PopulationConfig(n_lines=300))
+        sim = DslSimulator(config)
+        sim.step()
+        healthy = np.flatnonzero(~sim.state.active)
+        records = sim.apply_proactive_fixes(healthy[:3], day=7)
+        assert all(r.true_disposition == -1 for r in records)
+
+    def test_proactive_tickets_tagged_nevermind(self):
+        config = SimulationConfig(
+            n_weeks=4, population=PopulationConfig(n_lines=300))
+        sim = DslSimulator(config)
+        sim.step()
+        sim.apply_proactive_fixes(np.array([0, 1]), day=7)
+        sources = [t.source for t in sim.ticket_log.tickets if t.line_id in (0, 1)
+                   and t.day == 7]
+        assert TicketSource.NEVERMIND in sources
+
+
+class TestOutageInteraction:
+    @pytest.fixture(scope="class")
+    def outage_result(self):
+        from repro.tickets.outage import OutageConfig
+        config = SimulationConfig(
+            n_weeks=16,
+            population=PopulationConfig(n_lines=2000, seed=2),
+            outages=OutageConfig(weekly_rate=0.08, seed=5),
+            fault_rate_scale=5.0,
+            seed=31,
+        )
+        return DslSimulator(config).run()
+
+    def test_outages_scheduled(self, outage_result):
+        assert len(outage_result.outages.events) > 5
+
+    def test_ivr_absorbs_calls_during_outages(self, outage_result):
+        assert len(outage_result.ticket_log.ivr_calls) > 0
+        for call in outage_result.ticket_log.ivr_calls:
+            down = outage_result.outages.dslams_down_on(call.day)
+            assert down[call.dslam_id]
+
+    def test_precursor_degradation_visible(self, outage_result):
+        """Lines on a pre-outage DSLAM measure worse the week before."""
+        events = [e for e in outage_result.outages.events
+                  if e.start_day // 7 >= 3]
+        deltas = []
+        for event in events:
+            pre_week = event.start_day // 7 - 1
+            matrix = outage_result.measurements.week_matrix(pre_week)
+            lines = outage_result.population.topology.lines_of_dslam(event.dslam_id)
+            cv = matrix[:, feature_index("dncvcnt1")]
+            present = ~np.isnan(cv[lines])
+            if not present.any():
+                continue  # every modem on the DSLAM happened to be off
+            dslam_cv = np.mean(cv[lines][present])
+            all_cv = np.nanmean(cv)
+            deltas.append(dslam_cv - all_cv)
+        assert np.mean(deltas) > 1.0

@@ -1,0 +1,240 @@
+"""Unit tests for the customer-care simulation (repro.tickets)."""
+
+import numpy as np
+import pytest
+
+from repro.tickets.customers import CustomerConfig, build_customers
+from repro.tickets.dispatch import AtdsConfig, Dispatcher
+from repro.tickets.outage import OutageConfig, OutageSchedule
+from repro.tickets.ticketing import (
+    DAY_OF_WEEK_WEIGHTS,
+    TicketCategory,
+    TicketLog,
+    TicketSource,
+    day_of_week,
+)
+
+
+class TestCustomers:
+    def test_shapes(self):
+        customers = build_customers(100, 10)
+        assert customers.usage_intensity.shape == (100,)
+        assert customers.away.shape == (100, 10)
+
+    def test_values_in_unit_interval(self):
+        customers = build_customers(500, 5)
+        assert np.all((customers.usage_intensity >= 0) & (customers.usage_intensity <= 1))
+        assert np.all((customers.report_propensity >= 0) & (customers.report_propensity <= 1))
+
+    def test_vacations_are_contiguous_episodes(self):
+        config = CustomerConfig(away_start_prob=0.5, away_min_weeks=2,
+                                away_max_weeks=2, seed=2)
+        customers = build_customers(50, 12, config)
+        assert customers.away.any()
+
+    def test_away_rate_tracks_config(self):
+        config = CustomerConfig(away_start_prob=0.05, seed=4)
+        customers = build_customers(4000, 20, config)
+        rate = customers.away.mean()
+        # ~5% weekly starts x ~2-week stays => roughly 10% away overall.
+        assert 0.04 < rate < 0.2
+
+    def test_present_inverts_away(self):
+        customers = build_customers(20, 4)
+        assert np.array_equal(customers.present(2), ~customers.away[:, 2])
+
+    def test_week_bounds_checked(self):
+        customers = build_customers(5, 3)
+        with pytest.raises(IndexError):
+            customers.present(3)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            build_customers(0, 5)
+        with pytest.raises(ValueError):
+            build_customers(5, 5, CustomerConfig(away_min_weeks=3, away_max_weeks=1))
+
+
+class TestTicketLog:
+    def test_day_of_week_monday_anchor(self):
+        assert day_of_week(0) == 0  # Monday
+        assert day_of_week(5) == 5  # Saturday (the test day)
+        assert day_of_week(7) == 0
+
+    def test_weights_sum_to_one_and_peak_monday(self):
+        assert DAY_OF_WEEK_WEIGHTS.sum() == pytest.approx(1.0)
+        assert np.argmax(DAY_OF_WEEK_WEIGHTS) == 0
+        assert DAY_OF_WEEK_WEIGHTS[5] < DAY_OF_WEEK_WEIGHTS[0]
+
+    def test_open_ticket_sequence(self):
+        log = TicketLog()
+        t1 = log.open_ticket(3, 10, TicketCategory.CUSTOMER_EDGE)
+        t2 = log.open_ticket(4, 11, TicketCategory.BILLING)
+        assert t1.ticket_id == 0 and t2.ticket_id == 1
+        assert len(log) == 2
+        assert t1.week == 1
+
+    def test_edge_tickets_filter(self):
+        log = TicketLog()
+        log.open_ticket(1, 5, TicketCategory.CUSTOMER_EDGE)
+        log.open_ticket(2, 5, TicketCategory.BILLING)
+        log.open_ticket(3, 5, TicketCategory.OTHER)
+        assert len(log.edge_tickets()) == 1
+
+    def test_first_edge_ticket_after(self):
+        log = TicketLog()
+        log.open_ticket(0, 12, TicketCategory.CUSTOMER_EDGE)
+        log.open_ticket(0, 20, TicketCategory.CUSTOMER_EDGE)
+        log.open_ticket(1, 40, TicketCategory.CUSTOMER_EDGE)
+        log.open_ticket(2, 15, TicketCategory.BILLING)  # not edge
+        delays = log.first_edge_ticket_after(4, day=10, horizon_days=14)
+        assert delays[0] == 2       # first of line 0's two tickets
+        assert delays[1] == -1      # beyond horizon
+        assert delays[2] == -1      # billing does not count
+        assert delays[3] == -1
+
+    def test_horizon_excludes_prediction_day(self):
+        log = TicketLog()
+        log.open_ticket(0, 10, TicketCategory.CUSTOMER_EDGE)
+        delays = log.first_edge_ticket_after(1, day=10, horizon_days=7)
+        assert delays[0] == -1  # tickets ON the prediction day don't count
+
+    def test_nevermind_tickets_not_labels(self):
+        log = TicketLog()
+        log.open_ticket(0, 12, TicketCategory.CUSTOMER_EDGE,
+                        source=TicketSource.NEVERMIND)
+        delays = log.first_edge_ticket_after(1, day=10, horizon_days=14)
+        assert delays[0] == -1
+
+    def test_last_ticket_day_before(self):
+        log = TicketLog()
+        log.open_ticket(0, 5, TicketCategory.CUSTOMER_EDGE)
+        log.open_ticket(0, 9, TicketCategory.BILLING)
+        last = log.last_ticket_day_before(2, day=10)
+        assert last[0] == 9  # any customer ticket counts for recency
+        assert last[1] == -1
+
+    def test_ivr_recording(self):
+        log = TicketLog()
+        log.record_ivr(7, 3, dslam_id=2, fault_disposition=5)
+        assert len(log.ivr_calls) == 1
+        assert len(log) == 0  # IVR calls never become tickets
+
+    def test_weekday_histogram(self):
+        log = TicketLog()
+        log.open_ticket(0, 0, TicketCategory.CUSTOMER_EDGE)   # Monday
+        log.open_ticket(1, 7, TicketCategory.CUSTOMER_EDGE)   # Monday
+        log.open_ticket(2, 6, TicketCategory.CUSTOMER_EDGE)   # Sunday
+        hist = log.weekday_histogram()
+        assert hist[0] == 2 and hist[6] == 1
+
+
+class TestOutages:
+    def test_generation_rate(self):
+        schedule = OutageSchedule.generate(
+            500, 40, OutageConfig(weekly_rate=0.01, seed=1)
+        )
+        expected = 500 * 40 * 0.01
+        assert len(schedule.events) == pytest.approx(expected, rel=0.3)
+
+    def test_event_duration_range(self):
+        config = OutageConfig(weekly_rate=0.05, min_days=2, max_days=4, seed=2)
+        schedule = OutageSchedule.generate(100, 20, config)
+        for event in schedule.events:
+            assert 2 <= event.end_day - event.start_day + 1 <= 4
+
+    def test_dslams_down_on(self):
+        schedule = OutageSchedule.generate(50, 10, OutageConfig(weekly_rate=0.2, seed=3))
+        event = schedule.events[0]
+        down = schedule.dslams_down_on(event.start_day)
+        assert down[event.dslam_id]
+        after = schedule.dslams_down_on(event.end_day + 1)
+        others = [e for e in schedule.events
+                  if e.dslam_id == event.dslam_id and e.active_on(event.end_day + 1)]
+        if not others:
+            assert not after[event.dslam_id]
+
+    def test_outage_indicator_window(self):
+        schedule = OutageSchedule.generate(10, 10, OutageConfig(weekly_rate=0.0))
+        from repro.tickets.outage import OutageEvent
+        schedule.events.append(OutageEvent(dslam_id=3, start_day=20, end_day=21))
+        assert schedule.outage_in_window(3, day=15, horizon_days=7)
+        assert not schedule.outage_in_window(3, day=15, horizon_days=3)
+        assert not schedule.outage_in_window(3, day=20, horizon_days=7)  # already started
+        indicator = schedule.outage_indicator(15, 7)
+        assert indicator[3] and indicator.sum() == 1
+
+    def test_precursor_ramp(self):
+        schedule = OutageSchedule.generate(
+            10, 12, OutageConfig(weekly_rate=0.0, precursor_weeks=2)
+        )
+        from repro.tickets.outage import OutageEvent
+        schedule.events.append(OutageEvent(dslam_id=5, start_day=70, end_day=71))  # week 10
+        assert schedule.precursor_strength(10)[5] == 0.0  # the outage week itself
+        s9 = schedule.precursor_strength(9)[5]
+        s8 = schedule.precursor_strength(8)[5]
+        s7 = schedule.precursor_strength(7)[5]
+        assert s9 == 1.0 and s8 == 0.5 and s7 == 0.0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            OutageSchedule.generate(0, 10)
+        with pytest.raises(ValueError):
+            OutageSchedule.generate(10, 10, OutageConfig(min_days=3, max_days=1))
+
+
+class TestDispatcher:
+    def test_resolution_delay_range(self, rng):
+        dispatcher = Dispatcher(AtdsConfig(min_delay_days=1, max_delay_days=3))
+        record = dispatcher.resolve(0, 5, report_day=10, true_disposition=4, rng=rng)
+        assert 11 <= record.day <= 13
+
+    def test_healthy_line_no_trouble_found(self, rng):
+        dispatcher = Dispatcher()
+        record = dispatcher.resolve(0, 5, 10, true_disposition=-1, rng=rng)
+        assert record.recorded_disposition == -1
+        assert record.fixed
+        assert not record.truck_roll
+
+    def test_disposition_noise_rate(self, rng):
+        config = AtdsConfig(disposition_noise=0.2, failed_fix_rate=0.0)
+        dispatcher = Dispatcher(config)
+        wrong = 0
+        n = 3000
+        for _ in range(n):
+            recorded = dispatcher.record_disposition(10, rng)
+            wrong += recorded != 10
+        assert wrong / n == pytest.approx(0.2, abs=0.03)
+
+    def test_noise_mostly_same_location(self, rng):
+        from repro.netsim.components import disposition_arrays
+        locations = disposition_arrays().location
+        config = AtdsConfig(disposition_noise=1.0, same_location_given_noise=0.8)
+        dispatcher = Dispatcher(config)
+        same = 0
+        n = 2000
+        for _ in range(n):
+            recorded = dispatcher.record_disposition(10, rng)
+            same += locations[recorded] == locations[10]
+        assert same / n == pytest.approx(0.8, abs=0.05)
+
+    def test_failed_fixes_leave_fault(self, rng):
+        config = AtdsConfig(failed_fix_rate=1.0)
+        dispatcher = Dispatcher(config)
+        record = dispatcher.resolve(0, 5, 10, true_disposition=3, rng=rng)
+        assert not record.fixed
+        assert record.recorded_disposition == -1
+
+    def test_counters(self, rng):
+        dispatcher = Dispatcher(AtdsConfig(disposition_noise=0.0, failed_fix_rate=0.0))
+        for i in range(20):
+            dispatcher.resolve(i, i, 10, true_disposition=i % 52, rng=rng)
+        counts = dispatcher.disposition_counts()
+        assert counts.sum() == 20
+        assert dispatcher.location_counts().sum() == 20
+        summary = dispatcher.summary()
+        assert summary["dispatches"] == 20
+
+    def test_disposition_name(self):
+        assert Dispatcher.disposition_name(-1) == "no trouble found"
+        assert "modem" in Dispatcher.disposition_name(0).lower()

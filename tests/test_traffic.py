@@ -1,0 +1,97 @@
+"""Unit tests for the traffic model (repro.traffic)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.usage import TrafficConfig, TrafficLog, TrafficModel
+
+
+def fill_week(model, week, rng, present=None, usage=None, throughput=None,
+              down=None):
+    n = len(model.line_ids)
+    model.record_week(
+        week,
+        usage_intensity=usage if usage is not None else np.full(n, 0.5),
+        present=present if present is not None else np.ones(n, dtype=bool),
+        throughput_factor=throughput if throughput is not None else np.ones(n),
+        dslam_down_days=down if down is not None else np.zeros((n, 7), dtype=bool),
+        rng=rng,
+    )
+
+
+class TestTrafficModel:
+    def test_basic_recording(self, rng):
+        model = TrafficModel(line_ids=np.array([3, 1, 7]), n_days=14)
+        fill_week(model, 0, rng)
+        fill_week(model, 1, rng)
+        log = model.finish()
+        assert log.daily_bytes.shape == (3, 14)
+        assert log.daily_bytes.sum() > 0
+
+    def test_line_ids_sorted(self):
+        model = TrafficModel(line_ids=np.array([9, 2, 5]), n_days=7)
+        assert list(model.line_ids) == [2, 5, 9]
+
+    def test_absent_customers_emit_nothing(self, rng):
+        model = TrafficModel(line_ids=np.arange(4), n_days=7)
+        present = np.array([True, False, True, False])
+        fill_week(model, 0, rng, present=present)
+        log = model.finish()
+        assert log.bytes_in_window(1, 0, 6) == 0.0
+        assert log.bytes_in_window(3, 0, 6) == 0.0
+        assert log.bytes_in_window(0, 0, 6) > 0.0
+
+    def test_outage_days_zeroed(self, rng):
+        model = TrafficModel(line_ids=np.arange(2), n_days=7)
+        down = np.zeros((2, 7), dtype=bool)
+        down[0, :] = True
+        fill_week(model, 0, rng, down=down)
+        log = model.finish()
+        assert log.bytes_in_window(0, 0, 6) == 0.0
+
+    def test_usage_scales_volume(self, rng):
+        model = TrafficModel(line_ids=np.arange(2000), n_days=7)
+        usage = np.where(np.arange(2000) < 1000, 0.9, 0.1)
+        fill_week(model, 0, rng, usage=usage)
+        log = model.finish()
+        heavy = log.daily_bytes[:1000].mean()
+        light = log.daily_bytes[1000:].mean()
+        assert heavy > 4 * light
+
+    def test_week_out_of_range(self, rng):
+        model = TrafficModel(line_ids=np.arange(2), n_days=7)
+        with pytest.raises(IndexError):
+            fill_week(model, 1, rng)
+
+    def test_shape_validation(self, rng):
+        model = TrafficModel(line_ids=np.arange(3), n_days=7)
+        with pytest.raises(ValueError):
+            model.record_week(0, np.ones(2), np.ones(3, dtype=bool),
+                              np.ones(3), np.zeros((3, 7), dtype=bool), rng)
+
+
+class TestTrafficLog:
+    def test_is_sampled(self):
+        log = TrafficLog(line_ids=np.array([2, 5]), daily_bytes=np.zeros((2, 7)))
+        assert log.is_sampled(5)
+        assert not log.is_sampled(4)
+
+    def test_unsampled_raises(self):
+        log = TrafficLog(line_ids=np.array([2]), daily_bytes=np.zeros((1, 7)))
+        with pytest.raises(KeyError):
+            log.bytes_in_window(3, 0, 6)
+
+    def test_window_clipping(self):
+        log = TrafficLog(
+            line_ids=np.array([0]), daily_bytes=np.ones((1, 7), dtype=np.float32)
+        )
+        assert log.bytes_in_window(0, -5, 100) == pytest.approx(7.0)
+        assert log.bytes_in_window(0, 6, 3) == 0.0
+
+    def test_not_on_site_definition(self):
+        """The paper: no traffic from one week before to one week after."""
+        daily = np.zeros((1, 28), dtype=np.float32)
+        daily[0, 20] = 100.0
+        log = TrafficLog(line_ids=np.array([0]), daily_bytes=daily)
+        assert not log.not_on_site(0, day=14, window_days=7)  # traffic day 20
+        assert log.not_on_site(0, day=5, window_days=7)       # silent window
