@@ -1,0 +1,269 @@
+"""Performance harness for the vectorised scoring / training fabric.
+
+Measures the three hot paths this repo optimises and writes the numbers
+(with their naive-baseline speedups) to ``BENCH_perf.json``:
+
+* **score** -- ``CompiledEnsemble.decision_function`` vs the round-by-round
+  naive scorer on a deep synthetic ensemble (default 100K rows x 400
+  rounds, the Fig-3 weekly-scoring shape), asserting the margins agree.
+* **train** -- ``BStump.fit`` throughput in rows/sec.
+* **selection** -- the batched single-feature sweep on a Fig-4-shaped
+  workload (83 candidate features) against two baselines: the
+  pre-optimisation reference (a per-column ``BStump`` fit plus the scalar
+  tie-break/AP(N) pass per candidate -- the "before" of this PR's
+  speedup claim) and the current per-column loop (today's fits with the
+  shared vectorised scoring stage).  Asserts all paths select identical
+  feature sets.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
+
+``REPRO_WORKERS`` speeds up the selection sweep; the harness records the
+worker count it ran with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.encoding import FeatureSet
+from repro.features.selection import single_feature_ap
+from repro.ml.boostexter import BStump, BStumpConfig
+from repro.ml.ensemble_scoring import compile_stumps
+from repro.ml.stumps import Stump
+from repro.parallel import worker_count
+
+
+def _timed(fn, repeats: int = 1):
+    """Best-of-N wall clock and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _synthetic_matrix(rng, n_rows: int, n_features: int, nan_frac: float = 0.3):
+    X = rng.normal(size=(n_rows, n_features))
+    X[rng.random((n_rows, n_features)) < nan_frac] = np.nan
+    return X
+
+
+def _synthetic_ensemble(rng, n_rounds: int, n_features: int):
+    """A fitted-looking stump list without paying for an actual fit."""
+    stumps = []
+    for _ in range(n_rounds):
+        stumps.append(
+            Stump(
+                feature=int(rng.integers(n_features)),
+                threshold=float(rng.normal()),
+                s_lo=float(rng.normal(scale=0.1)),
+                s_hi=float(rng.normal(scale=0.1)),
+                s_miss=float(rng.normal(scale=0.05)),
+                categorical=False,
+                z=1.0,
+            )
+        )
+    return stumps
+
+
+def bench_score(rng, n_rows: int, n_rounds: int, n_features: int, repeats: int):
+    stumps = _synthetic_ensemble(rng, n_rounds, n_features)
+    X = _synthetic_matrix(rng, n_rows, n_features)
+    compiled = compile_stumps(stumps, n_features)
+
+    def naive():
+        margin = np.zeros(n_rows)
+        for stump in stumps:
+            margin += stump.predict(X)
+        return margin
+
+    compile_time, _ = _timed(lambda: compile_stumps(stumps, n_features))
+    naive_time, naive_margin = _timed(naive, repeats)
+    compiled_time, compiled_margin = _timed(
+        lambda: compiled.decision_function(X), repeats
+    )
+    np.testing.assert_allclose(compiled_margin, naive_margin, rtol=1e-10, atol=1e-10)
+    return {
+        "n_rows": n_rows,
+        "n_rounds": n_rounds,
+        "n_features": n_features,
+        "n_used_features": compiled.n_used_features,
+        "compile_seconds": compile_time,
+        "naive_seconds": naive_time,
+        "compiled_seconds": compiled_time,
+        "naive_rows_per_sec": n_rows / naive_time,
+        "compiled_rows_per_sec": n_rows / compiled_time,
+        "speedup": naive_time / compiled_time,
+        "margins_match": True,
+    }
+
+
+def bench_train(rng, n_rows: int, n_rounds: int, n_features: int):
+    X = _synthetic_matrix(rng, n_rows, n_features)
+    y = (np.where(np.isnan(X[:, 0]), 0.0, X[:, 0]) + rng.normal(size=n_rows) > 0)
+    config = BStumpConfig(n_rounds=n_rounds, calibrate=False)
+    elapsed, model = _timed(
+        lambda: BStump(config).fit(X, y.astype(float))
+    )
+    return {
+        "n_rows": n_rows,
+        "n_rounds_requested": n_rounds,
+        "n_rounds_trained": len(model.learners),
+        "n_features": n_features,
+        "seconds": elapsed,
+        "rows_per_sec": n_rows / elapsed,
+        "row_rounds_per_sec": n_rows * len(model.learners) / elapsed,
+    }
+
+
+def _reference_single_feature_ap(train, y_train, test, y_test, n, n_rounds):
+    """The pre-optimisation selection sweep, kept as the bench baseline.
+
+    One ``BStump`` fit and one scalar tie-break + AP(N) pass per
+    candidate column -- the shape of the loop before this repo vectorised
+    the scoring stage and moved the fits into the sorted-domain sweep.
+    (The per-column fits themselves already benefit from the current
+    ``StumpSearch``, so the measured baseline *understates* the speedup
+    over the original code.)
+    """
+    from repro.features.selection import (
+        _break_ties_by_value,
+        _eligible_columns,
+        _fit_single_column_margin,
+    )
+    from repro.ml.metrics import top_n_average_precision
+
+    config = BStumpConfig(n_rounds=n_rounds, calibrate=False)
+    scores = np.zeros(train.n_features)
+    for j in np.flatnonzero(_eligible_columns(train.matrix)):
+        margin = _fit_single_column_margin(train, y_train, test, int(j), config)
+        if not train.categorical[j]:
+            margin = _break_ties_by_value(margin, test.matrix[:, j])
+        scores[int(j)] = top_n_average_precision(y_test, n, margin)
+    return scores
+
+
+def bench_selection(rng, n_rows: int, n_features: int, n_rounds: int,
+                    repeats: int):
+    """Fig-4-shaped sweep: score every candidate with a tiny predictor."""
+    X = _synthetic_matrix(rng, n_rows, n_features)
+    y = (np.nansum(X[:, :8], axis=1) + rng.normal(scale=2.0, size=n_rows) > 1.5)
+    y = y.astype(float)
+    names = [f"f{i}" for i in range(n_features)]
+    groups = ["default"] * n_features
+    cat = np.zeros(n_features, dtype=bool)
+    half = n_rows // 2
+    train = FeatureSet(X[:half], names, groups, cat)
+    test = FeatureSet(X[half:], names, groups, cat)
+    capacity = max(10, n_rows // 8)
+
+    baseline_time, baseline_scores = _timed(
+        lambda: _reference_single_feature_ap(
+            train, y[:half], test, y[half:], capacity, n_rounds
+        ),
+        repeats,
+    )
+    loop_time, loop_scores = _timed(
+        lambda: single_feature_ap(
+            train, y[:half], test, y[half:], n=capacity,
+            n_rounds=n_rounds, batched=False,
+        ),
+        repeats,
+    )
+    batched_time, batched_scores = _timed(
+        lambda: single_feature_ap(
+            train, y[:half], test, y[half:], n=capacity,
+            n_rounds=n_rounds, batched=True,
+        ),
+        repeats,
+    )
+
+    def top20(scores):
+        return set(np.argsort(-scores, kind="stable")[:20].tolist())
+
+    return {
+        "n_rows": n_rows,
+        "n_features": n_features,
+        "n_rounds": n_rounds,
+        "baseline_seconds": baseline_time,
+        "loop_seconds": loop_time,
+        "batched_seconds": batched_time,
+        "speedup": baseline_time / batched_time,
+        "speedup_vs_loop": loop_time / batched_time,
+        "scores_identical": bool(np.array_equal(batched_scores, loop_scores)),
+        "scores_match_reference": bool(
+            np.array_equal(batched_scores, baseline_scores)
+        ),
+        "selected_sets_identical": (
+            top20(batched_scores) == top20(loop_scores) == top20(baseline_scores)
+        ),
+        "workers": worker_count(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="rows for the scoring benchmark")
+    parser.add_argument("--rounds", type=int, default=400,
+                        help="ensemble depth for the scoring benchmark")
+    parser.add_argument("--features", type=int, default=40,
+                        help="feature count for scoring/training benchmarks")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for a CI smoke run")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_perf.json")
+    args = parser.parse_args()
+
+    if args.quick:
+        score_rows, score_rounds, features = 5_000, 60, 20
+        train_rows, train_rounds = 2_000, 40
+        sel_rows, sel_features, sel_rounds = 1_200, 30, 3
+        repeats = 1
+    else:
+        score_rows, score_rounds, features = args.rows, args.rounds, args.features
+        train_rows, train_rounds = 20_000, 150
+        sel_rows, sel_features, sel_rounds = 12_000, 83, 4
+        repeats = 3
+
+    rng = np.random.default_rng(20100801)
+    report = {
+        "quick": args.quick,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "workers_env": os.environ.get("REPRO_WORKERS", ""),
+        "score": bench_score(rng, score_rows, score_rounds, features, repeats),
+        "train": bench_train(rng, train_rows, train_rounds, features),
+        "selection": bench_selection(rng, sel_rows, sel_features, sel_rounds,
+                                     repeats),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    score, sel = report["score"], report["selection"]
+    print(f"score:     {score['speedup']:.1f}x compiled vs naive "
+          f"({score['compiled_rows_per_sec']:.0f} rows/s vs "
+          f"{score['naive_rows_per_sec']:.0f} rows/s)")
+    print(f"train:     {report['train']['rows_per_sec']:.0f} rows/s "
+          f"({report['train']['n_rounds_trained']} rounds)")
+    print(f"selection: {sel['speedup']:.1f}x batched vs reference "
+          f"({sel['speedup_vs_loop']:.1f}x vs current loop), "
+          f"scores identical: {sel['scores_identical']}, "
+          f"selected sets identical: {sel['selected_sets_identical']}")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,9 @@ Package map (see DESIGN.md for the experiment index):
   PCA and ranking metrics, all from scratch;
 * :mod:`repro.features` -- Table-3 encoding and top-N AP selection;
 * :mod:`repro.core` -- the ticket predictor, trouble locator, Section-5
-  analyses, and the closed operational loop.
+  analyses, and the closed operational loop;
+* :mod:`repro.parallel` -- the ``parallel_map`` fabric (``REPRO_WORKERS``)
+  the locator and the feature-selection sweep fan out over.
 """
 
 from repro.core.analysis import (
@@ -80,6 +82,7 @@ from repro.data.joins import (
 from repro.data.splits import TemporalSplit, paper_style_split
 from repro.features.encoding import EncoderConfig, FeatureSet, LineFeatureEncoder
 from repro.netsim.population import Population, PopulationConfig, build_population
+from repro.parallel import parallel_map, worker_count
 from repro.netsim.scenarios import scenario, scenario_names
 from repro.netsim.simulator import (
     DslSimulator,
@@ -143,5 +146,7 @@ __all__ = [
     "ChurnConfig",
     "ChurnReport",
     "estimate_churn",
+    "parallel_map",
+    "worker_count",
     "__version__",
 ]

@@ -38,6 +38,7 @@ from repro.ml.boostexter import BStump, BStumpConfig
 from repro.ml.calibration import PlattCalibrator
 from repro.ml.logistic import fit_logistic_regression
 from repro.netsim.components import DISPOSITIONS, disposition_arrays
+from repro.parallel import parallel_map
 
 __all__ = [
     "LocatorConfig",
@@ -147,13 +148,17 @@ class FlatLocator:
             counts.sum() + cfg.prior_smoothing * N_DISPOSITIONS
         )
 
-        self.models_ = {}
-        for code in range(N_DISPOSITIONS):
-            model = _fit_one_vs_rest(
+        # The 52 one-vs-rest fits are independent over shared read-only
+        # arrays -- the natural unit for the parallel fabric.
+        fitted = parallel_map(
+            lambda code: _fit_one_vs_rest(
                 X, train.disposition == code, self._categorical, cfg
-            )
-            if model is not None:
-                self.models_[code] = model
+            ),
+            range(N_DISPOSITIONS),
+        )
+        self.models_ = {
+            code: model for code, model in enumerate(fitted) if model is not None
+        }
 
         # Out-of-fold margins for calibration (and for the combined model).
         folds = max(2, cfg.cv_folds)
@@ -161,16 +166,27 @@ class FlatLocator:
         oof = np.tile(prior_logit, (n, 1))
         if n >= folds * 4:
             assignment = _fold_assignment(n, folds, cfg.cv_seed)
-            for fold in range(folds):
-                held = assignment == fold
-                rest = ~held
-                for code in self.models_:
-                    model = _fit_one_vs_rest(
-                        X[rest], train.disposition[rest] == code,
-                        self._categorical, cfg,
-                    )
-                    if model is not None:
-                        oof[held, code] = model.decision_function(X[held])
+            rests = [assignment != fold for fold in range(folds)]
+            tasks = [
+                (fold, code) for fold in range(folds) for code in self.models_
+            ]
+
+            def oof_margins(task: tuple[int, int]) -> np.ndarray | None:
+                fold, code = task
+                rest = rests[fold]
+                model = _fit_one_vs_rest(
+                    X[rest], train.disposition[rest] == code,
+                    self._categorical, cfg,
+                )
+                if model is None:
+                    return None
+                return model.decision_function(X[~rest])
+
+            for (fold, code), margins in zip(
+                tasks, parallel_map(oof_margins, tasks)
+            ):
+                if margins is not None:
+                    oof[~rests[fold], code] = margins
         else:
             oof = self.decision_matrix(X)
         self.oof_decision_ = oof
@@ -220,13 +236,15 @@ class CombinedLocator:
         self.flat.fit(train)
 
         # Major-location one-vs-rest models (4 of them, far better fed).
-        self.location_models_ = {}
-        for loc in range(N_LOCATIONS):
-            model = _fit_one_vs_rest(
+        fitted = parallel_map(
+            lambda loc: _fit_one_vs_rest(
                 X, train.location == loc, train.features.categorical, cfg
-            )
-            if model is not None:
-                self.location_models_[loc] = model
+            ),
+            range(N_LOCATIONS),
+        )
+        self.location_models_ = {
+            loc: model for loc, model in enumerate(fitted) if model is not None
+        }
 
         # Per-disposition logistic blend of the two margins (Eq. 2),
         # fitted on out-of-fold margins so the blend sees honestly
@@ -264,16 +282,25 @@ class CombinedLocator:
             return self._location_margins(X)
         assignment = _fold_assignment(n, folds, cfg.cv_seed)
         f_loc = np.zeros((n, N_LOCATIONS))
-        for fold in range(folds):
-            held = assignment == fold
-            rest = ~held
-            for loc in range(N_LOCATIONS):
-                model = _fit_one_vs_rest(
-                    X[rest], train.location[rest] == loc,
-                    train.features.categorical, cfg,
-                )
-                if model is not None:
-                    f_loc[held, loc] = model.decision_function(X[held])
+        rests = [assignment != fold for fold in range(folds)]
+        tasks = [
+            (fold, loc) for fold in range(folds) for loc in range(N_LOCATIONS)
+        ]
+
+        def oof_margins(task: tuple[int, int]) -> np.ndarray | None:
+            fold, loc = task
+            rest = rests[fold]
+            model = _fit_one_vs_rest(
+                X[rest], train.location[rest] == loc,
+                train.features.categorical, cfg,
+            )
+            if model is None:
+                return None
+            return model.decision_function(X[~rest])
+
+        for (fold, loc), margins in zip(tasks, parallel_map(oof_margins, tasks)):
+            if margins is not None:
+                f_loc[~rests[fold], loc] = margins
         return f_loc
 
     def _location_margins(self, X: np.ndarray) -> np.ndarray:

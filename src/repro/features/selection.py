@@ -15,18 +15,37 @@ The comparison baselines (Table 4) rank features by:
 * classic average precision of the raw feature value;
 * PCA loading mass on the leading principal components;
 * gain ratio (normalised information gain).
+
+Performance: the selection sweep trains one tiny boosted model per
+candidate column, which the paper runs over hundreds of candidates.
+Rather than building a fresh :class:`~repro.ml.stumps.StumpSearch`
+(argsort included) per candidate, the default path hands whole column
+chunks to :mod:`repro.features.sweep`, which runs the boosting recurrence
+for every column at once in the value-sorted domain (sort once per class,
+prefix-sum round statistics, slice-wise weight updates).  Column chunks
+are independent, so the sweep also fans out over
+:func:`repro.parallel.parallel_map` (``REPRO_WORKERS``).  The final
+tie-break + AP(N) scoring stage is likewise evaluated for all candidate
+columns in one vectorised pass.  Pass ``batched=False`` for the original
+per-column ``BStump().fit`` loop, kept as the exact reference: its
+margins agree with the sweep to floating-point round-off and both paths
+select identical feature sets (see ``tests/test_selection_batched.py``).
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.features.encoding import FeatureSet
+from repro.features.sweep import sweep_chunk_margins
 from repro.ml.boostexter import BStump, BStumpConfig
-from repro.ml.metrics import auc, average_precision, gain_ratio, top_n_average_precision
+from repro.ml.metrics import auc, average_precision, entropy, top_n_average_precision
 from repro.ml.pca import PCA
+from repro.parallel import parallel_map
 
 __all__ = [
     "SelectionResult",
@@ -37,6 +56,12 @@ __all__ = [
     "select_features_pca",
     "select_features_gain_ratio",
 ]
+
+#: Continuous candidate columns are batched through the vectorised
+#: single-feature booster in chunks of this many columns.  The chunk is
+#: the parallel work unit and bounds the per-task scratch memory (the
+#: sweep's sorted value and weight buffers are O(rows x chunk)).
+_BATCH_CHUNK_COLUMNS = 32
 
 
 @dataclass(frozen=True)
@@ -64,6 +89,74 @@ def _impute_median(column: np.ndarray) -> np.ndarray:
     return filled
 
 
+def _impute_median_columns(matrix: np.ndarray) -> np.ndarray:
+    """Median-impute every column in one pass (fully-NaN columns -> 0).
+
+    The batched form of :func:`_impute_median`: one ``nanmedian`` call
+    computes all column medians, and a single ``where`` fills the gaps.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        medians = np.nanmedian(matrix, axis=0)
+    medians = np.where(np.isnan(medians), 0.0, medians)
+    return np.where(np.isnan(matrix), medians[None, :], matrix)
+
+
+def _eligible_columns(matrix: np.ndarray) -> np.ndarray:
+    """Columns a single-feature stump can be grown on.
+
+    A column is ineligible when it has no present value or when all its
+    present values are equal (no split exists) -- such candidates score 0,
+    mirroring the per-column guards of the original selection loop.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        lo = np.nanmin(matrix, axis=0)
+        hi = np.nanmax(matrix, axis=0)
+    with np.errstate(invalid="ignore"):
+        return hi > lo  # False for constant and for all-NaN (NaN compares False)
+
+
+def _boost_columns_chunk(
+    X_train_t: np.ndarray,
+    y_signed: np.ndarray,
+    X_test_t: np.ndarray,
+    config: BStumpConfig,
+) -> np.ndarray:
+    """Boost every column of a chunk as an independent single-feature model.
+
+    Delegates to :func:`repro.features.sweep.sweep_chunk_margins`, which
+    runs the AdaBoost recurrence of :meth:`BStump.fit` for all columns at
+    once in the value-sorted domain, and returns the (chunk, n_test)
+    margin matrix of the resulting single-feature ensembles.  Early
+    stopping (``early_stop_z``) and the degenerate-weight guard apply per
+    column, exactly as the per-column ``BStump`` loop would.
+    """
+    return sweep_chunk_margins(
+        X_train_t,
+        y_signed,
+        X_test_t,
+        config.n_rounds,
+        config.early_stop_z,
+        config.missing_policy,
+        config.max_split_points,
+    )
+
+
+def _fit_single_column_margin(
+    train: FeatureSet,
+    y_train: np.ndarray,
+    test: FeatureSet,
+    j: int,
+    config: BStumpConfig,
+) -> np.ndarray:
+    """Margin of a per-column BStump on the test window (loop path)."""
+    model = BStump(config).fit(
+        train.matrix[:, [j]], y_train, categorical=train.categorical[[j]]
+    )
+    return model.decision_function(test.matrix[:, [j]])
+
+
 def single_feature_ap(
     train: FeatureSet,
     y_train: np.ndarray,
@@ -71,6 +164,8 @@ def single_feature_ap(
     y_test: np.ndarray,
     n: int,
     n_rounds: int = 4,
+    batched: bool = True,
+    workers: int | None = None,
 ) -> np.ndarray:
     """AP(N) of a single-feature BStump predictor, per candidate feature.
 
@@ -84,32 +179,184 @@ def single_feature_ap(
     Ties are therefore broken by the raw feature value, oriented to agree
     with the model (the within-tie ordering the stump family itself would
     choose with more thresholds).
+
+    Args:
+        train, y_train: selection training window.
+        test, y_test: held-out window the AP(N) is computed on.
+        n: the capacity N of AP(N).
+        n_rounds: boosting rounds of each single-feature predictor.
+        batched: vectorise the boosting rounds across continuous columns
+            (default); ``False`` runs the original one-``BStump``-per-column
+            loop, kept as the reference implementation.
+        workers: parallel fan-out of the sweep; ``None`` reads
+            ``REPRO_WORKERS`` (default serial).
     """
     if train.n_features != test.n_features:
         raise ValueError("train and test feature sets must align")
     y_train = np.asarray(y_train)
     y_test = np.asarray(y_test)
-    scores = np.zeros(train.n_features)
+    n_features = train.n_features
+    scores = np.zeros(n_features)
+    if n_features == 0 or len(np.unique(y_train)) < 2:
+        return scores
+    eligible = _eligible_columns(train.matrix)
     config = BStumpConfig(n_rounds=n_rounds, calibrate=False)
-    for j in range(train.n_features):
-        col_train = train.matrix[:, [j]]
-        col_test = test.matrix[:, [j]]
-        if np.all(np.isnan(col_train)) or len(np.unique(y_train)) < 2:
-            scores[j] = 0.0
-            continue
-        # A constant (or fully missing) column cannot grow a stump.
-        present = col_train[~np.isnan(col_train)]
-        if present.size == 0 or np.all(present == present[0]):
-            scores[j] = 0.0
-            continue
-        model = BStump(config).fit(
-            col_train, y_train, categorical=train.categorical[[j]]
+
+    margins: dict[int, np.ndarray] = {}
+    if batched:
+        y_signed = BStump._canonical_labels(y_train)
+        cont_cols = np.flatnonzero(eligible & ~train.categorical)
+        chunks = [
+            cont_cols[i : i + _BATCH_CHUNK_COLUMNS]
+            for i in range(0, cont_cols.size, _BATCH_CHUNK_COLUMNS)
+        ]
+        chunk_margins = parallel_map(
+            lambda cols: _boost_columns_chunk(
+                train.matrix.T[cols], y_signed, test.matrix.T[cols], config
+            ),
+            chunks,
+            workers=workers,
         )
-        margin = model.decision_function(col_test)
-        if not train.categorical[j]:
-            margin = _break_ties_by_value(margin, col_test[:, 0])
-        scores[j] = top_n_average_precision(y_test, n, margin)
+        for cols, chunk in zip(chunks, chunk_margins):
+            for slot, j in enumerate(cols):
+                margins[int(j)] = chunk[slot]
+        # Categorical candidates are few (binary basics); the per-column
+        # loop is exact and cheap, fanned out over the fabric.
+        cat_cols = [int(j) for j in np.flatnonzero(eligible & train.categorical)]
+        cat_margins = parallel_map(
+            lambda j: _fit_single_column_margin(train, y_train, test, j, config),
+            cat_cols,
+            workers=workers,
+        )
+        margins.update(zip(cat_cols, cat_margins))
+    else:
+        loop_cols = [int(j) for j in np.flatnonzero(eligible)]
+        loop_margins = parallel_map(
+            lambda j: _fit_single_column_margin(train, y_train, test, j, config),
+            loop_cols,
+            workers=workers,
+        )
+        margins.update(zip(loop_cols, loop_margins))
+
+    return _scores_from_margins(margins, train, test, y_test, n, n_features)
+
+
+def _scores_from_margins(
+    margins: dict[int, np.ndarray],
+    train: FeatureSet,
+    test: FeatureSet,
+    y_test: np.ndarray,
+    n: int,
+    n_features: int,
+) -> np.ndarray:
+    """Tie-break and AP(N)-score all candidate margins in one pass.
+
+    Row-vectorised equivalent of calling :func:`_break_ties_by_value` and
+    :func:`~repro.ml.metrics.top_n_average_precision` per column: each
+    row's stable sort, cumulative sum and reduction visit the same values
+    in the same order as the one-column calls, so scores match the scalar
+    reference bit for bit.  (The tie-break orientation is computed with a
+    different summation order than ``np.corrcoef``, but only its *sign*
+    is used, which agrees except exactly at zero correlation.)
+    """
+    scores = np.zeros(n_features)
+    if not margins:
+        return scores
+    cols = sorted(margins)
+    stacked = np.stack([margins[j] for j in cols])  # (n_cands, n_test)
+    cont_rows = np.flatnonzero([not train.categorical[j] for j in cols])
+    if cont_rows.size:
+        values = test.matrix.T[[cols[i] for i in cont_rows]]
+        stacked[cont_rows] = _break_ties_by_value_rows(stacked[cont_rows], values)
+    scores[cols] = _top_n_ap_rows(y_test, n, stacked)
     return scores
+
+
+def _break_ties_by_value_rows(margins: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Row-vectorised :func:`_break_ties_by_value`.
+
+    Args:
+        margins: (n_cands, n_test) piecewise-constant margins.
+        values: (n_cands, n_test) raw feature values, NaN for missing.
+    """
+    present = ~np.isnan(values)
+    counts = present.sum(axis=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        vmin = np.nanmin(values, axis=1)
+        vmax = np.nanmax(values, axis=1)
+    spread = vmax - vmin
+    with np.errstate(invalid="ignore"):
+        apply = (counts > 0) & (spread > 0)
+    if not np.any(apply):
+        return margins
+    safe_spread = np.where(apply, spread, 1.0)
+    z = values - vmin[:, None]
+    z /= safe_spread[:, None]
+    z[~present] = 0.0
+
+    # Smallest gap between distinct margin levels: the positive diffs of
+    # a sorted row are exactly the diffs of its unique values.
+    diffs = np.diff(np.sort(margins, axis=1), axis=1)
+    diffs[diffs <= 0] = np.inf
+    finite_min = diffs.min(axis=1)
+    gap = np.where(np.isfinite(finite_min), finite_min, 1.0)
+
+    # Orientation: the sign of the margin/value correlation over present
+    # rows (Pearson r as in the scalar reference; scaling cannot change
+    # the sign).  Degenerate correlations fall back to +1.
+    mask = present.astype(np.float64)
+    filled = np.where(present, values, 0.0)
+    safe_counts = np.maximum(counts, 1)
+    m_mean = np.einsum("ij,ij->i", margins, mask) / safe_counts
+    v_mean = filled.sum(axis=1) / safe_counts
+    dm = margins - m_mean[:, None]
+    dm *= mask
+    dv = filled - v_mean[:, None]
+    dv *= mask
+    cov = np.einsum("ij,ij->i", dm, dv)
+    var_m = np.einsum("ij,ij->i", dm, dm)
+    var_v = np.einsum("ij,ij->i", dv, dv)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        direction = cov / np.sqrt(var_m * var_v)
+    direction = np.where(
+        np.isfinite(direction) & (direction != 0), direction, 1.0
+    )
+
+    # Perturb in place: z becomes sign * z * (0.49 * gap).  The sign is
+    # exactly +/-1, so folding it into the row scalar first flips bits
+    # identically to the scalar reference's sign * z * (0.49 * gap).
+    z *= (np.sign(direction) * (0.49 * gap))[:, None]
+    z += margins
+    return np.where(apply[:, None], z, margins)
+
+
+def _top_n_ap_rows(y_test: np.ndarray, n: int, margins: np.ndarray) -> np.ndarray:
+    """Row-vectorised :func:`~repro.ml.metrics.top_n_average_precision`.
+
+    Only the top ``n`` of each ranking matter, so instead of a full
+    stable argsort per row, a partition finds each row's rank-``n``
+    boundary score and only the (boundary-tie-inclusive) candidate set is
+    stably sorted.  Candidate indices are enumerated in ascending order,
+    so the stable sub-sort breaks score ties by original index exactly
+    like the full stable argsort would.
+    """
+    y_test = np.asarray(y_test)
+    n_rows, width = margins.shape
+    neg = -margins
+    if n >= width:
+        order = np.argsort(neg, axis=1, kind="stable")
+        top = y_test[order]
+    else:
+        boundary = np.partition(neg, n - 1, axis=1)[:, n - 1]
+        top = np.empty((n_rows, n), dtype=y_test.dtype)
+        for k in range(n_rows):
+            cand = np.flatnonzero(neg[k] <= boundary[k])
+            sub = cand[np.argsort(neg[k, cand], kind="stable")][:n]
+            top[k] = y_test[sub]
+    hits = np.cumsum(top, axis=1)
+    precisions = hits / np.arange(1, top.shape[1] + 1)
+    return np.sum(precisions * top, axis=1) / n
 
 
 def _break_ties_by_value(margin: np.ndarray, values: np.ndarray) -> np.ndarray:
@@ -145,6 +392,8 @@ def select_features_top_n_ap(
     thresholds: dict[str, float] | None = None,
     top_k: int | None = None,
     n_rounds: int = 12,
+    batched: bool = True,
+    workers: int | None = None,
 ) -> SelectionResult:
     """The paper's top-N average-precision feature selection.
 
@@ -157,8 +406,11 @@ def select_features_top_n_ap(
         top_k: alternatively keep the best k features regardless of
             family thresholds (used for the Fig-6 comparison at 50).
         n_rounds: boosting rounds of the single-feature predictors.
+        batched, workers: see :func:`single_feature_ap`.
     """
-    scores = single_feature_ap(train, y_train, test, y_test, n, n_rounds)
+    scores = single_feature_ap(
+        train, y_train, test, y_test, n, n_rounds, batched=batched, workers=workers
+    )
     order = np.argsort(-scores, kind="stable")
     if top_k is not None:
         selected = order[:top_k]
@@ -182,27 +434,34 @@ def _rank_by(method: str, scores: np.ndarray, top_k: int) -> SelectionResult:
 
 
 def select_features_auc(
-    features: FeatureSet, y: np.ndarray, top_k: int = 50
+    features: FeatureSet, y: np.ndarray, top_k: int = 50,
+    workers: int | None = None,
 ) -> SelectionResult:
     """Table-4 baseline: rank features by max AUC of the raw value."""
     y = np.asarray(y)
-    scores = np.zeros(features.n_features)
-    for j in range(features.n_features):
-        col = _impute_median(features.matrix[:, j])
-        a = auc(y, col)
-        scores[j] = max(a, 1.0 - a)
+    filled = _impute_median_columns(features.matrix)
+
+    def score(j: int) -> float:
+        a = auc(y, filled[:, j])
+        return max(a, 1.0 - a)
+
+    scores = np.array(parallel_map(score, range(features.n_features), workers))
     return _rank_by("auc", scores, top_k)
 
 
 def select_features_average_precision(
-    features: FeatureSet, y: np.ndarray, top_k: int = 50
+    features: FeatureSet, y: np.ndarray, top_k: int = 50,
+    workers: int | None = None,
 ) -> SelectionResult:
     """Table-4 baseline: rank by average precision over all samples."""
     y = np.asarray(y)
-    scores = np.zeros(features.n_features)
-    for j in range(features.n_features):
-        col = _impute_median(features.matrix[:, j])
-        scores[j] = max(average_precision(y, col), average_precision(y, -col))
+    filled = _impute_median_columns(features.matrix)
+
+    def score(j: int) -> float:
+        col = filled[:, j]
+        return max(average_precision(y, col), average_precision(y, -col))
+
+    scores = np.array(parallel_map(score, range(features.n_features), workers))
     return _rank_by("average_precision", scores, top_k)
 
 
@@ -219,12 +478,69 @@ def select_features_pca(
     return _rank_by("pca", pca.feature_scores(), top_k)
 
 
+def _gain_ratio_from_bins(
+    bins: np.ndarray, label_idx: np.ndarray, n_labels: int, base_entropy: float
+) -> float:
+    """Gain ratio given precomputed per-row bin assignments.
+
+    Reproduces :func:`repro.ml.metrics.gain_ratio` arithmetic from a
+    bin/label contingency table instead of per-bin boolean masks: bins are
+    visited in ascending order and the per-bin label distributions come
+    from one joint ``bincount``.
+    """
+    n = bins.size
+    shifted = bins + 1  # missing bin -1 -> row 0
+    table = np.bincount(
+        shifted * n_labels + label_idx,
+        minlength=(int(shifted.max()) + 1) * n_labels,
+    ).reshape(-1, n_labels)
+    totals = table.sum(axis=1)
+    conditional = 0.0
+    split_entropy = 0.0
+    for row in np.flatnonzero(totals):
+        weight = totals[row] / n
+        probs = table[row][table[row] > 0] / totals[row]
+        conditional += weight * float(-np.sum(probs * np.log2(probs)))
+        split_entropy -= weight * math.log2(weight)
+    gain = base_entropy - conditional
+    if split_entropy <= 0:
+        return 0.0
+    return float(gain / split_entropy)
+
+
 def select_features_gain_ratio(
-    features: FeatureSet, y: np.ndarray, top_k: int = 50
+    features: FeatureSet, y: np.ndarray, top_k: int = 50, n_bins: int = 10,
+    workers: int | None = None,
 ) -> SelectionResult:
-    """Table-4 baseline: rank by gain ratio against the ticket label."""
+    """Table-4 baseline: rank by gain ratio against the ticket label.
+
+    Vectorised: the equal-frequency bin edges of *all* columns come from
+    one batched ``nanquantile`` call and each column's conditional entropy
+    from one contingency ``bincount``, instead of per-column quantile and
+    per-bin mask passes.
+    """
     y = np.asarray(y)
-    scores = np.array(
-        [gain_ratio(features.matrix[:, j], y) for j in range(features.n_features)]
-    )
+    matrix = features.matrix
+    n, n_features = matrix.shape
+    if n == 0 or n_features == 0:
+        return _rank_by("gain_ratio", np.zeros(n_features), top_k)
+
+    missing = np.isnan(matrix)
+    quantile_points = np.linspace(0, 1, n_bins + 1)[1:-1]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        edges = np.nanquantile(matrix, quantile_points, axis=0)  # (n_bins-1, F)
+    base = entropy(y)
+    labels_unique, label_idx = np.unique(y, return_inverse=True)
+
+    def score(j: int) -> float:
+        present = ~missing[:, j]
+        bins = np.full(n, -1, dtype=int)
+        if np.any(present):
+            bins[present] = np.searchsorted(
+                edges[:, j], matrix[present, j], side="right"
+            )
+        return _gain_ratio_from_bins(bins, label_idx, labels_unique.size, base)
+
+    scores = np.array(parallel_map(score, range(n_features), workers))
     return _rank_by("gain_ratio", scores, top_k)

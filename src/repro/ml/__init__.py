@@ -16,10 +16,19 @@ Everything here is implemented from scratch on top of numpy:
   feature-selection baseline (Table 4).
 * :mod:`repro.ml.metrics` -- ranking metrics: precision@r, top-N average
   precision AP(N), ROC/AUC, accuracy@N, entropy and gain ratio.
+* :mod:`repro.ml.ensemble_scoring` -- ``CompiledEnsemble``: fitted stump
+  ensembles compiled into per-feature threshold/score tables so that
+  scoring costs one ``searchsorted`` per used feature instead of one
+  matrix pass per boosting round.
 """
 
 from repro.ml.boostexter import BStump, BStumpConfig, WeakLearner
 from repro.ml.calibration import PlattCalibrator
+from repro.ml.ensemble_scoring import (
+    CompiledEnsemble,
+    compile_stumps,
+    naive_grouped_margin,
+)
 from repro.ml.isotonic import IsotonicCalibrator, pool_adjacent_violators
 from repro.ml.logistic import LogisticRegressionResult, fit_logistic_regression
 from repro.ml.metrics import (
@@ -38,12 +47,15 @@ from repro.ml.serialize import (
     load_bstump,
     save_bstump,
 )
-from repro.ml.stumps import Stump, fit_stump
+from repro.ml.stumps import ColumnStumpBatch, Stump, StumpSearch, fit_stump
 
 __all__ = [
     "BStump",
     "BStumpConfig",
     "WeakLearner",
+    "CompiledEnsemble",
+    "compile_stumps",
+    "naive_grouped_margin",
     "PlattCalibrator",
     "IsotonicCalibrator",
     "pool_adjacent_violators",
@@ -62,5 +74,7 @@ __all__ = [
     "load_bstump",
     "save_bstump",
     "Stump",
+    "StumpSearch",
+    "ColumnStumpBatch",
     "fit_stump",
 ]

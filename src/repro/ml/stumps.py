@@ -30,7 +30,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Stump", "fit_stump", "StumpSearch", "MISSING_POLICIES"]
+__all__ = [
+    "Stump",
+    "fit_stump",
+    "StumpSearch",
+    "ColumnStumpBatch",
+    "MISSING_POLICIES",
+]
 
 _EPS_SCALE = 0.5  # eps = _EPS_SCALE / n, the standard 1/(2n) smoothing
 
@@ -65,7 +71,10 @@ class Stump:
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Return per-row stump outputs for feature matrix ``X``."""
-        col = np.asarray(X, dtype=float)[:, self.feature]
+        # Slice the tested column out first: casting after the slice keeps
+        # the conversion O(n) instead of copying the whole matrix when X
+        # is not float64 already.
+        col = np.asarray(np.asarray(X)[:, self.feature], dtype=float)
         out = np.full(col.shape[0], self.s_miss, dtype=float)
         present = ~np.isnan(col)
         if self.categorical:
@@ -266,7 +275,8 @@ class StumpSearch:
             sub = X[:, self._cont_cols]
             self._order = np.argsort(sub, axis=0, kind="stable")  # NaNs last
             sorted_vals = np.take_along_axis(sub, self._order, axis=0)
-            self._present_counts = np.sum(~np.isnan(sub), axis=0)
+            self._present_cont = ~np.isnan(sub)
+            self._present_counts = np.sum(self._present_cont, axis=0)
             # split k is valid when the value at k-1 differs from k (or k is
             # at either extreme); splits beyond the present count are invalid.
             valid = np.ones((n + 1, self._cont_cols.size), dtype=bool)
@@ -286,6 +296,39 @@ class StumpSearch:
             self._grid = grid
             self._valid = valid[grid, :]
             self._sorted_vals = sorted_vals
+            # Each round needs the cumulative (positive) weight below every
+            # candidate split, but only at the G grid positions -- never at
+            # all n+1 of them.  So instead of a per-round sorted gather plus
+            # a full-length cumulative sum (O(n) reads AND writes per
+            # column), precompute for every cell which inter-grid *segment*
+            # its row's sorted position falls into; a round then reduces to
+            # one weighted ``bincount`` over segments (output is G x C,
+            # cache-resident) and a tiny prefix sum.
+            C = self._cont_cols.size
+            G = grid.size
+            inv_order = np.empty_like(self._order)
+            np.put_along_axis(
+                inv_order, self._order, np.arange(n)[:, None], axis=0
+            )
+            segment = np.searchsorted(grid, inv_order, side="right") - 1
+            np.clip(segment, 0, G - 2, out=segment)
+            self._flat_segment = (segment * C + np.arange(C)[None, :]).ravel()
+            self._n_segment_bins = (G - 1) * C
+            # Per-round scratch buffers, allocated once: each boosting
+            # round fills these in place instead of reallocating.
+            # ``best_stump`` / ``best_stumps_per_column`` are therefore NOT
+            # thread-safe on a shared instance (each fit owns its own
+            # search object; parallel selection chunks build their own).
+            self._buf_wcol = np.empty((n, C))
+            self._buf_wposcol = np.empty((n, C))
+            # Row 0 of the cumulative buffers is the "split before
+            # everything" boundary and stays 0; each round only writes
+            # rows 1..G-1.
+            self._buf_wp_lo = np.zeros((G, C))
+            self._buf_wn_lo = np.zeros((G, C))
+            self._buf_wp_hi = np.empty((G, C))
+            self._buf_wn_hi = np.empty((G, C))
+            self._buf_z = np.empty((G, C))
 
         # Categorical columns: cache unique values and equality masks.
         self._cat_values: list[np.ndarray] = []
@@ -329,15 +372,72 @@ class StumpSearch:
             raise ValueError("no usable feature found")
         return best
 
+    def _fill_continuous_z(
+        self,
+        w_pos_tot: np.ndarray,
+        w_neg_tot: np.ndarray,
+        z_miss: np.ndarray,
+    ) -> np.ndarray:
+        """Fill the split-Z table from the already-filled weight buffers.
+
+        Expects ``_buf_wcol`` / ``_buf_wposcol`` to hold this round's
+        present-masked (and positive-masked) weights.  The cumulative
+        weight below each candidate split is only ever read at the G grid
+        positions, so it is built from per-segment totals (one weighted
+        ``bincount`` whose G x C output stays cache-resident) followed by
+        a prefix sum over segments -- O(n) reads but only O(G) writes per
+        column, instead of a full sorted gather + length-n cumulative sum.
+        """
+        seg_w = np.bincount(
+            self._flat_segment,
+            weights=self._buf_wcol.ravel(),
+            minlength=self._n_segment_bins,
+        ).reshape(-1, self._buf_wcol.shape[1])
+        seg_wpos = np.bincount(
+            self._flat_segment,
+            weights=self._buf_wposcol.ravel(),
+            minlength=self._n_segment_bins,
+        ).reshape(-1, self._buf_wcol.shape[1])
+
+        wp_lo = self._buf_wp_lo
+        wn_lo = self._buf_wn_lo
+        np.cumsum(seg_wpos, axis=0, out=wp_lo[1:])
+        np.cumsum(seg_w, axis=0, out=wn_lo[1:])
+        np.subtract(wn_lo, wp_lo, out=wn_lo)
+        wp_hi = np.subtract(w_pos_tot[None, :], wp_lo, out=self._buf_wp_hi)
+        wn_hi = np.subtract(w_neg_tot[None, :], wn_lo, out=self._buf_wn_hi)
+        # Numerical guard: cumsum round-off can leave tiny negatives.
+        np.clip(wp_hi, 0.0, None, out=wp_hi)
+        np.clip(wn_hi, 0.0, None, out=wn_hi)
+        np.clip(wn_lo, 0.0, None, out=wn_lo)
+
+        z = self._buf_z
+        np.multiply(wp_lo, wn_lo, out=z)
+        np.sqrt(z, out=z)
+        tmp = np.sqrt(wp_hi * wn_hi)
+        np.add(z, tmp, out=z)
+        np.multiply(z, 2.0, out=z)
+        np.add(z, z_miss[None, :], out=z)
+        z[~self._valid] = np.inf
+        return z
+
+    def _continuous_threshold(self, k: int, slot: int) -> float:
+        m = int(self._present_counts[slot])
+        if k == 0:
+            return -math.inf
+        if k >= m:
+            return math.inf
+        return 0.5 * float(
+            self._sorted_vals[k - 1, slot] + self._sorted_vals[k, slot]
+        )
+
     def _best_continuous(self, weights: np.ndarray) -> Stump:
         cols = self._cont_cols
-        n = self.n
         y_pos = self.y > 0
 
-        sub = self.X[:, cols]
-        present = ~np.isnan(sub)
-        w_col = weights[:, None] * present
-        w_pos_col = w_col * y_pos[:, None]
+        present = self._present_cont
+        w_col = np.multiply(weights[:, None], present, out=self._buf_wcol)
+        w_pos_col = np.multiply(w_col, y_pos[:, None], out=self._buf_wposcol)
         w_pos_tot = np.sum(w_pos_col, axis=0)
         w_tot = np.sum(w_col, axis=0)
         w_neg_tot = w_tot - w_pos_tot
@@ -348,44 +448,24 @@ class StumpSearch:
         wn_miss = np.clip((total - total_pos) - w_neg_tot, 0.0, None)
         z_miss, s_miss = self._missing_terms(wp_miss, wn_miss)
 
-        sorted_w = np.take_along_axis(w_col, self._order, axis=0)
-        sorted_wpos = np.take_along_axis(w_pos_col, self._order, axis=0)
-
-        cum_w = np.zeros((n + 1, cols.size))
-        cum_wpos = np.zeros((n + 1, cols.size))
-        np.cumsum(sorted_w, axis=0, out=cum_w[1:])
-        np.cumsum(sorted_wpos, axis=0, out=cum_wpos[1:])
-
-        grid = self._grid
-        wp_lo = cum_wpos[grid, :]
-        wn_lo = cum_w[grid, :] - wp_lo
-        wp_hi = w_pos_tot[None, :] - wp_lo
-        wn_hi = w_neg_tot[None, :] - wn_lo
-        # Numerical guard: cumsum round-off can leave tiny negatives.
-        np.clip(wp_hi, 0.0, None, out=wp_hi)
-        np.clip(wn_hi, 0.0, None, out=wn_hi)
-        np.clip(wn_lo, 0.0, None, out=wn_lo)
-
-        z = 2.0 * (np.sqrt(wp_lo * wn_lo) + np.sqrt(wp_hi * wn_hi)) + z_miss[None, :]
-        z[~self._valid] = np.inf
+        z = self._fill_continuous_z(w_pos_tot, w_neg_tot, z_miss)
 
         flat = int(np.argmin(z))
         row, slot = divmod(flat, cols.size)
-        k = int(grid[row])
-        m = int(self._present_counts[slot])
-        if k == 0:
-            threshold = -math.inf
-        elif k >= m:
-            threshold = math.inf
-        else:
-            threshold = 0.5 * (
-                self._sorted_vals[k - 1, slot] + self._sorted_vals[k, slot]
-            )
+        k = int(self._grid[row])
         return Stump(
             feature=int(cols[slot]),
-            threshold=float(threshold),
-            s_lo=_block_score(float(wp_lo[row, slot]), float(wn_lo[row, slot]), self.eps),
-            s_hi=_block_score(float(wp_hi[row, slot]), float(wn_hi[row, slot]), self.eps),
+            threshold=self._continuous_threshold(k, slot),
+            s_lo=_block_score(
+                float(self._buf_wp_lo[row, slot]),
+                float(self._buf_wn_lo[row, slot]),
+                self.eps,
+            ),
+            s_hi=_block_score(
+                float(self._buf_wp_hi[row, slot]),
+                float(self._buf_wn_hi[row, slot]),
+                self.eps,
+            ),
             s_miss=float(s_miss[slot]),
             categorical=False,
             z=float(z[row, slot]),
@@ -428,3 +508,171 @@ class StumpSearch:
             categorical=True,
             z=float(z[j]),
         )
+
+    # ----- batched per-column search (one independent stump per feature) --
+
+    def best_stumps_per_column(self, weights: np.ndarray) -> "ColumnStumpBatch":
+        """Best stump of *each* column under per-column example weights.
+
+        Unlike :meth:`best_stump`, which races all features against each
+        other for one global winner, this treats every column as an
+        independent single-feature boosting problem: column ``j`` is
+        searched under the weight vector ``weights[:, j]``.  All continuous
+        columns are solved in one vectorised pass (shared sorted gather,
+        cumulative sums, and a per-column argmin), which is what makes the
+        batched single-feature selection sweep in
+        :mod:`repro.features.selection` cheap.
+
+        Args:
+            weights: (n, n_features) non-negative weights, one independent
+                weight vector per column.
+
+        Returns:
+            A :class:`ColumnStumpBatch` with one stump parameterisation per
+            column, aligned with the columns of ``X``.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n, self.n_features):
+            raise ValueError(
+                "weights must be (n_rows, n_features) with one weight "
+                "vector per column"
+            )
+        F = self.n_features
+        threshold = np.full(F, math.inf)
+        s_lo = np.zeros(F)
+        s_hi = np.zeros(F)
+        s_miss = np.zeros(F)
+        z = np.full(F, math.inf)
+
+        if self._cont_cols.size:
+            self._batch_continuous(
+                weights[:, self._cont_cols], threshold, s_lo, s_hi, s_miss, z
+            )
+        for slot, col_idx in enumerate(self._cat_cols):
+            cand = self._best_categorical(weights[:, col_idx], slot, int(col_idx))
+            if cand is None:
+                continue
+            threshold[col_idx] = cand.threshold
+            s_lo[col_idx] = cand.s_lo
+            s_hi[col_idx] = cand.s_hi
+            s_miss[col_idx] = cand.s_miss
+            z[col_idx] = cand.z
+        return ColumnStumpBatch(
+            threshold=threshold,
+            s_lo=s_lo,
+            s_hi=s_hi,
+            s_miss=s_miss,
+            categorical=self.categorical.copy(),
+            z=z,
+        )
+
+    def _batch_continuous(
+        self,
+        W: np.ndarray,
+        threshold: np.ndarray,
+        s_lo: np.ndarray,
+        s_hi: np.ndarray,
+        s_miss_out: np.ndarray,
+        z_out: np.ndarray,
+    ) -> None:
+        cols = self._cont_cols
+        y_pos = self.y > 0
+        C = cols.size
+
+        present = self._present_cont
+        w_col = np.multiply(W, present, out=self._buf_wcol)
+        w_pos_col = np.multiply(w_col, y_pos[:, None], out=self._buf_wposcol)
+        # Per-column 1-D sums, NOT one axis-0 matrix reduction: the matrix
+        # reduction accumulates in a different order than the 1-D pairwise
+        # sum a single-column search performs, and the resulting last-ULP
+        # drift in the weight totals can flip near-tied split choices.
+        # Column slices reduce exactly like contiguous 1-D arrays, keeping
+        # every column of the batch bit-identical to the one-column path.
+        w_pos_tot = np.empty(C)
+        w_tot = np.empty(C)
+        total = np.empty(C)
+        total_pos = np.empty(C)
+        for k in range(C):
+            w_pos_tot[k] = np.sum(w_pos_col[:, k])
+            w_tot[k] = np.sum(w_col[:, k])
+            total[k] = np.sum(W[:, k])
+            total_pos[k] = np.sum(W[y_pos, k])
+        w_neg_tot = w_tot - w_pos_tot
+
+        wp_miss = np.clip(total_pos - w_pos_tot, 0.0, None)
+        wn_miss = np.clip((total - total_pos) - w_neg_tot, 0.0, None)
+        z_miss, s_miss = self._missing_terms(wp_miss, wn_miss)
+
+        z = self._fill_continuous_z(w_pos_tot, w_neg_tot, z_miss)
+
+        rows = np.argmin(z, axis=0)
+        eps = self.eps
+        for k in range(C):
+            col = int(cols[k])
+            row = int(rows[k])
+            split = int(self._grid[row])
+            threshold[col] = self._continuous_threshold(split, k)
+            s_lo[col] = _block_score(
+                float(self._buf_wp_lo[row, k]), float(self._buf_wn_lo[row, k]), eps
+            )
+            s_hi[col] = _block_score(
+                float(self._buf_wp_hi[row, k]), float(self._buf_wn_hi[row, k]), eps
+            )
+            z_out[col] = z[row, k]
+        s_miss_out[cols] = s_miss
+
+
+@dataclass(frozen=True)
+class ColumnStumpBatch:
+    """Per-column best stumps from :meth:`StumpSearch.best_stumps_per_column`.
+
+    Each array has one entry per input column.  Columns that admit no
+    split (e.g. an empty categorical column) carry ``z = inf`` and zero
+    scores.  ``predict`` evaluates every column's stump against its own
+    column of a feature matrix in one vectorised pass.
+    """
+
+    threshold: np.ndarray
+    s_lo: np.ndarray
+    s_hi: np.ndarray
+    s_miss: np.ndarray
+    categorical: np.ndarray
+    z: np.ndarray
+
+    def stump(self, column: int) -> Stump:
+        """The single-column :class:`Stump` for ``column``."""
+        return Stump(
+            feature=int(column),
+            threshold=float(self.threshold[column]),
+            s_lo=float(self.s_lo[column]),
+            s_hi=float(self.s_hi[column]),
+            s_miss=float(self.s_miss[column]),
+            categorical=bool(self.categorical[column]),
+            z=float(self.z[column]),
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """(n, F) matrix of per-column stump outputs for ``X``.
+
+        Column ``j`` of the result is ``self.stump(j).predict`` applied to
+        ``X[:, j]`` only -- the vectorised form of a bank of independent
+        single-feature weak learners.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.threshold.size:
+            raise ValueError(
+                f"X must be 2-D with {self.threshold.size} columns, got {X.shape}"
+            )
+        present = ~np.isnan(X)
+        with np.errstate(invalid="ignore"):
+            hi = np.where(
+                self.categorical[None, :],
+                X == self.threshold[None, :],
+                X >= self.threshold[None, :],
+            )
+        out = np.where(
+            present,
+            np.where(hi, self.s_hi[None, :], self.s_lo[None, :]),
+            self.s_miss[None, :],
+        )
+        return out

@@ -1,0 +1,95 @@
+"""A small parallel-map fabric for embarrassingly parallel training work.
+
+The expensive loops in this reproduction -- the 52 one-vs-rest disposition
+models plus 4 location models of the trouble locator, the per-fold
+calibration refits, and the per-column parts of the feature-selection
+sweep -- are all *independent* tasks over shared read-only numpy arrays.
+This module gives them one deterministic primitive:
+
+* :func:`parallel_map` -- ``map`` that preserves input order, running
+  serially at ``workers=1`` (the default) and on a thread pool above it.
+
+Threads, not processes: every task body is dominated by numpy kernels
+(argsort, cumsum, gathers), which release the GIL, so threads deliver real
+parallelism without pickling closures or duplicating the feature matrices
+in child processes.  Because tasks are independent and results are
+collected in submission order, the output is identical for every worker
+count -- ``REPRO_WORKERS=8`` must (and does, see
+``tests/test_parallel_fabric.py``) reproduce the serial result bit for
+bit.
+
+The worker count comes from the ``REPRO_WORKERS`` environment variable
+(default 1) unless the caller passes one explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["WORKERS_ENV_VAR", "worker_count", "parallel_map"]
+
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def worker_count(workers: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Args:
+        workers: explicit override; ``None`` reads ``REPRO_WORKERS`` from
+            the environment, defaulting to 1 (serial) when unset or empty.
+
+    Returns:
+        A positive integer worker count.
+
+    Raises:
+        ValueError: on a non-integer or non-positive setting, so that a
+            typo in the environment fails loudly instead of silently
+            running serial.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int | None = None,
+) -> list[_R]:
+    """Apply ``fn`` to every item, preserving input order.
+
+    Serial (a plain list comprehension) when the resolved worker count is
+    1 or there is at most one item; otherwise a thread pool.  Exceptions
+    from any task propagate to the caller either way.
+
+    Args:
+        fn: task body; must not mutate shared state (tasks may run
+            concurrently).
+        items: the work list; consumed eagerly.
+        workers: explicit worker count, else ``REPRO_WORKERS`` (default 1).
+
+    Returns:
+        ``[fn(item) for item in items]`` -- same values, same order,
+        regardless of the worker count.
+    """
+    work: Sequence[_T] = list(items)
+    n_workers = worker_count(workers)
+    if n_workers == 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ThreadPoolExecutor(max_workers=min(n_workers, len(work))) as pool:
+        return list(pool.map(fn, work))

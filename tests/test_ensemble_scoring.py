@@ -1,0 +1,250 @@
+"""Equivalence tests for the compiled ensemble scorer.
+
+The contract: ``CompiledEnsemble.decision_function`` is *bit-identical*
+(``np.array_equal``, no tolerance) to summing ``Stump.predict`` outputs
+grouped by (feature, kind) in the compiled fold order
+(:func:`naive_grouped_margin`), and agrees with the historical
+round-interleaved sum (``BStump.decision_function_naive``) to within
+float-addition reordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.boostexter import BStump, BStumpConfig
+from repro.ml.ensemble_scoring import (
+    CompiledEnsemble,
+    compile_stumps,
+    naive_grouped_margin,
+)
+from repro.ml.serialize import bstump_from_dict, bstump_to_dict
+from repro.ml.stumps import Stump
+
+
+def _random_stumps(rng, n_stumps, n_features, categorical_frac=0.3):
+    stumps = []
+    for _ in range(n_stumps):
+        feature = int(rng.integers(n_features))
+        if rng.random() < categorical_frac:
+            stumps.append(
+                Stump(
+                    feature=feature,
+                    threshold=float(rng.integers(0, 5)),
+                    s_lo=float(rng.normal()),
+                    s_hi=float(rng.normal()),
+                    s_miss=float(rng.normal()),
+                    categorical=True,
+                    z=1.0,
+                )
+            )
+        else:
+            threshold = float(rng.normal())
+            if rng.random() < 0.05:
+                threshold = float(rng.choice([-np.inf, np.inf]))
+            stumps.append(
+                Stump(
+                    feature=feature,
+                    threshold=threshold,
+                    s_lo=float(rng.normal()),
+                    s_hi=float(rng.normal()),
+                    s_miss=float(rng.normal()),
+                    categorical=False,
+                    z=1.0,
+                )
+            )
+    return stumps
+
+
+def _random_matrix(rng, n, n_features, nan_frac):
+    X = rng.normal(size=(n, n_features))
+    X[rng.random((n, n_features)) < nan_frac] = np.nan
+    # Sprinkle categorical-looking codes so equality matches happen.
+    codes = rng.integers(0, 5, size=(n, n_features)).astype(float)
+    use_codes = rng.random((n, n_features)) < 0.5
+    X[use_codes] = codes[use_codes]
+    return X
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("nan_frac", [0.0, 0.3, 0.8])
+def test_compiled_bit_identical_to_grouped_naive(seed, nan_frac):
+    rng = np.random.default_rng(seed)
+    n_features = 7
+    stumps = _random_stumps(rng, 40, n_features)
+    X = _random_matrix(rng, 300, n_features, nan_frac)
+    compiled = compile_stumps(stumps, n_features)
+    expected = naive_grouped_margin(stumps, X, n_features)
+    got = compiled.decision_function(X)
+    assert np.array_equal(got, expected)
+
+
+def test_compiled_matches_round_order_within_ulps():
+    rng = np.random.default_rng(11)
+    n_features = 6
+    stumps = _random_stumps(rng, 60, n_features)
+    X = _random_matrix(rng, 500, n_features, 0.25)
+    compiled = compile_stumps(stumps, n_features)
+    naive = np.zeros(X.shape[0])
+    for stump in stumps:
+        naive += stump.predict(X)
+    got = compiled.decision_function(X)
+    np.testing.assert_allclose(got, naive, rtol=1e-12, atol=1e-12)
+
+
+def test_infinite_thresholds_and_all_nan_rows():
+    stumps = [
+        Stump(feature=0, threshold=-np.inf, s_lo=1.0, s_hi=2.0, s_miss=-3.0,
+              categorical=False, z=1.0),
+        Stump(feature=0, threshold=np.inf, s_lo=5.0, s_hi=7.0, s_miss=0.5,
+              categorical=False, z=1.0),
+    ]
+    compiled = compile_stumps(stumps, 1)
+    X = np.array([[-1e300], [0.0], [1e300], [np.inf], [-np.inf], [np.nan]])
+    got = compiled.decision_function(X)
+    # Finite values: >= -inf fires high (2), < inf fires low (5).
+    assert got[0] == got[1] == got[2] == 2.0 + 5.0
+    # v = inf fires both high; v = -inf fires high on the -inf stump only.
+    assert got[3] == 2.0 + 7.0
+    assert got[4] == 2.0 + 5.0
+    assert got[5] == -3.0 + 0.5
+
+
+def test_abstain_policy_missing_contribution_is_zero():
+    rng = np.random.default_rng(3)
+    X = _random_matrix(rng, 200, 4, 0.5)
+    y = (np.nansum(X, axis=1) > 0).astype(float)
+    model = BStump(
+        BStumpConfig(n_rounds=25, calibrate=False, missing_policy="abstain")
+    ).fit(X, y)
+    assert all(learner.stump.s_miss == 0.0 for learner in model.learners)
+    expected = naive_grouped_margin(
+        [learner.stump for learner in model.learners], X, 4
+    )
+    assert np.array_equal(model.decision_function(X), expected)
+    all_nan = np.full((3, 4), np.nan)
+    assert np.array_equal(model.decision_function(all_nan), np.zeros(3))
+
+
+def test_fitted_model_routes_through_compiled_scorer():
+    rng = np.random.default_rng(5)
+    X = _random_matrix(rng, 400, 8, 0.2)
+    y = (np.nansum(X, axis=1) > 0).astype(float)
+    cat = np.zeros(8, dtype=bool)
+    cat[2] = True
+    model = BStump(BStumpConfig(n_rounds=60)).fit(X, y, categorical=cat)
+    compiled = model.compiled()
+    assert isinstance(compiled, CompiledEnsemble)
+    assert model.compiled() is compiled  # cached
+    assert compiled.n_used_features <= 8
+    X_test = _random_matrix(rng, 150, 8, 0.4)
+    stumps = [learner.stump for learner in model.learners]
+    assert np.array_equal(
+        model.decision_function(X_test), naive_grouped_margin(stumps, X_test, 8)
+    )
+    np.testing.assert_allclose(
+        model.decision_function(X_test),
+        model.decision_function_naive(X_test),
+        rtol=1e-12,
+        atol=1e-12,
+    )
+    # predict_proba rides the same margin.
+    probs = model.predict_proba(X_test)
+    assert probs.shape == (150,)
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+def test_single_feature_model_bit_identical_to_round_order():
+    # With one used feature there is a single group, so the compiled fold
+    # order equals round order and even the historical scorer matches
+    # bit for bit.  This is what selection relies on.
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(300, 1))
+    X[rng.random(300) < 0.3, 0] = np.nan
+    y = (np.where(np.isnan(X[:, 0]), 0.0, X[:, 0]) > 0).astype(float)
+    model = BStump(BStumpConfig(n_rounds=6, calibrate=False)).fit(X, y)
+    assert np.array_equal(
+        model.decision_function(X), model.decision_function_naive(X)
+    )
+
+
+def test_serialized_roundtrip_scores_identically(tmp_path):
+    rng = np.random.default_rng(9)
+    X = _random_matrix(rng, 300, 5, 0.2)
+    y = (np.nansum(X, axis=1) > 0).astype(float)
+    model = BStump(BStumpConfig(n_rounds=30)).fit(X, y)
+    clone = bstump_from_dict(bstump_to_dict(model))
+    X_test = _random_matrix(rng, 100, 5, 0.3)
+    assert np.array_equal(
+        clone.decision_function(X_test), model.decision_function(X_test)
+    )
+
+
+def test_compile_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        compile_stumps([], 0)
+    stump = Stump(feature=3, threshold=0.0, s_lo=0.0, s_hi=1.0, s_miss=0.0,
+                  categorical=False, z=1.0)
+    with pytest.raises(ValueError):
+        compile_stumps([stump], 2)
+    compiled = compile_stumps([stump], 4)
+    with pytest.raises(ValueError):
+        compiled.decision_function(np.zeros((5, 3)))
+
+
+def test_empty_ensemble_scores_zero():
+    compiled = compile_stumps([], 3)
+    assert compiled.n_used_features == 0
+    assert np.array_equal(
+        compiled.decision_function(np.full((4, 3), np.nan)), np.zeros(4)
+    )
+
+
+def test_duplicate_thresholds_fold_in_round_order():
+    # Two stumps sharing a threshold on the same feature: the stable sort
+    # must preserve round order inside the tied bucket totals.
+    stumps = [
+        Stump(feature=1, threshold=0.5, s_lo=0.1, s_hi=-0.2, s_miss=0.0,
+              categorical=False, z=1.0),
+        Stump(feature=1, threshold=0.5, s_lo=-0.3, s_hi=0.4, s_miss=0.0,
+              categorical=False, z=1.0),
+        Stump(feature=1, threshold=-0.5, s_lo=0.7, s_hi=0.2, s_miss=1.0,
+              categorical=False, z=1.0),
+    ]
+    X = np.array([[0.0, v] for v in (-1.0, -0.5, 0.0, 0.5, 1.0, np.nan)])
+    compiled = compile_stumps(stumps, 2)
+    assert np.array_equal(
+        compiled.decision_function(X), naive_grouped_margin(stumps, X, 2)
+    )
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the dev deps
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_stumps=st.integers(1, 50),
+        n_features=st.integers(1, 6),
+        nan_frac=st.floats(0.0, 0.9),
+    )
+    def test_property_compiled_equals_grouped_naive(
+        seed, n_stumps, n_features, nan_frac
+    ):
+        rng = np.random.default_rng(seed)
+        stumps = _random_stumps(rng, n_stumps, n_features)
+        X = _random_matrix(rng, 64, n_features, nan_frac)
+        compiled = compile_stumps(stumps, n_features)
+        assert np.array_equal(
+            compiled.decision_function(X),
+            naive_grouped_margin(stumps, X, n_features),
+        )

@@ -1,0 +1,126 @@
+"""Tests of the parallel-map fabric and worker-count determinism.
+
+The fabric's contract is that ``REPRO_WORKERS`` is purely a throughput
+knob: every consumer must produce bit-identical results at any worker
+count.  That is checked here directly for ``parallel_map`` and end to end
+for the feature-selection sweep and a small trouble locator.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.locator import FlatLocator, LocatorConfig
+from repro.data.joins import build_locator_dataset
+from repro.features import selection
+from repro.features.encoding import FeatureSet
+from repro.parallel import WORKERS_ENV_VAR, parallel_map, worker_count
+
+
+def test_preserves_order_serial_and_threaded():
+    items = list(range(57))
+    assert parallel_map(lambda v: v * v, items, workers=1) == [v * v for v in items]
+    assert parallel_map(lambda v: v * v, items, workers=4) == [v * v for v in items]
+
+
+def test_actually_runs_concurrently():
+    seen = set()
+    barrier = threading.Barrier(3, timeout=5)
+
+    def task(v):
+        seen.add(threading.get_ident())
+        barrier.wait()  # deadlocks (-> Barrier timeout) unless 3 threads run
+        return v
+
+    assert parallel_map(task, [1, 2, 3], workers=3) == [1, 2, 3]
+    assert len(seen) == 3
+
+
+def test_exceptions_propagate():
+    def boom(v):
+        raise RuntimeError(f"task {v}")
+
+    with pytest.raises(RuntimeError):
+        parallel_map(boom, [1], workers=1)
+    with pytest.raises(RuntimeError):
+        parallel_map(boom, [1, 2, 3], workers=2)
+
+
+def test_worker_count_env_parsing(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+    assert worker_count() == 1
+    monkeypatch.setenv(WORKERS_ENV_VAR, "")
+    assert worker_count() == 1
+    monkeypatch.setenv(WORKERS_ENV_VAR, " 6 ")
+    assert worker_count() == 6
+    assert worker_count(2) == 2  # explicit beats environment
+    monkeypatch.setenv(WORKERS_ENV_VAR, "zero")
+    with pytest.raises(ValueError):
+        worker_count()
+    monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+    with pytest.raises(ValueError):
+        worker_count()
+    with pytest.raises(ValueError):
+        worker_count(-1)
+
+
+def _selection_fixture(rng):
+    n, n_features = 500, 20
+    M = rng.normal(size=(n, n_features))
+    M[rng.random((n, n_features)) < 0.25] = np.nan
+    M[:, 4] = rng.integers(0, 3, size=n).astype(float)
+    cat = np.zeros(n_features, dtype=bool)
+    cat[4] = True
+    names = [f"f{i}" for i in range(n_features)]
+    groups = ["default"] * n_features
+    y = (np.nansum(M, axis=1) > 0.5).astype(float)
+    half = n // 2
+    return (
+        FeatureSet(M[:half], names, groups, cat),
+        y[:half],
+        FeatureSet(M[half:], names, groups, cat),
+        y[half:],
+    )
+
+
+def test_selection_sweep_identical_across_worker_counts(rng):
+    train, y_train, test, y_test = _selection_fixture(rng)
+    scores = {
+        workers: selection.single_feature_ap(
+            train, y_train, test, y_test, n=40, n_rounds=3, workers=workers
+        )
+        for workers in (1, 4)
+    }
+    assert np.array_equal(scores[1], scores[4])
+
+
+def test_baseline_selectors_identical_across_worker_counts(rng):
+    train, y_train, _, _ = _selection_fixture(rng)
+    for select in (
+        selection.select_features_auc,
+        selection.select_features_average_precision,
+        selection.select_features_gain_ratio,
+    ):
+        serial = select(train, y_train, top_k=8, workers=1)
+        threaded = select(train, y_train, top_k=8, workers=4)
+        assert np.array_equal(serial.scores, threaded.scores)
+        assert np.array_equal(serial.selected, threaded.selected)
+
+
+def test_locator_identical_across_worker_counts(locator_world, monkeypatch):
+    horizon = locator_world.config.n_weeks * 7
+    train = build_locator_dataset(
+        locator_world, first_day=30, last_day=horizon * 2 // 3
+    )
+    config = LocatorConfig(n_rounds=12, cv_folds=2)
+
+    probs = {}
+    for workers in ("1", "4"):
+        monkeypatch.setenv(WORKERS_ENV_VAR, workers)
+        model = FlatLocator(config).fit(train)
+        probs[workers] = model.predict_proba(train.features.matrix[:50])
+    monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+    assert np.array_equal(probs["1"], probs["4"])

@@ -1,0 +1,128 @@
+"""Batched single-feature trainer vs the per-column BStump reference.
+
+The acceptance bar of the batched sweep is *unchanged selected feature
+sets* -- the per-column scores must agree closely enough that no ranking
+or threshold decision flips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import selection
+from repro.features.encoding import FeatureSet
+from repro.ml.metrics import gain_ratio
+
+
+def _world(rng, n=700, n_features=24):
+    M = rng.normal(size=(n, n_features))
+    M[rng.random((n, n_features)) < 0.3] = np.nan
+    # Mix in integer-ish and heavy-tailed columns like the Table-3 encoding.
+    M[:, 1] = np.round(M[:, 1] * 3)
+    M[:, 2] = np.exp(2 * rng.normal(size=n))
+    M[:, 5] = rng.integers(0, 4, size=n).astype(float)  # categorical
+    M[:, 8] = 0.25  # constant -> ineligible
+    M[:, 13] = np.nan  # empty -> ineligible
+    cat = np.zeros(n_features, dtype=bool)
+    cat[5] = True
+    names = [f"f{i}" for i in range(n_features)]
+    groups = ["default"] * (n_features // 2) + ["quadratic"] * (
+        n_features - n_features // 2
+    )
+    signal = np.nansum(M[:, :6], axis=1) + rng.normal(scale=2.0, size=n)
+    y = (signal > np.quantile(signal, 0.8)).astype(float)
+    half = n // 2
+    return (
+        FeatureSet(M[:half], names, groups, cat),
+        y[:half],
+        FeatureSet(M[half:], names, groups, cat),
+        y[half:],
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batched_scores_match_per_column_loop(seed):
+    rng = np.random.default_rng(seed)
+    train, y_train, test, y_test = _world(rng)
+    batched = selection.single_feature_ap(
+        train, y_train, test, y_test, n=60, n_rounds=4, batched=True
+    )
+    loop = selection.single_feature_ap(
+        train, y_train, test, y_test, n=60, n_rounds=4, batched=False
+    )
+    # The batched booster replicates the per-column arithmetic exactly
+    # (per-column 1-D reductions, shared z/score code), so the scores are
+    # bit-identical, not merely close.
+    assert np.array_equal(batched, loop)
+
+
+def test_batched_chunking_is_exercised(monkeypatch):
+    # Force multiple chunks so the chunk boundary path is covered.
+    monkeypatch.setattr(selection, "_BATCH_CHUNK_COLUMNS", 5)
+    rng = np.random.default_rng(3)
+    train, y_train, test, y_test = _world(rng)
+    batched = selection.single_feature_ap(
+        train, y_train, test, y_test, n=60, n_rounds=4, batched=True
+    )
+    loop = selection.single_feature_ap(
+        train, y_train, test, y_test, n=60, n_rounds=4, batched=False
+    )
+    assert np.array_equal(batched, loop)
+
+
+def test_selected_sets_identical_between_paths():
+    rng = np.random.default_rng(4)
+    train, y_train, test, y_test = _world(rng)
+    kwargs = dict(n=60, n_rounds=4)
+    batched = selection.select_features_top_n_ap(
+        train, y_train, test, y_test, batched=True, **kwargs
+    )
+    loop = selection.select_features_top_n_ap(
+        train, y_train, test, y_test, batched=False, **kwargs
+    )
+    assert set(batched.selected.tolist()) == set(loop.selected.tolist())
+    top = selection.select_features_top_n_ap(
+        train, y_train, test, y_test, top_k=10, **kwargs
+    )
+    assert top.selected.size == 10
+
+
+def test_degenerate_inputs_score_zero():
+    rng = np.random.default_rng(5)
+    train, y_train, test, y_test = _world(rng)
+    # Constant and all-NaN columns are ineligible in both paths.
+    for batched in (True, False):
+        scores = selection.single_feature_ap(
+            train, y_train, test, y_test, n=60, n_rounds=3, batched=batched
+        )
+        assert scores[8] == 0.0
+        assert scores[13] == 0.0
+    # Single-class labels: everything scores zero without training.
+    ones = np.ones_like(y_train)
+    scores = selection.single_feature_ap(train, ones, test, y_test, n=60)
+    assert np.array_equal(scores, np.zeros(train.n_features))
+
+
+def test_gain_ratio_selector_matches_metric_reference():
+    rng = np.random.default_rng(6)
+    train, y_train, _, _ = _world(rng)
+    result = selection.select_features_gain_ratio(train, y_train, top_k=5)
+    reference = np.array(
+        [gain_ratio(train.matrix[:, j], y_train) for j in range(train.n_features)]
+    )
+    assert np.array_equal(result.scores, reference)
+
+
+def test_batched_median_imputation_matches_per_column():
+    rng = np.random.default_rng(7)
+    train, _, _, _ = _world(rng)
+    batched = selection._impute_median_columns(train.matrix)
+    loop = np.column_stack(
+        [
+            selection._impute_median(train.matrix[:, j])
+            for j in range(train.n_features)
+        ]
+    )
+    assert np.array_equal(batched, loop)
+    assert not np.any(np.isnan(batched))
