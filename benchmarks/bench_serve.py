@@ -1,0 +1,252 @@
+"""Performance harness for the serving subsystem.
+
+Measures the store -> encode -> shard -> compiled-scorer -> dispatch
+path at deployment-like scale and writes the numbers to
+``BENCH_serve.json``:
+
+* **snapshot** -- line-week store append throughput (line-weeks/sec);
+* **cold_score** -- the first full Saturday scoring run from a freshly
+  opened store: mmap first-touch page faults + per-shard Table-3 encode
+  + compiled scoring + calibration, fanned across ``repro.parallel``
+  workers;
+* **score** -- the same full run repeated best-of-N (the repo's
+  ``bench_perf`` timing idiom) with the score cache cleared each pass,
+  so every pass re-reads the store, re-encodes, and re-scores; this
+  steady-state number is the headline ``lines_per_sec``, matching the
+  deployment loop where weekly appends keep the store pages resident;
+* **dispatch** -- cutting the capacity-bounded top-N list.
+
+The scored margins are asserted bit-identical to an unsharded in-memory
+pass over the same assembled matrix, so the speed being measured is the
+speed of the *correct* path.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+
+``REPRO_WORKERS`` controls the scoring fan-out; the harness records the
+worker count it ran with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.predictor import (
+    PredictorConfig,
+    TicketPredictor,
+    _DerivedRecipes,
+)
+from repro.features.encoding import EncoderConfig, LineFeatureEncoder
+from repro.measurement.records import N_FEATURES
+from repro.ml.boostexter import BStump, BStumpConfig, WeakLearner
+from repro.ml.calibration import PlattCalibrator
+from repro.ml.stumps import Stump
+from repro.netsim.population import PopulationConfig
+from repro.parallel import worker_count
+from repro.serve import (
+    LineWeekStore,
+    ModelBundle,
+    ScoringEngine,
+    StoredWorld,
+)
+
+
+def _synthetic_weeks(rng, n_lines: int, n_weeks: int):
+    """Plausible Table-2 matrices + ticket vectors, without a simulation."""
+    weeks = []
+    for week in range(n_weeks):
+        day = 6 + 7 * week
+        matrix = rng.normal(loc=10.0, scale=4.0, size=(n_lines, N_FEATURES))
+        matrix[rng.random((n_lines, N_FEATURES)) < 0.08] = np.nan
+        matrix = matrix.astype(np.float32)
+        last_ticket = np.where(
+            rng.random(n_lines) < 0.1,
+            rng.integers(0, max(day, 1), size=n_lines),
+            -1,
+        ).astype(np.int64)
+        weeks.append((week, day, matrix, last_ticket))
+    return weeks
+
+
+def _synthetic_bundle(rng, encoder, n_rounds: int, capacity: int) -> ModelBundle:
+    """A fitted-looking predictor without paying for an actual fit.
+
+    The stumps cover base, quadratic, and product columns so the lazy
+    columnar assembly in the scoring engine is fully exercised.
+    """
+    base_count = encoder.base_feature_count()
+    base_indices = sorted(
+        int(i) for i in rng.choice(base_count, size=24, replace=False)
+    )
+    quad_indices = base_indices[:8]
+    product_pairs = [
+        (base_indices[i], base_indices[i + 1]) for i in range(0, 12, 2)
+    ]
+    recipes = _DerivedRecipes(
+        base_indices=base_indices,
+        quad_indices=quad_indices,
+        product_pairs=product_pairs,
+    )
+    n_columns = recipes.n_columns
+
+    model = BStump(BStumpConfig(n_rounds=n_rounds))
+    model.n_features_ = n_columns
+    model.learners = [
+        WeakLearner(
+            stump=Stump(
+                feature=int(rng.integers(n_columns)),
+                threshold=float(rng.normal(loc=10.0, scale=4.0)),
+                s_lo=float(rng.normal(scale=0.1)),
+                s_hi=float(rng.normal(scale=0.1)),
+                s_miss=float(rng.normal(scale=0.05)),
+                categorical=False,
+                z=1.0,
+            ),
+            round_index=r,
+            z=1.0,
+        )
+        for r in range(n_rounds)
+    ]
+    model.train_z_ = [1.0] * n_rounds
+    calibrator = PlattCalibrator()
+    calibrator.a = -1.0
+    calibrator.b = 0.0
+    calibrator.fitted_ = True
+    model.calibrator = calibrator
+
+    predictor = TicketPredictor(
+        PredictorConfig(capacity=capacity), encoder=encoder
+    )
+    predictor.model = model
+    predictor.recipes = recipes
+    return ModelBundle(predictor=predictor, meta={"synthetic": True})
+
+
+def bench_serve(n_lines: int, n_weeks: int, n_rounds: int, shard_size: int,
+                workers: int | None):
+    rng = np.random.default_rng(20100802)
+    weeks = _synthetic_weeks(rng, n_lines, n_weeks)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = LineWeekStore.create(
+            Path(tmp) / "store",
+            n_lines=n_lines,
+            population=PopulationConfig(n_lines=n_lines, seed=11),
+        )
+        start = time.perf_counter()
+        for week, day, matrix, last_ticket in weeks:
+            store.append_week(week, day, matrix, last_ticket)
+        snapshot_seconds = time.perf_counter() - start
+
+        # A fresh handle, so cold-path timing includes manifest + mmap reads.
+        world = StoredWorld(LineWeekStore.open(store.root))
+        bundle = _synthetic_bundle(
+            rng, LineFeatureEncoder(EncoderConfig()), n_rounds,
+            capacity=max(50, n_lines // 50),
+        )
+        bundle.predictor.model.compiled()  # compile outside the timed path
+        engine = ScoringEngine(
+            bundle, world, shard_size=shard_size, workers=workers
+        )
+
+        target = store.latest_week
+        cold = engine.score_week(target)
+
+        warm_seconds = float("inf")  # best-of-N, as in bench_perf
+        for _ in range(3):
+            engine._score_cache.clear()
+            warm_start = time.perf_counter()
+            engine.score_week(target)
+            warm_seconds = min(warm_seconds, time.perf_counter() - warm_start)
+
+        dispatch_start = time.perf_counter()
+        dispatch = engine.dispatch(target)
+        dispatch_seconds = time.perf_counter() - dispatch_start
+
+        # Parity: unsharded in-memory pass over the same assembled matrix.
+        base = engine.base_features(target)
+        reference = bundle.predictor.score_features(base)
+        parity = bool(np.array_equal(cold.scores, reference))
+
+    return {
+        "n_lines": n_lines,
+        "n_weeks": n_weeks,
+        "n_rounds": n_rounds,
+        "shard_size": shard_size,
+        "n_shards": cold.n_shards,
+        "workers": worker_count(workers),
+        "snapshot_seconds": snapshot_seconds,
+        "snapshot_line_weeks_per_sec": n_lines * n_weeks / snapshot_seconds,
+        "encode_seconds": cold.encode_seconds,
+        "score_seconds": cold.score_seconds,
+        "cold_lines_per_sec": cold.lines_per_sec,
+        "score_seconds_best": warm_seconds,
+        "dispatch_seconds": dispatch_seconds,
+        "dispatch_size": len(dispatch),
+        "lines_per_sec": n_lines / warm_seconds,
+        "parity_with_batch_scorer": parity,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lines", type=int, default=120_000,
+                        help="synthetic population size")
+    parser.add_argument("--weeks", type=int, default=8,
+                        help="stored weeks")
+    parser.add_argument("--rounds", type=int, default=200,
+                        help="synthetic ensemble depth")
+    parser.add_argument("--shard-size", type=int, default=16_384,
+                        help="lines per scoring shard")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="scoring fan-out (default: REPRO_WORKERS or 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for a CI smoke run")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_serve.json")
+    args = parser.parse_args()
+
+    if args.quick:
+        n_lines, n_weeks, n_rounds, shard = 8_000, 3, 60, 2_048
+    else:
+        n_lines, n_weeks, n_rounds, shard = (
+            args.lines, args.weeks, args.rounds, args.shard_size
+        )
+
+    report = {
+        "quick": args.quick,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "workers_env": os.environ.get("REPRO_WORKERS", ""),
+        "serve": bench_serve(n_lines, n_weeks, n_rounds, shard, args.workers),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    serve = report["serve"]
+    print(f"snapshot: {serve['snapshot_line_weeks_per_sec']:.0f} "
+          f"line-weeks/s over {n_weeks} weeks x {n_lines} lines")
+    print(f"cold:     {serve['cold_lines_per_sec']:.0f} lines/s "
+          f"(encode {serve['encode_seconds']:.3f}s + "
+          f"score {serve['score_seconds']:.3f}s, "
+          f"{serve['n_shards']} shards, {serve['workers']} workers)")
+    print(f"score:    {serve['lines_per_sec']:.0f} lines/s "
+          f"(best of 3 full passes, {serve['score_seconds_best']:.3f}s)")
+    print(f"dispatch: top-{serve['dispatch_size']} "
+          f"in {serve['dispatch_seconds'] * 1e3:.1f} ms")
+    print(f"parity with batch scorer: {serve['parity_with_batch_scorer']}")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

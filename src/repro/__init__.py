@@ -38,7 +38,10 @@ Package map (see DESIGN.md for the experiment index):
 * :mod:`repro.core` -- the ticket predictor, trouble locator, Section-5
   analyses, and the closed operational loop;
 * :mod:`repro.parallel` -- the ``parallel_map`` fabric (``REPRO_WORKERS``)
-  the locator and the feature-selection sweep fan out over.
+  the locator and the feature-selection sweep fan out over;
+* :mod:`repro.serve` -- the serving subsystem: versioned model registry,
+  append-only line-week store, sharded scoring engine, and the stdlib
+  HTTP scoring service (``python -m repro serve``).
 """
 
 from repro.core.analysis import (
@@ -90,6 +93,15 @@ from repro.netsim.simulator import (
     SimulationResult,
 )
 from repro.tickets.churn import ChurnConfig, ChurnReport, estimate_churn
+from repro.serve import (
+    LineWeekStore,
+    ModelBundle,
+    ModelRegistry,
+    ScoringEngine,
+    ScoringService,
+    StoredWorld,
+    snapshot_result,
+)
 
 __version__ = "1.0.0"
 
@@ -148,5 +160,12 @@ __all__ = [
     "estimate_churn",
     "parallel_map",
     "worker_count",
+    "LineWeekStore",
+    "ModelBundle",
+    "ModelRegistry",
+    "ScoringEngine",
+    "ScoringService",
+    "StoredWorld",
+    "snapshot_result",
     "__version__",
 ]

@@ -9,7 +9,11 @@ Three subcommands mirror how an operator would poke at the system:
 * ``locate`` -- train the three trouble-locator models and report the
   Section-6.3 rank metrics;
 * ``export`` -- write the simulated data sources as CSV extracts
-  (measurements, tickets, dispatches, subscribers).
+  (measurements, tickets, dispatches, subscribers);
+* ``snapshot`` -- simulate and persist the weekly campaigns into a
+  line-week store (optionally training + publishing a model bundle);
+* ``serve`` -- run the scoring service over a store and registry, or
+  ``--smoke`` for an end-to-end in-process self-test.
 
 All commands are seeded, run at laptop scale by default, and accept
 ``--scenario`` to pick a plant preset (suburban/urban/rural/storm_season/
@@ -66,6 +70,42 @@ def build_parser() -> argparse.ArgumentParser:
                             help="simulate and write CSV extracts")
     export.add_argument("--out", default="extracts",
                         help="output directory for the CSV files")
+
+    snapshot = sub.add_parser(
+        "snapshot", parents=[common],
+        help="simulate and persist weekly campaigns into a line-week store")
+    snapshot.add_argument("--store", default="store",
+                          help="line-week store directory")
+    snapshot.add_argument("--registry", default=None,
+                          help="also train a model and publish it to this "
+                               "registry directory")
+    snapshot.add_argument("--capacity", type=int, default=None,
+                          help="ATDS capacity N (default: 2%% of lines)")
+    snapshot.add_argument("--rounds", type=int, default=200,
+                          help="boosting rounds of the published predictor")
+    snapshot.add_argument("--with-locator", action="store_true",
+                          help="also train and bundle the combined trouble "
+                               "locator")
+    snapshot.add_argument("--locator-rounds", type=int, default=40,
+                          help="boosting rounds per locator sub-model")
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve scores over HTTP from a store and a registry")
+    serve.add_argument("--store", default="store",
+                       help="line-week store directory")
+    serve.add_argument("--registry", default="registry",
+                       help="model registry directory")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--shard-size", type=int, default=None,
+                       help="lines per scoring shard")
+    serve.add_argument("--smoke", action="store_true",
+                       help="in-process end-to-end self-test: simulate, "
+                            "snapshot, publish, serve on an ephemeral port, "
+                            "and check the HTTP dispatch list against the "
+                            "batch predictor")
     return parser
 
 
@@ -178,11 +218,147 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trained_predictor(args: argparse.Namespace, result, rounds: int):
+    from repro import PredictorConfig, TicketPredictor, paper_style_split
+
+    capacity = getattr(args, "capacity", None) or max(20, args.lines // 50)
+    history = max(2, args.weeks - 11)
+    split = paper_style_split(args.weeks, history=history, train=3,
+                              selection=2, test=0)
+    return TicketPredictor(
+        PredictorConfig(capacity=capacity, train_rounds=rounds)
+    ).fit(result, split)
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.serve import ModelBundle, ModelRegistry, snapshot_result
+
+    result = _simulate(args)
+    store = snapshot_result(result, args.store)
+    print(f"stored {len(store.weeks)} weeks x {store.n_lines} lines "
+          f"in {args.store}/")
+    if args.registry is None:
+        return 0
+
+    predictor = _trained_predictor(args, result, args.rounds)
+    locator = None
+    if args.with_locator:
+        from repro import CombinedLocator, LocatorConfig, build_locator_dataset
+
+        train = build_locator_dataset(result, 30, args.weeks * 7)
+        locator = CombinedLocator(
+            LocatorConfig(n_rounds=args.locator_rounds)
+        ).fit(train)
+    registry = ModelRegistry(args.registry)
+    version = registry.publish(
+        ModelBundle(
+            predictor=predictor,
+            locator=locator,
+            meta={"lines": args.lines, "weeks": args.weeks, "seed": args.seed},
+        ),
+        activate=True,
+    )
+    extra = ", with locator" if locator is not None else ""
+    print(f"published {version} (capacity N={predictor.config.capacity}"
+          f"{extra}) to {args.registry}/")
+    return 0
+
+
+def _serve_smoke(args: argparse.Namespace) -> int:
+    """End-to-end self-test: simulate -> snapshot -> publish -> serve -> check.
+
+    Verifies over real HTTP that the served top-N dispatch list names
+    exactly the lines the batch predictor would submit -- the serving
+    subsystem's parity invariant.  Used by the CI smoke job.
+    """
+    import json
+    import tempfile
+    import threading
+    import urllib.request
+    from pathlib import Path
+
+    from repro.serve import (
+        ModelBundle,
+        ModelRegistry,
+        ScoringService,
+        make_server,
+        snapshot_result,
+    )
+
+    result = _simulate(args)
+    predictor = _trained_predictor(args, result, rounds=60)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_root = Path(tmp) / "store"
+        registry_root = Path(tmp) / "registry"
+        snapshot_result(result, store_root)
+        ModelRegistry(registry_root).publish(
+            ModelBundle(predictor=predictor), activate=True
+        )
+        service = ScoringService(store_root, registry_root)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+
+        def get(path: str) -> dict:
+            with urllib.request.urlopen(base + path, timeout=30) as response:
+                return json.load(response)
+
+        try:
+            health = get("/healthz")
+            week = health["latest_week"]
+            served = get(f"/dispatch?week={week}")
+            metrics = get("/metrics")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    if health.get("status") != "ok":
+        print(f"smoke FAILED: /healthz returned {health}")
+        return 1
+    expected = [int(i) for i in predictor.predict_top(result, week)]
+    if served["line_ids"] != expected:
+        print("smoke FAILED: served dispatch list differs from the batch "
+              "predictor's predict_top")
+        return 1
+    print(f"smoke ok: model {health['model_version']}, week {week}, "
+          f"top-{len(served['line_ids'])} dispatch list matches the batch "
+          f"predictor ({metrics['mean_lines_per_sec']:.0f} lines/sec)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.smoke:
+        return _serve_smoke(args)
+
+    from repro.serve import DEFAULT_SHARD_SIZE, ScoringService, make_server
+
+    service = ScoringService(
+        args.store,
+        args.registry,
+        shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+    )
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving model {service.model_version} "
+          f"on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "predict": _cmd_predict,
     "locate": _cmd_locate,
     "export": _cmd_export,
+    "snapshot": _cmd_snapshot,
+    "serve": _cmd_serve,
 }
 
 

@@ -18,12 +18,17 @@ this pipeline shows the end-to-end effect on the ticket stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.predictor import PredictorConfig, TicketPredictor
 from repro.data.splits import TemporalSplit, paper_style_split
 from repro.netsim.simulator import DslSimulator, SimulationConfig
+
+if TYPE_CHECKING:  # serve imports stay out of the core import path
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.store import LineWeekStore
 
 __all__ = ["PipelineConfig", "WeeklyReport", "NevermindPipeline"]
 
@@ -78,10 +83,23 @@ class NevermindPipeline:
         self,
         simulation: SimulationConfig | None = None,
         config: PipelineConfig | None = None,
+        store: "LineWeekStore | None" = None,
+        registry: "ModelRegistry | None" = None,
     ):
+        """Args:
+            simulation: plant configuration (defaults as in DslSimulator).
+            config: operational-loop parameters.
+            store: optional line-week store; each completed week's
+                campaign is appended instead of discarded, so the serving
+                subsystem can re-score it without re-simulation.
+            registry: optional model registry; every (re)trained
+                predictor is published and activated as a new version.
+        """
         self.config = config or PipelineConfig()
         self.simulator = DslSimulator(simulation)
         self.predictor = TicketPredictor(self.config.predictor)
+        self.store = store
+        self.registry = registry
         self.reports: list[WeeklyReport] = []
         self._trained_at: int | None = None
 
@@ -113,10 +131,37 @@ class NevermindPipeline:
         split = self._training_split(week)
         self.predictor.fit(self.simulator.result(), split)
         self._trained_at = week
+        if self.registry is not None:
+            from repro.serve.registry import ModelBundle
+
+            self.registry.publish(
+                ModelBundle(
+                    predictor=self.predictor,
+                    meta={
+                        "trained_week": week,
+                        "n_lines": self.simulator.result().n_lines,
+                    },
+                ),
+                activate=True,
+            )
+
+    def _persist_week(self, week: int) -> None:
+        """Append this Saturday's campaign to the line-week store."""
+        if self.store is None or week in self.store.weeks:
+            return
+        result = self.simulator.result()
+        day = int(result.measurements.saturday_day[week])
+        self.store.append_week(
+            week,
+            day,
+            result.measurements.week_matrix(week),
+            result.ticket_log.last_ticket_day_before(result.n_lines, day),
+        )
 
     def step(self) -> WeeklyReport | None:
         """Advance one week; returns the proactive report once live."""
         week = self.simulator.step()
+        self._persist_week(week)
         self._maybe_train(week)
         if self._trained_at is None:
             return None

@@ -161,6 +161,11 @@ class CompiledEnsemble:
         """How many distinct feature columns the ensemble actually reads."""
         return len({g.feature for g in self.groups})
 
+    @property
+    def used_features(self) -> np.ndarray:
+        """Sorted distinct feature columns the ensemble actually reads."""
+        return np.array(sorted({g.feature for g in self.groups}), dtype=np.intp)
+
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Additive margin ``f(x) = sum_t h_t(x)`` for each row of ``X``."""
         X = np.asarray(X, dtype=float)
@@ -171,6 +176,36 @@ class CompiledEnsemble:
         margin = np.zeros(X.shape[0])
         for group in self.groups:
             margin += self._group_contribution(group, X[:, group.feature])
+        return margin
+
+    def decision_function_columns(self, column, n_rows: int) -> np.ndarray:
+        """Additive margin from a columnar feature source.
+
+        ``column(j)`` must return the length-``n_rows`` values of feature
+        column ``j``.  Only the ensemble's *used* features are requested,
+        so a columnar store (or a lazy derived-feature provider) never
+        materialises columns the model does not read.  The per-group fold
+        order matches :meth:`decision_function`, so the margins are
+        bit-identical to scoring the fully assembled row matrix.
+
+        Args:
+            column: callable mapping a feature index to its column.
+            n_rows: number of rows being scored.
+
+        Returns:
+            The (n_rows,) margin vector.
+        """
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+        margin = np.zeros(n_rows)
+        for group in self.groups:
+            col = np.asarray(column(group.feature), dtype=float)
+            if col.shape != (n_rows,):
+                raise ValueError(
+                    f"column {group.feature} must have shape ({n_rows},), "
+                    f"got {col.shape}"
+                )
+            margin += self._group_contribution(group, col)
         return margin
 
     @staticmethod

@@ -5,10 +5,27 @@ Saturday, usually on different machines; models therefore need a stable
 on-disk form.  Everything in this reproduction serialises to plain JSON --
 a BStump is just a list of stumps plus two calibration scalars, which is
 also pleasantly auditable by operations staff.
+
+Serving guarantees (used by :mod:`repro.serve`):
+
+* every payload carries a ``checksum`` (SHA-256 over the canonical JSON
+  of the model content) that the loader verifies, so a corrupted or
+  hand-edited bundle fails loudly instead of scoring garbage;
+* a loaded :class:`BStump` is compiled eagerly
+  (:meth:`~repro.ml.boostexter.BStump.compiled`), so a save/load round
+  trip hands back a model whose :class:`CompiledEnsemble` scorer produces
+  margins *bit-identical* to the original's -- JSON floats round-trip
+  exactly (``repr`` shortest form), the stumps are restored in round
+  order, and compilation is deterministic;
+* the Section-6 trouble locator (52 one-vs-rest models + 4 location
+  models + the Eq.-2 blend) round-trips through
+  :func:`combined_locator_to_dict` / :func:`combined_locator_from_dict`
+  so a registry bundle can serve disposition rankings.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -18,13 +35,42 @@ from repro.ml.calibration import PlattCalibrator
 from repro.ml.stumps import Stump
 
 __all__ = [
+    "payload_checksum",
     "bstump_to_dict",
     "bstump_from_dict",
     "save_bstump",
     "load_bstump",
+    "combined_locator_to_dict",
+    "combined_locator_from_dict",
 ]
 
 _FORMAT_VERSION = 1
+_LOCATOR_FORMAT_VERSION = 1
+_CHECKSUM_FIELD = "checksum"
+
+
+def payload_checksum(payload: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of ``payload`` (checksum excluded).
+
+    Canonical form is sorted keys with compact separators, so the digest
+    is independent of insertion order and whitespace.
+    """
+    content = {k: v for k, v in payload.items() if k != _CHECKSUM_FIELD}
+    blob = json.dumps(content, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _verify_checksum(payload: dict[str, Any], what: str) -> None:
+    """Validate an embedded checksum when one is present."""
+    stored = payload.get(_CHECKSUM_FIELD)
+    if stored is None:
+        return  # pre-checksum payloads stay loadable
+    actual = payload_checksum(payload)
+    if stored != actual:
+        raise ValueError(
+            f"{what} checksum mismatch: payload says {stored[:12]}..., "
+            f"content hashes to {actual[:12]}... (corrupted or edited file)"
+        )
 
 
 def bstump_to_dict(model: BStump) -> dict[str, Any]:
@@ -57,14 +103,22 @@ def bstump_to_dict(model: BStump) -> dict[str, Any]:
     }
     if model.calibrator is not None:
         payload["calibrator"] = {"a": model.calibrator.a, "b": model.calibrator.b}
+    payload[_CHECKSUM_FIELD] = payload_checksum(payload)
     return payload
 
 
 def bstump_from_dict(payload: dict[str, Any]) -> BStump:
-    """Rebuild a BStump from :func:`bstump_to_dict` output."""
+    """Rebuild a BStump from :func:`bstump_to_dict` output.
+
+    Verifies the embedded checksum (when present) and compiles the
+    ensemble eagerly, so the returned model round-trips with its
+    :class:`~repro.ml.ensemble_scoring.CompiledEnsemble` scorer attached
+    and produces bit-identical margins to the model that was saved.
+    """
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported model format version: {version!r}")
+    _verify_checksum(payload, "model")
     config = BStumpConfig(**payload["config"])
     model = BStump(config)
     model.n_features_ = int(payload["n_features"])
@@ -91,6 +145,7 @@ def bstump_from_dict(payload: dict[str, Any]) -> BStump:
         calibrator.b = float(payload["calibrator"]["b"])
         calibrator.fitted_ = True
         model.calibrator = calibrator
+    model.compiled()  # eager compile: loading yields a scoring-ready model
     return model
 
 
@@ -102,3 +157,83 @@ def save_bstump(model: BStump, path: str | Path) -> None:
 def load_bstump(path: str | Path) -> BStump:
     """Read a model previously written by :func:`save_bstump`."""
     return bstump_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----- trouble locator ------------------------------------------------------
+
+
+def combined_locator_to_dict(model) -> dict[str, Any]:
+    """Serialise a fitted :class:`~repro.core.locator.CombinedLocator`.
+
+    Captures everything ``predict_proba`` needs: the flat model's prior,
+    per-disposition ensembles and Platt calibrators, the four
+    major-location ensembles, and the Eq.-2 blend coefficients.  The
+    out-of-fold training margins are fit-time scaffolding and are not
+    persisted.
+    """
+    flat = model.flat
+    if flat.prior_ is None:
+        raise ValueError("cannot serialise an unfitted locator")
+    payload: dict[str, Any] = {
+        "format_version": _LOCATOR_FORMAT_VERSION,
+        "config": {
+            "n_rounds": model.config.n_rounds,
+            "min_positive": model.config.min_positive,
+            "prior_smoothing": model.config.prior_smoothing,
+            "cv_folds": model.config.cv_folds,
+            "cv_seed": model.config.cv_seed,
+        },
+        "prior": [float(p) for p in flat.prior_],
+        "disposition_models": {
+            str(code): bstump_to_dict(m) for code, m in sorted(flat.models_.items())
+        },
+        "calibrators": {
+            str(code): {"a": cal.a, "b": cal.b}
+            for code, cal in sorted(flat.calibrators_.items())
+        },
+        "location_models": {
+            str(loc): bstump_to_dict(m)
+            for loc, m in sorted(model.location_models_.items())
+        },
+        "blend": {
+            str(code): [float(g) for g in gammas]
+            for code, gammas in sorted(model.blend_.items())
+        },
+    }
+    payload[_CHECKSUM_FIELD] = payload_checksum(payload)
+    return payload
+
+
+def combined_locator_from_dict(payload: dict[str, Any]):
+    """Rebuild a CombinedLocator from :func:`combined_locator_to_dict`."""
+    from repro.core.locator import CombinedLocator, LocatorConfig
+
+    import numpy as np
+
+    version = payload.get("format_version")
+    if version != _LOCATOR_FORMAT_VERSION:
+        raise ValueError(f"unsupported locator format version: {version!r}")
+    _verify_checksum(payload, "locator")
+    model = CombinedLocator(LocatorConfig(**payload["config"]))
+    flat = model.flat
+    flat.prior_ = np.asarray(payload["prior"], dtype=float)
+    flat.models_ = {
+        int(code): bstump_from_dict(entry)
+        for code, entry in payload["disposition_models"].items()
+    }
+    flat.calibrators_ = {}
+    for code, entry in payload["calibrators"].items():
+        calibrator = PlattCalibrator()
+        calibrator.a = float(entry["a"])
+        calibrator.b = float(entry["b"])
+        calibrator.fitted_ = True
+        flat.calibrators_[int(code)] = calibrator
+    model.location_models_ = {
+        int(loc): bstump_from_dict(entry)
+        for loc, entry in payload["location_models"].items()
+    }
+    model.blend_ = {
+        int(code): (float(g[0]), float(g[1]), float(g[2]))
+        for code, g in payload["blend"].items()
+    }
+    return model

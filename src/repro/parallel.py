@@ -28,7 +28,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["WORKERS_ENV_VAR", "worker_count", "parallel_map"]
+__all__ = ["WORKERS_ENV_VAR", "worker_count", "parallel_map", "split_shards"]
 
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
@@ -93,3 +93,28 @@ def parallel_map(
         return [fn(item) for item in work]
     with ThreadPoolExecutor(max_workers=min(n_workers, len(work))) as pool:
         return list(pool.map(fn, work))
+
+
+def split_shards(n_items: int, shard_size: int) -> list[slice]:
+    """Contiguous slices covering ``range(n_items)`` in order.
+
+    The scoring service fans these across :func:`parallel_map`; because
+    the slices are contiguous, in order, and results are concatenated in
+    submission order, sharded outputs are identical for every
+    (shard_size, worker count) combination.
+
+    Args:
+        n_items: total number of items to cover (0 gives no shards).
+        shard_size: maximum items per shard.
+
+    Returns:
+        Slices whose concatenated ranges are exactly ``0..n_items``.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    return [
+        slice(start, min(start + shard_size, n_items))
+        for start in range(0, n_items, shard_size)
+    ]

@@ -1,0 +1,34 @@
+"""Serving subsystem: model registry, line-week store, scoring service.
+
+The batch pipeline (:mod:`repro.core.pipeline`) trains and scores inside
+one process over a live simulation.  This package is the deployment
+half of the paper's Fig. 3 loop:
+
+* :mod:`repro.serve.store` -- append-only columnar snapshots of each
+  Saturday campaign (mmap ``.npy`` shards + JSON manifest), so scoring
+  never re-simulates;
+* :mod:`repro.serve.registry` -- versioned, checksummed model bundles
+  with activate/rollback;
+* :mod:`repro.serve.scoring` -- the sharded scoring engine: store ->
+  compiled-ensemble margins -> calibrated P(ticket) -> capacity-bounded
+  dispatch list, bit-identical to the batch pipeline;
+* :mod:`repro.serve.service` -- a stdlib-only HTTP API over the above.
+"""
+
+from repro.serve.registry import ModelBundle, ModelRegistry
+from repro.serve.scoring import DEFAULT_SHARD_SIZE, ScoringEngine, WeekScores
+from repro.serve.service import ScoringService, make_server
+from repro.serve.store import LineWeekStore, StoredWorld, snapshot_result
+
+__all__ = [
+    "ModelBundle",
+    "ModelRegistry",
+    "ScoringEngine",
+    "WeekScores",
+    "DEFAULT_SHARD_SIZE",
+    "ScoringService",
+    "make_server",
+    "LineWeekStore",
+    "StoredWorld",
+    "snapshot_result",
+]

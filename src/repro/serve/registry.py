@@ -1,0 +1,215 @@
+"""The model registry: versioned, checksummed on-disk model bundles.
+
+The operational loop (Fig. 3) retrains weekly-or-less but scores every
+Saturday; the model that scores must be *pinned* -- a known version with
+a verified checksum -- and a bad rollout must be reversible before the
+next campaign.  A registry is a directory of immutable version bundles
+plus a manifest naming the active one::
+
+    registry_root/
+      MANIFEST.json            # versions, checksums, active, history
+      v0001/bundle.json        # predictor (+ optional locator) payload
+      v0002/bundle.json
+
+A *bundle* is the full serving unit: the ticket predictor (feature
+recipes + encoder spec + BStump + Platt calibrator, via
+``TicketPredictor.to_dict``), optionally the Section-6 combined trouble
+locator, and free-form metadata (training week, population size, ...).
+Bundles are immutable once published; ``activate``/``rollback`` only move
+the manifest pointer.  Every load verifies the bundle checksum, and the
+loaded predictor's ensemble arrives pre-compiled
+(:mod:`repro.ml.serialize` compiles on load), so serving starts at full
+scoring speed with margins bit-identical to the trainer's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.predictor import TicketPredictor
+from repro.ml.serialize import (
+    combined_locator_from_dict,
+    combined_locator_to_dict,
+    payload_checksum,
+)
+
+__all__ = ["ModelBundle", "ModelRegistry"]
+
+_MANIFEST = "MANIFEST.json"
+_BUNDLE = "bundle.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class ModelBundle:
+    """Everything one registry version serves.
+
+    Attributes:
+        predictor: a fitted ticket predictor (model + recipes + encoder).
+        locator: optional fitted combined trouble locator.
+        meta: free-form JSON metadata (trained week, lines, notes...).
+    """
+
+    predictor: TicketPredictor
+    locator: Any | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "format_version": _FORMAT_VERSION,
+            "predictor": self.predictor.to_dict(),
+            "locator": (
+                combined_locator_to_dict(self.locator)
+                if self.locator is not None
+                else None
+            ),
+            "meta": self.meta,
+        }
+        payload["checksum"] = payload_checksum(payload)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ModelBundle":
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported bundle format version: {version!r}")
+        stored = payload.get("checksum")
+        if stored is not None and stored != payload_checksum(payload):
+            raise ValueError("bundle checksum mismatch (corrupted or edited)")
+        locator_payload = payload.get("locator")
+        return cls(
+            predictor=TicketPredictor.from_dict(payload["predictor"]),
+            locator=(
+                combined_locator_from_dict(locator_payload)
+                if locator_payload is not None
+                else None
+            ),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class ModelRegistry:
+    """Versioned bundle storage with activate/rollback semantics."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.root / _MANIFEST
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            version = manifest.get("format_version")
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported registry format version: {version!r}"
+                )
+            self._versions: dict[str, dict[str, Any]] = manifest["versions"]
+            self._active: str | None = manifest["active"]
+            self._history: list[str] = list(manifest.get("history", []))
+        else:
+            self._versions = {}
+            self._active = None
+            self._history = []
+            self._write_manifest()
+
+    # ----- manifest -------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "active": self._active,
+            "history": self._history,
+            "versions": self._versions,
+        }
+        _atomic_write_text(self.root / _MANIFEST, json.dumps(manifest, indent=1))
+
+    # ----- write path -----------------------------------------------------
+
+    def publish(self, bundle: ModelBundle, activate: bool = False) -> str:
+        """Write a bundle as the next version; optionally activate it.
+
+        Returns the new version tag (``v0001``, ``v0002``, ...).
+        """
+        version = f"v{len(self._versions) + 1:04d}"
+        payload = bundle.to_dict()
+        version_dir = self.root / version
+        version_dir.mkdir(parents=True, exist_ok=False)
+        _atomic_write_text(version_dir / _BUNDLE, json.dumps(payload))
+        self._versions[version] = {
+            "checksum": payload["checksum"],
+            "published_at": time.time(),
+            "meta": bundle.meta,
+        }
+        self._write_manifest()
+        if activate:
+            self.activate(version)
+        return version
+
+    def activate(self, version: str) -> None:
+        """Point serving at ``version`` (records the previous for rollback)."""
+        if version not in self._versions:
+            raise KeyError(f"unknown model version {version!r}")
+        if version == self._active:
+            return
+        self._history.append(version)
+        self._active = version
+        self._write_manifest()
+
+    def rollback(self) -> str:
+        """Re-activate the previously active version; returns its tag."""
+        if len(self._history) < 2:
+            raise RuntimeError("no previous activation to roll back to")
+        self._history.pop()
+        self._active = self._history[-1]
+        self._write_manifest()
+        return self._active
+
+    # ----- read path ------------------------------------------------------
+
+    @property
+    def active(self) -> str | None:
+        """The currently active version tag (None before first activate)."""
+        return self._active
+
+    @property
+    def versions(self) -> list[str]:
+        """All published version tags, in publish order."""
+        return sorted(self._versions)
+
+    def meta(self, version: str) -> dict[str, Any]:
+        """Publish-time metadata of a version."""
+        if version not in self._versions:
+            raise KeyError(f"unknown model version {version!r}")
+        return dict(self._versions[version]["meta"])
+
+    def load(self, version: str | None = None) -> ModelBundle:
+        """Load a bundle (the active one by default), verifying checksums.
+
+        Both the manifest-recorded checksum and the bundle's embedded one
+        must match the file content, so neither a tampered bundle nor a
+        swapped manifest entry loads silently.
+        """
+        if version is None:
+            version = self._active
+        if version is None:
+            raise RuntimeError("registry has no active model version")
+        if version not in self._versions:
+            raise KeyError(f"unknown model version {version!r}")
+        payload = json.loads((self.root / version / _BUNDLE).read_text())
+        actual = payload_checksum(payload)
+        if actual != self._versions[version]["checksum"]:
+            raise ValueError(
+                f"bundle {version} does not match its manifest checksum "
+                "(corrupted or edited)"
+            )
+        return ModelBundle.from_dict(payload)

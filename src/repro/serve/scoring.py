@@ -1,0 +1,262 @@
+"""The sharded scoring engine: store + registry -> dispatch lists.
+
+This is the Saturday hot path of the serving subsystem.  One scoring run
+for week ``t``:
+
+1. split the population into contiguous line-shards and fan them across
+   :func:`repro.parallel.parallel_map` workers;
+2. each shard *encodes its own rows* -- the Table-3 encoder runs on
+   zero-copy row views of the stored measurements, population arrays, and
+   ticket vector, so no simulation, no re-training, and no full-plant
+   temporaries;
+3. each shard scores with the predictor's
+   :class:`~repro.ml.ensemble_scoring.CompiledEnsemble` through the
+   *columnar* entry point -- derived columns (quadratics, products of the
+   selected base features) are materialised lazily per shard and only for
+   the columns the compiled ensemble actually reads;
+4. Platt-calibrate the concatenated margins into ``P(Tkt | x)`` and cut a
+   capacity-bounded :class:`~repro.tickets.dispatch.DispatchList`.
+
+Exactness: every encoder operation is row-wise (delta, per-line
+time-series statistics, profile ratios, ticket recency, modem fraction
+all reduce along the week/feature axes of each line independently), so
+encoding a row-slice yields exactly the rows of the full encoding;
+shards are contiguous, ordered, and reduced by concatenation, and the
+columnar scorer folds feature groups in the same order as the batch
+scorer.  The scores -- and therefore the dispatch list -- are therefore
+bit-identical to ``TicketPredictor.score_week`` on the live simulation,
+at any ``REPRO_WORKERS`` count and any shard size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.encoding import FeatureSet
+from repro.measurement.records import MeasurementStore
+from repro.netsim.population import Population
+from repro.parallel import parallel_map, split_shards
+from repro.serve.registry import ModelBundle
+from repro.serve.store import StoredWorld, _StoredTicketView
+from repro.tickets.dispatch import DispatchList, Dispatcher, build_dispatch_list
+
+__all__ = ["WeekScores", "ScoringEngine", "DEFAULT_SHARD_SIZE"]
+
+#: Default lines per shard; small enough to parallelise a laptop-scale
+#: population, large enough that per-shard numpy dispatch overhead is noise.
+DEFAULT_SHARD_SIZE = 16_384
+
+
+@dataclass(frozen=True)
+class WeekScores:
+    """One scored campaign.
+
+    Attributes:
+        week: the scored week.
+        day: absolute Saturday day of the underlying line test.
+        scores: per-line calibrated ticket probabilities.
+        n_shards: how many line-shards the run fanned out.
+        encode_seconds: feature-encoding wall time.
+        score_seconds: shard scoring + calibration wall time.
+    """
+
+    week: int
+    day: int
+    scores: np.ndarray
+    n_shards: int
+    encode_seconds: float  # shared setup: population, store views
+    score_seconds: float  # sharded encode + score + calibration
+
+    @property
+    def lines_per_sec(self) -> float:
+        total = self.encode_seconds + self.score_seconds
+        return len(self.scores) / total if total > 0 else 0.0
+
+
+def _slice_measurements(full: MeasurementStore, shard: slice) -> MeasurementStore:
+    """A zero-copy row view of a measurement store.
+
+    Built without ``__init__`` so ``data`` stays a slice view of the full
+    array instead of a fresh allocation; every MeasurementStore method
+    reduces along the week/feature axes per line, so the view behaves
+    exactly like the full store restricted to these rows.
+    """
+    view = object.__new__(MeasurementStore)
+    view.data = full.data[shard]
+    view.n_lines = view.data.shape[0]
+    view.n_weeks = full.n_weeks
+    view.saturday_day = full.saturday_day
+    view._filled = full._filled
+    return view
+
+
+def _slice_population(full: Population, shard: slice) -> Population:
+    """A zero-copy row view of the population's per-line arrays."""
+    view = object.__new__(Population)
+    view.config = full.config
+    view.topology = full.topology  # not per-line; unused by the encoder
+    view.loop_kft = full.loop_kft[shard]
+    view.profile_idx = full.profile_idx[shard]
+    view.ambient_noise_db = full.ambient_noise_db[shard]
+    view.static_bridge_tap = full.static_bridge_tap[shard]
+    view.static_crosstalk = full.static_crosstalk[shard]
+    return view
+
+
+class _AssembledColumns:
+    """Lazy provider of the predictor's model-input columns for one shard.
+
+    Column ``j`` of the assembled matrix is, in order: a selected base
+    column, a selected base column squared, or a product of two base
+    columns -- exactly what ``TicketPredictor._assemble`` materialises,
+    computed here on demand so unused columns cost nothing.
+    """
+
+    def __init__(self, base_rows: np.ndarray, recipes):
+        self._rows = base_rows
+        self._base = recipes.base_indices
+        self._quad = recipes.quad_indices
+        self._pairs = recipes.product_pairs
+
+    def __call__(self, j: int) -> np.ndarray:
+        n_base, n_quad = len(self._base), len(self._quad)
+        if j < n_base:
+            return self._rows[:, self._base[j]]
+        if j < n_base + n_quad:
+            return self._rows[:, self._quad[j - n_base]] ** 2
+        i, k = self._pairs[j - n_base - n_quad]
+        return self._rows[:, i] * self._rows[:, k]
+
+
+class ScoringEngine:
+    """Scores stored weeks with a registry bundle, shard by shard."""
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        world: StoredWorld,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        workers: int | None = None,
+        model_version: str | None = None,
+    ):
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.bundle = bundle
+        self.world = world
+        self.shard_size = shard_size
+        self.workers = workers
+        self.model_version = model_version
+        self._base_cache: tuple[int, FeatureSet] | None = None
+        self._score_cache: dict[int, WeekScores] = {}
+
+    # ----- feature access -------------------------------------------------
+
+    def base_features(self, week: int) -> FeatureSet:
+        """Encoded base features of a stored week (last week cached)."""
+        if self._base_cache is not None and self._base_cache[0] == week:
+            return self._base_cache[1]
+        base = self.world.encode_week(week, self.bundle.predictor.encoder)
+        self._base_cache = (week, base)
+        return base
+
+    # ----- scoring --------------------------------------------------------
+
+    def score_week(self, week: int) -> WeekScores:
+        """Calibrated P(ticket) for every line at a stored week (cached)."""
+        cached = self._score_cache.get(week)
+        if cached is not None:
+            return cached
+        predictor = self.bundle.predictor
+        model = predictor.model
+        if model is None:
+            raise RuntimeError("bundle predictor is not fitted")
+
+        t0 = time.perf_counter()
+        population = self.world.population()
+        measurements = self.world.measurements()
+        day = self.world.store.day_of(week)
+        last_day = np.asarray(self.world.store.last_ticket_day(week))
+        t1 = time.perf_counter()
+
+        compiled = model.compiled()
+        recipes = predictor.recipes
+        encoder = predictor.encoder
+        shards = split_shards(self.world.n_lines, self.shard_size)
+
+        def encode_and_score(shard: slice) -> np.ndarray:
+            base = encoder.encode(
+                _slice_measurements(measurements, shard),
+                week,
+                _slice_population(population, shard),
+                _StoredTicketView(last_day[shard], day),
+            )
+            columns = _AssembledColumns(base.matrix, recipes)
+            return compiled.decision_function_columns(
+                columns, base.matrix.shape[0]
+            )
+
+        margins = parallel_map(encode_and_score, shards, self.workers)
+        margin = np.concatenate(margins) if margins else np.empty(0)
+        if model.calibrator is None:
+            raise RuntimeError("bundle model has no calibrator")
+        scores = model.calibrator.transform(margin)
+        t2 = time.perf_counter()
+
+        result = WeekScores(
+            week=week,
+            day=day,
+            scores=scores,
+            n_shards=len(shards),
+            encode_seconds=t1 - t0,
+            score_seconds=t2 - t1,
+        )
+        self._score_cache[week] = result
+        return result
+
+    def dispatch(self, week: int, capacity: int | None = None) -> DispatchList:
+        """The top-``capacity`` dispatch list for a stored week.
+
+        ``capacity`` defaults to the predictor's configured ATDS capacity;
+        the ranking matches ``TicketPredictor.predict_top`` exactly.
+        """
+        scored = self.score_week(week)
+        if capacity is None:
+            capacity = self.bundle.predictor.config.capacity
+        return build_dispatch_list(
+            scored.scores,
+            capacity,
+            week=week,
+            day=scored.day,
+            model_version=self.model_version,
+        )
+
+    # ----- trouble location ----------------------------------------------
+
+    def locate(self, week: int, line_id: int, top_k: int = 10) -> list[dict]:
+        """Ranked disposition candidates for one line at a stored week.
+
+        Uses the bundle's combined locator on the line's encoded features
+        (the serving analogue of handing the technician the Section-6
+        ranked list).  Raises if the bundle was published without a
+        locator.
+        """
+        locator = self.bundle.locator
+        if locator is None:
+            raise RuntimeError("bundle has no trouble locator")
+        if not 0 <= line_id < self.world.n_lines:
+            raise IndexError(f"line {line_id} out of range")
+        base = self.base_features(week)
+        probs = locator.predict_proba(base.matrix[line_id][None, :])[0]
+        order = np.argsort(-probs, kind="stable")[:top_k]
+        return [
+            {
+                "rank": rank + 1,
+                "disposition": int(code),
+                "name": Dispatcher.disposition_name(int(code)),
+                "posterior": float(probs[code]),
+            }
+            for rank, code in enumerate(order)
+        ]

@@ -1,0 +1,278 @@
+"""The scoring service: a stdlib HTTP front end over store + registry.
+
+Endpoints (all JSON):
+
+=======================  ===================================================
+``GET /healthz``         liveness + active model version + stored weeks
+``GET /metrics``         scoring latency, lines/sec, request counters
+``GET /score``           per-line P(ticket): ``?line=ID[&week=W]``
+``GET /dispatch``        top-N dispatch list: ``?[week=W][&capacity=N]``
+``GET /locate``          disposition ranking: ``?line=ID[&week=W][&top=K]``
+``POST /reload``         re-read the registry's active bundle and the store
+=======================  ===================================================
+
+``week`` defaults to the latest stored week.  The server is a
+``ThreadingHTTPServer`` (stdlib only, per the no-new-deps rule); scored
+weeks are cached per model version, so the common steady state -- many
+reads of one Saturday's scores -- costs one sharded scoring run.
+:class:`ScoringService` keeps all routing logic in plain methods
+returning ``(status, payload)`` pairs, so tests and the in-process smoke
+check can drive it without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.registry import ModelRegistry
+from repro.serve.scoring import DEFAULT_SHARD_SIZE, ScoringEngine
+from repro.serve.store import LineWeekStore, StoredWorld
+
+__all__ = ["ScoringService", "make_server"]
+
+
+class _ServiceError(Exception):
+    """An error with an HTTP status, raised by route handlers."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ScoringService:
+    """Serving state: one store, one registry, one active engine."""
+
+    def __init__(
+        self,
+        store_root,
+        registry_root,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        workers: int | None = None,
+    ):
+        self.registry = ModelRegistry(registry_root)
+        self.world = StoredWorld(LineWeekStore.open(store_root))
+        self.shard_size = shard_size
+        self.workers = workers
+        self.engine: ScoringEngine | None = None
+        self._started = time.time()
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._lines_scored = 0
+        self._score_seconds = 0.0
+        self._last: dict[str, float] = {}
+        self.reload()
+
+    # ----- lifecycle ------------------------------------------------------
+
+    def reload(self) -> str:
+        """(Re)load the active bundle and refresh the store manifest."""
+        self.world.refresh()
+        version = self.registry.active
+        if version is None:
+            raise RuntimeError(
+                "registry has no active model version -- publish and "
+                "activate a bundle first"
+            )
+        bundle = self.registry.load(version)
+        self.engine = ScoringEngine(
+            bundle,
+            self.world,
+            shard_size=self.shard_size,
+            workers=self.workers,
+            model_version=version,
+        )
+        return version
+
+    @property
+    def model_version(self) -> str:
+        assert self.engine is not None
+        return self.engine.model_version or "unknown"
+
+    # ----- shared helpers -------------------------------------------------
+
+    def _count(self, route: str) -> None:
+        with self._lock:
+            self._requests[route] = self._requests.get(route, 0) + 1
+
+    def _resolve_week(self, query: dict[str, list[str]]) -> int:
+        if "week" in query:
+            week = _int_param(query, "week")
+        else:
+            week = self.world.store.latest_week
+            if week < 0:
+                raise _ServiceError(409, "the store holds no weeks yet")
+        if week not in self.world.store.weeks:
+            raise _ServiceError(404, f"week {week} is not in the store")
+        return week
+
+    def _scored(self, week: int):
+        assert self.engine is not None
+        fresh = week not in self.engine._score_cache
+        scored = self.engine.score_week(week)
+        if fresh:
+            with self._lock:
+                self._lines_scored += len(scored.scores)
+                self._score_seconds += scored.encode_seconds + scored.score_seconds
+                self._last = {
+                    "week": float(week),
+                    "seconds": scored.encode_seconds + scored.score_seconds,
+                    "lines_per_sec": scored.lines_per_sec,
+                }
+        return scored
+
+    # ----- routes ---------------------------------------------------------
+
+    def handle_healthz(self, query) -> tuple[int, dict]:
+        del query
+        store = self.world.store
+        return 200, {
+            "status": "ok",
+            "model_version": self.model_version,
+            "n_lines": store.n_lines,
+            "weeks": store.weeks,
+            "latest_week": store.latest_week,
+        }
+
+    def handle_metrics(self, query) -> tuple[int, dict]:
+        del query
+        with self._lock:
+            mean_rate = (
+                self._lines_scored / self._score_seconds
+                if self._score_seconds > 0
+                else 0.0
+            )
+            return 200, {
+                "model_version": self.model_version,
+                "uptime_seconds": time.time() - self._started,
+                "requests": dict(self._requests),
+                "lines_scored": self._lines_scored,
+                "scoring_seconds_total": self._score_seconds,
+                "mean_lines_per_sec": mean_rate,
+                "last_scoring": dict(self._last),
+            }
+
+    def handle_score(self, query) -> tuple[int, dict]:
+        week = self._resolve_week(query)
+        line = _int_param(query, "line")
+        if not 0 <= line < self.world.n_lines:
+            raise _ServiceError(404, f"line {line} out of range")
+        scored = self._scored(week)
+        return 200, {
+            "line": line,
+            "week": week,
+            "day": scored.day,
+            "p_ticket": float(scored.scores[line]),
+            "model_version": self.model_version,
+        }
+
+    def handle_dispatch(self, query) -> tuple[int, dict]:
+        week = self._resolve_week(query)
+        self._scored(week)  # populate cache + metrics
+        assert self.engine is not None
+        capacity = (
+            _int_param(query, "capacity") if "capacity" in query else None
+        )
+        if capacity is not None and capacity < 0:
+            raise _ServiceError(400, "capacity must be >= 0")
+        return 200, self.engine.dispatch(week, capacity).to_dict()
+
+    def handle_locate(self, query) -> tuple[int, dict]:
+        week = self._resolve_week(query)
+        line = _int_param(query, "line")
+        top = _int_param(query, "top") if "top" in query else 10
+        assert self.engine is not None
+        if self.engine.bundle.locator is None:
+            raise _ServiceError(
+                409, "the active bundle was published without a locator"
+            )
+        try:
+            ranking = self.engine.locate(week, line, top_k=top)
+        except IndexError as exc:
+            raise _ServiceError(404, str(exc)) from None
+        return 200, {
+            "line": line,
+            "week": week,
+            "model_version": self.model_version,
+            "ranking": ranking,
+        }
+
+    def handle_reload(self, query) -> tuple[int, dict]:
+        del query
+        version = self.reload()
+        return 200, {"status": "reloaded", "model_version": version}
+
+    _GET_ROUTES = {
+        "/healthz": handle_healthz,
+        "/metrics": handle_metrics,
+        "/score": handle_score,
+        "/dispatch": handle_dispatch,
+        "/locate": handle_locate,
+    }
+    _POST_ROUTES = {"/reload": handle_reload}
+
+    def dispatch_request(self, method: str, target: str) -> tuple[int, dict]:
+        """Route one request; returns (HTTP status, JSON payload)."""
+        parts = urlsplit(target)
+        routes = self._GET_ROUTES if method == "GET" else self._POST_ROUTES
+        handler = routes.get(parts.path)
+        if handler is None:
+            return 404, {"error": f"unknown route {method} {parts.path}"}
+        self._count(parts.path)
+        try:
+            return handler(self, parse_qs(parts.query))
+        except _ServiceError as exc:
+            return exc.status, {"error": str(exc)}
+        except (KeyError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+
+
+def _int_param(query: dict[str, list[str]], name: str) -> int:
+    values = query.get(name)
+    if not values:
+        raise _ServiceError(400, f"missing query parameter {name!r}")
+    try:
+        return int(values[0])
+    except ValueError:
+        raise _ServiceError(
+            400, f"query parameter {name!r} must be an integer"
+        ) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON adapter around :meth:`ScoringService.dispatch_request`."""
+
+    service: ScoringService  # set by make_server
+
+    def _respond(self, method: str) -> None:
+        status, payload = self.service.dispatch_request(method, self.path)
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._respond("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._respond("POST")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the operator's reverse proxy's job
+
+
+def make_server(
+    service: ScoringService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for the service (port 0 = ephemeral).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop.
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)

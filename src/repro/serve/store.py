@@ -1,0 +1,368 @@
+"""The line-week store: append-only columnar storage of weekly campaigns.
+
+The paper's deployment (Fig. 3) separates *collection* -- every Saturday a
+line-test campaign snapshots the Table-2 features of millions of lines --
+from *scoring*, which may run on different machines and must never
+re-simulate or re-measure.  This module is that boundary: a directory of
+memory-mapped ``.npy`` shards plus a small JSON manifest, written once per
+week and read back arbitrarily often.
+
+Layout::
+
+    store_root/
+      manifest.json            # schema, population config, week index
+      week_00012.npy           # (n_lines, 25) float32 line-test matrix
+      tickets_00012.npy        # (n_lines,) int64 last-ticket-day vector
+
+Per week the store holds the raw measurement matrix *and* the per-line
+"most recent customer ticket day before this Saturday" vector, which is
+the only ticket-log derivative the Table-3 encoder needs; together with
+the population config (the simulated plant is rebuilt deterministically
+from its seed) a stored week encodes to *bit-identical* features -- and
+therefore bit-identical scores and dispatch lists -- as the in-memory
+batch pipeline.  Shards are checksummed (SHA-256 of the raw bytes) and
+verified on read, and the manifest is replaced atomically so a crashed
+writer never corrupts the index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.encoding import FeatureSet, LineFeatureEncoder
+from repro.measurement.records import FEATURE_NAMES, N_FEATURES, MeasurementStore
+from repro.netsim.population import Population, PopulationConfig, build_population
+
+__all__ = ["LineWeekStore", "StoredWorld", "snapshot_result"]
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class _WeekEntry:
+    """One stored campaign, as indexed by the manifest."""
+
+    week: int
+    day: int
+    measurements: str
+    tickets: str
+    measurements_checksum: str
+    tickets_checksum: str
+
+
+class LineWeekStore:
+    """Append-only weekly snapshots of the line population.
+
+    Create with :meth:`create`, reopen with :meth:`open`; both return a
+    handle that can append further weeks (append-only: an existing week
+    can never be rewritten).
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        n_lines: int,
+        population: dict,
+        entries: dict[int, _WeekEntry],
+    ):
+        self.root = root
+        self.n_lines = n_lines
+        self._population_config = population
+        self._entries = entries
+
+    # ----- lifecycle ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        n_lines: int,
+        population: PopulationConfig,
+    ) -> "LineWeekStore":
+        """Initialise an empty store directory (must not already exist)."""
+        root = Path(root)
+        if (root / _MANIFEST).exists():
+            raise FileExistsError(f"store already initialised at {root}")
+        if n_lines <= 0:
+            raise ValueError("n_lines must be positive")
+        root.mkdir(parents=True, exist_ok=True)
+        store = cls(root, n_lines, asdict(population), {})
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "LineWeekStore":
+        """Open an existing store and load its manifest."""
+        root = Path(root)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no line-week store at {root}")
+        manifest = json.loads(manifest_path.read_text())
+        version = manifest.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported store format version: {version!r}")
+        if manifest.get("feature_names") != list(FEATURE_NAMES):
+            raise ValueError("store was written with a different feature schema")
+        entries = {
+            int(e["week"]): _WeekEntry(
+                week=int(e["week"]),
+                day=int(e["day"]),
+                measurements=e["measurements"],
+                tickets=e["tickets"],
+                measurements_checksum=e["measurements_checksum"],
+                tickets_checksum=e["tickets_checksum"],
+            )
+            for e in manifest["weeks"]
+        }
+        return cls(root, int(manifest["n_lines"]), manifest["population"], entries)
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "n_lines": self.n_lines,
+            "feature_names": list(FEATURE_NAMES),
+            "population": self._population_config,
+            "weeks": [
+                {
+                    "week": e.week,
+                    "day": e.day,
+                    "measurements": e.measurements,
+                    "tickets": e.tickets,
+                    "measurements_checksum": e.measurements_checksum,
+                    "tickets_checksum": e.tickets_checksum,
+                }
+                for _, e in sorted(self._entries.items())
+            ],
+        }
+        _atomic_write_text(self.root / _MANIFEST, json.dumps(manifest, indent=1))
+
+    # ----- write path -----------------------------------------------------
+
+    def append_week(
+        self,
+        week: int,
+        day: int,
+        features: np.ndarray,
+        last_ticket_day: np.ndarray,
+    ) -> None:
+        """Append one Saturday campaign (refuses to rewrite a stored week).
+
+        Args:
+            week: week index of the campaign.
+            day: absolute simulation day of the test (the Saturday).
+            features: (n_lines, 25) measurement matrix; stored as float32.
+            last_ticket_day: per-line day of the most recent customer
+                ticket strictly before ``day`` (-1 when none), i.e.
+                ``TicketLog.last_ticket_day_before(n_lines, day)``.
+        """
+        if week < 0:
+            raise ValueError(f"week must be >= 0, got {week}")
+        if week in self._entries:
+            raise ValueError(f"week {week} is already stored (store is append-only)")
+        features = np.ascontiguousarray(features, dtype=np.float32)
+        if features.shape != (self.n_lines, N_FEATURES):
+            raise ValueError(
+                f"features must be ({self.n_lines}, {N_FEATURES}), "
+                f"got {features.shape}"
+            )
+        last_ticket_day = np.ascontiguousarray(last_ticket_day, dtype=np.int64)
+        if last_ticket_day.shape != (self.n_lines,):
+            raise ValueError(
+                f"last_ticket_day must be ({self.n_lines},), "
+                f"got {last_ticket_day.shape}"
+            )
+        meas_name = f"week_{week:05d}.npy"
+        tick_name = f"tickets_{week:05d}.npy"
+        np.save(self.root / meas_name, features)
+        np.save(self.root / tick_name, last_ticket_day)
+        self._entries[week] = _WeekEntry(
+            week=week,
+            day=int(day),
+            measurements=meas_name,
+            tickets=tick_name,
+            measurements_checksum=_sha256(features.tobytes()),
+            tickets_checksum=_sha256(last_ticket_day.tobytes()),
+        )
+        self._write_manifest()
+
+    # ----- read path ------------------------------------------------------
+
+    @property
+    def weeks(self) -> list[int]:
+        """Stored week indices, ascending."""
+        return sorted(self._entries)
+
+    @property
+    def latest_week(self) -> int:
+        """The most recent stored week (-1 when empty)."""
+        return max(self._entries) if self._entries else -1
+
+    def day_of(self, week: int) -> int:
+        """Absolute Saturday day of a stored week."""
+        return self._entry(week).day
+
+    def _entry(self, week: int) -> _WeekEntry:
+        try:
+            return self._entries[week]
+        except KeyError:
+            raise KeyError(f"week {week} is not in the store") from None
+
+    def _load(self, name: str, checksum: str, mmap: bool) -> np.ndarray:
+        path = self.root / name
+        array = np.load(path, mmap_mode="r" if mmap else None)
+        if not mmap and _sha256(np.ascontiguousarray(array).tobytes()) != checksum:
+            raise ValueError(f"shard {name} is corrupted (checksum mismatch)")
+        return array
+
+    def week_matrix(self, week: int, mmap: bool = True) -> np.ndarray:
+        """(n_lines, 25) float32 measurement matrix of a stored week.
+
+        Memory-mapped by default; pass ``mmap=False`` for an in-memory
+        copy with checksum verification.
+        """
+        entry = self._entry(week)
+        return self._load(entry.measurements, entry.measurements_checksum, mmap)
+
+    def last_ticket_day(self, week: int, mmap: bool = True) -> np.ndarray:
+        """(n_lines,) last-customer-ticket-day vector of a stored week."""
+        entry = self._entry(week)
+        return self._load(entry.tickets, entry.tickets_checksum, mmap)
+
+    def verify(self) -> None:
+        """Re-hash every shard against the manifest; raises on mismatch."""
+        for week in self.weeks:
+            self.week_matrix(week, mmap=False)
+            self.last_ticket_day(week, mmap=False)
+
+    def population_config(self) -> PopulationConfig:
+        """The plant's population configuration as written at creation."""
+        return PopulationConfig(**self._population_config)
+
+
+class _StoredTicketView:
+    """The one ticket-log query the encoder makes, served from a shard."""
+
+    def __init__(self, last_day: np.ndarray, day: int):
+        self._last_day = last_day
+        self._day = day
+
+    def last_ticket_day_before(self, n_lines: int, day: int) -> np.ndarray:
+        if n_lines != self._last_day.shape[0]:
+            raise ValueError(
+                f"stored ticket vector covers {self._last_day.shape[0]} lines, "
+                f"caller asked for {n_lines}"
+            )
+        if day != self._day:
+            raise ValueError(
+                f"stored ticket vector was snapshotted for day {self._day}, "
+                f"caller asked for day {day}"
+            )
+        return np.asarray(self._last_day)
+
+
+class StoredWorld:
+    """Encoder-compatible views over a :class:`LineWeekStore`.
+
+    Rebuilds the population deterministically from the stored config and
+    assembles a :class:`MeasurementStore` from the week shards, so
+    :meth:`encode_week` produces feature matrices bit-identical to
+    encoding the live simulation the snapshots came from.
+    """
+
+    def __init__(self, store: LineWeekStore):
+        self.store = store
+        self._population: Population | None = None
+        self._measurements: MeasurementStore | None = None
+        self._measured_weeks: tuple[int, ...] = ()
+
+    @property
+    def n_lines(self) -> int:
+        return self.store.n_lines
+
+    def refresh(self) -> None:
+        """Re-read the manifest (picks up weeks appended by a writer)."""
+        self.store = LineWeekStore.open(self.store.root)
+        self._measurements = None
+        self._measured_weeks = ()
+
+    def population(self) -> Population:
+        """The plant population, rebuilt from the stored seed (cached)."""
+        if self._population is None:
+            self._population = build_population(self.store.population_config())
+        return self._population
+
+    def measurements(self) -> MeasurementStore:
+        """All stored weeks assembled into a MeasurementStore (cached)."""
+        weeks = tuple(self.store.weeks)
+        if self._measurements is None or self._measured_weeks != weeks:
+            if not weeks:
+                raise ValueError("the store holds no weeks yet")
+            assembled = MeasurementStore(
+                n_lines=self.store.n_lines, n_weeks=max(weeks) + 1
+            )
+            for week in weeks:
+                assembled.add_week(
+                    week, self.store.day_of(week), self.store.week_matrix(week)
+                )
+            self._measurements = assembled
+            self._measured_weeks = weeks
+        return self._measurements
+
+    def encode_week(self, week: int, encoder: LineFeatureEncoder) -> FeatureSet:
+        """Table-3 base features for every line at a stored week."""
+        ticket_view = _StoredTicketView(
+            self.store.last_ticket_day(week), self.store.day_of(week)
+        )
+        return encoder.encode(
+            self.measurements(), week, self.population(), ticket_view
+        )
+
+
+def snapshot_result(result, root: str | Path) -> LineWeekStore:
+    """Write every recorded week of a simulation result into a store.
+
+    Creates the store when ``root`` is empty, otherwise appends only the
+    weeks not yet present.  Used by the ``repro snapshot`` CLI and the
+    pipeline's persistence hook-free batch export.
+    """
+    root = Path(root)
+    if (root / _MANIFEST).exists():
+        store = LineWeekStore.open(root)
+        if store.n_lines != result.n_lines:
+            raise ValueError(
+                f"store covers {store.n_lines} lines, result has {result.n_lines}"
+            )
+    else:
+        store = LineWeekStore.create(
+            root, result.n_lines, result.config.population
+        )
+    measurements = result.measurements
+    for week in measurements.filled_weeks:
+        week = int(week)
+        if week in store._entries:
+            continue
+        day = int(measurements.saturday_day[week])
+        store.append_week(
+            week,
+            day,
+            measurements.week_matrix(week),
+            result.ticket_log.last_ticket_day_before(result.n_lines, day),
+        )
+    return store

@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.netsim.components import DISPOSITIONS, disposition_arrays
 
-__all__ = ["AtdsConfig", "DispatchRecord", "Dispatcher"]
+__all__ = [
+    "AtdsConfig",
+    "DispatchRecord",
+    "Dispatcher",
+    "DispatchList",
+    "build_dispatch_list",
+]
 
 
 @dataclass(frozen=True)
@@ -198,3 +204,76 @@ class Dispatcher:
         if index < 0:
             return "no trouble found"
         return DISPOSITIONS[index].name
+
+
+# ----- proactive dispatch lists (the NEVERMIND -> ATDS hand-off) ----------
+
+
+@dataclass(frozen=True)
+class DispatchList:
+    """A capacity-bounded, ranked list of lines submitted to ATDS.
+
+    This is the artefact the Saturday scoring run hands to the dispatch
+    system (Section 3.2): the top-``capacity`` lines by ticket
+    probability, best first.
+
+    Attributes:
+        week: prediction week the scores belong to (-1 if unknown).
+        day: absolute day of the line test behind the scores (-1 if
+            unknown).
+        capacity: the requested ATDS capacity N.
+        line_ids: ranked line ids, highest score first (length <= N).
+        scores: the ranked lines' calibrated ticket probabilities.
+        model_version: registry version of the scoring model, if served.
+    """
+
+    week: int
+    day: int
+    capacity: int
+    line_ids: np.ndarray
+    scores: np.ndarray
+    model_version: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.line_ids)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (ids and scores as plain lists)."""
+        return {
+            "week": int(self.week),
+            "day": int(self.day),
+            "capacity": int(self.capacity),
+            "model_version": self.model_version,
+            "line_ids": [int(i) for i in self.line_ids],
+            "scores": [float(s) for s in self.scores],
+        }
+
+
+def build_dispatch_list(
+    scores: np.ndarray,
+    capacity: int,
+    week: int = -1,
+    day: int = -1,
+    model_version: str | None = None,
+) -> DispatchList:
+    """Rank all lines by score and keep the top ``capacity``.
+
+    Uses the same stable ordering as
+    :meth:`~repro.core.predictor.TicketPredictor.predict_top`
+    (``np.argsort(-scores, kind="stable")``), so a dispatch list built
+    from identical scores names identical lines in identical order.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1:
+        raise ValueError("scores must be a 1-D per-line vector")
+    order = np.argsort(-scores, kind="stable")[:capacity]
+    return DispatchList(
+        week=week,
+        day=day,
+        capacity=capacity,
+        line_ids=order,
+        scores=scores[order],
+        model_version=model_version,
+    )

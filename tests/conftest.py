@@ -13,9 +13,12 @@ import pytest
 from repro import (
     DslSimulator,
     PopulationConfig,
+    PredictorConfig,
     SimulationConfig,
+    TicketPredictor,
     paper_style_split,
 )
+from repro.serve import snapshot_result
 
 
 @pytest.fixture(scope="session")
@@ -54,6 +57,33 @@ def small_split(small_result):
         small_result.config.n_weeks, history=6, train=3, selection=2, test=2,
         horizon_weeks=3,
     )
+
+
+@pytest.fixture(scope="session")
+def small_predictor(small_result, small_split):
+    """A fitted ticket predictor on the small world (shared, read-only)."""
+    return TicketPredictor(
+        PredictorConfig(capacity=60, train_rounds=30)
+    ).fit(small_result, small_split)
+
+
+@pytest.fixture(scope="session")
+def small_store(small_result, tmp_path_factory):
+    """The small world snapshotted into a line-week store (read-only)."""
+    return snapshot_result(
+        small_result, tmp_path_factory.mktemp("serve") / "store"
+    )
+
+
+@pytest.fixture(scope="session")
+def small_locator(small_result):
+    """A small fitted combined trouble locator (shared, read-only)."""
+    from repro import CombinedLocator, LocatorConfig, build_locator_dataset
+
+    train = build_locator_dataset(
+        small_result, 30, small_result.config.n_weeks * 7
+    )
+    return CombinedLocator(LocatorConfig(n_rounds=6, cv_folds=2)).fit(train)
 
 
 @pytest.fixture()

@@ -27,6 +27,24 @@ class TestParser:
         args = build_parser().parse_args(["locate", "--rounds", "15"])
         assert args.rounds == 15
 
+    def test_snapshot_flags(self):
+        args = build_parser().parse_args(
+            ["snapshot", "--store", "s", "--registry", "r", "--capacity", "40"]
+        )
+        assert args.command == "snapshot"
+        assert args.store == "s"
+        assert args.registry == "r"
+        assert args.capacity == 40
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9999", "--shard-size", "512", "--smoke"]
+        )
+        assert args.command == "serve"
+        assert args.port == 9999
+        assert args.shard_size == 512
+        assert args.smoke
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["deploy"])
@@ -81,3 +99,26 @@ class TestCommands:
         with pytest.raises(KeyError):
             main(["simulate", "--lines", "100", "--weeks", "2",
                   "--scenario", "lunar"])
+
+    def test_snapshot_writes_store_and_registry(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        registry = tmp_path / "registry"
+        code = main([
+            "snapshot", "--lines", "800", "--weeks", "14",
+            "--fault-scale", "4", "--rounds", "15",
+            "--store", str(store), "--registry", str(registry),
+        ])
+        assert code == 0
+        assert (store / "manifest.json").exists()
+        assert (registry / "MANIFEST.json").exists()
+        out = capsys.readouterr().out
+        assert "stored 14 weeks" in out
+        assert "published v0001" in out
+
+    def test_serve_smoke_runs(self, capsys):
+        code = main([
+            "serve", "--smoke", "--lines", "800", "--weeks", "14",
+            "--fault-scale", "4",
+        ])
+        assert code == 0
+        assert "smoke ok" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Serialization hardening: checksums, compile-on-load, locator round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.boostexter import BStump, BStumpConfig
+from repro.ml.serialize import (
+    bstump_from_dict,
+    bstump_to_dict,
+    combined_locator_from_dict,
+    combined_locator_to_dict,
+    payload_checksum,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(rng_module):
+    X = rng_module.normal(size=(400, 6))
+    y = (X[:, 0] + 0.5 * X[:, 2] ** 2 > 0.3).astype(int) * 2 - 1
+    return BStump(BStumpConfig(n_rounds=25)).fit(X, y), X
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(7)
+
+
+class TestChecksum:
+    def test_payload_carries_a_checksum(self, fitted):
+        payload = bstump_to_dict(fitted[0])
+        assert payload["checksum"] == payload_checksum(payload)
+
+    def test_checksum_ignores_key_order_and_itself(self, fitted):
+        payload = bstump_to_dict(fitted[0])
+        reordered = dict(reversed(list(payload.items())))
+        assert payload_checksum(reordered) == payload["checksum"]
+
+    def test_tampered_payload_is_rejected(self, fitted):
+        payload = json.loads(json.dumps(bstump_to_dict(fitted[0])))
+        payload["learners"][0]["threshold"] += 1e-9
+        with pytest.raises(ValueError, match="checksum"):
+            bstump_from_dict(payload)
+
+    def test_pre_checksum_payloads_still_load(self, fitted):
+        payload = bstump_to_dict(fitted[0])
+        del payload["checksum"]
+        model = bstump_from_dict(payload)
+        assert len(model.learners) == len(fitted[0].learners)
+
+
+class TestCompileOnLoad:
+    def test_round_trip_margins_are_bit_identical(self, fitted):
+        model, X = fitted
+        loaded = bstump_from_dict(
+            json.loads(json.dumps(bstump_to_dict(model)))
+        )
+        assert np.array_equal(
+            loaded.decision_function(X), model.decision_function(X)
+        )
+        assert np.array_equal(
+            loaded.predict_proba(X), model.predict_proba(X)
+        )
+
+    def test_loaded_model_is_precompiled(self, fitted):
+        loaded = bstump_from_dict(bstump_to_dict(fitted[0]))
+        compiled = loaded.compiled()
+        assert compiled is loaded.compiled()  # cached, not rebuilt
+        X = fitted[1]
+        assert np.array_equal(
+            compiled.decision_function(X), loaded.decision_function(X)
+        )
+
+
+class TestLocatorRoundTrip:
+    def test_predict_proba_is_bit_identical(self, small_locator, rng_module):
+        payload = json.loads(json.dumps(combined_locator_to_dict(small_locator)))
+        loaded = combined_locator_from_dict(payload)
+        n_features = next(iter(small_locator.flat.models_.values())).n_features_
+        sample = rng_module.normal(size=(50, n_features))
+        assert np.array_equal(
+            loaded.predict_proba(sample), small_locator.predict_proba(sample)
+        )
+
+    def test_locator_tamper_detection(self, small_locator):
+        payload = json.loads(json.dumps(combined_locator_to_dict(small_locator)))
+        payload["prior"][0] += 1e-12
+        with pytest.raises(ValueError, match="checksum"):
+            combined_locator_from_dict(payload)
+
+    def test_unfitted_locator_is_rejected(self):
+        from repro.core.locator import CombinedLocator
+
+        with pytest.raises(ValueError, match="unfitted"):
+            combined_locator_to_dict(CombinedLocator())

@@ -1,0 +1,119 @@
+"""End-to-end: the operational loop persists, the service reproduces it.
+
+This is the serving subsystem's acceptance test: run the closed
+NEVERMIND loop with a store and a registry attached, then prove a
+scoring engine reading *only* the persisted artefacts emits the exact
+dispatch list the live pipeline submitted to ATDS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    NevermindPipeline,
+    PipelineConfig,
+    PopulationConfig,
+    PredictorConfig,
+    SimulationConfig,
+)
+from repro.serve import (
+    LineWeekStore,
+    ModelRegistry,
+    ScoringEngine,
+    StoredWorld,
+)
+
+
+@pytest.fixture(scope="module")
+def served_pipeline(tmp_path_factory):
+    """A small closed loop run to completion with persistence attached."""
+    root = tmp_path_factory.mktemp("pipeline")
+    store = LineWeekStore.create(
+        root / "store", n_lines=1500,
+        population=PopulationConfig(n_lines=1500, seed=3),
+    )
+    registry = ModelRegistry(root / "registry")
+    pipeline = NevermindPipeline(
+        SimulationConfig(
+            n_weeks=16,
+            population=PopulationConfig(n_lines=1500, seed=3),
+            fault_rate_scale=4.0,
+            seed=42,
+        ),
+        PipelineConfig(
+            warmup_weeks=12,
+            predictor=PredictorConfig(capacity=30, train_rounds=25),
+        ),
+        store=store,
+        registry=registry,
+    )
+    pipeline.run()
+    return pipeline, store, registry
+
+
+class TestPersistence:
+    def test_every_week_is_stored(self, served_pipeline):
+        _, store, _ = served_pipeline
+        assert store.weeks == list(range(16))
+        store.verify()
+
+    def test_training_published_and_activated_a_version(self, served_pipeline):
+        pipeline, _, registry = served_pipeline
+        assert registry.versions == ["v0001"]
+        assert registry.active == "v0001"
+        meta = registry.meta("v0001")
+        assert meta["trained_week"] == 11  # warmup_weeks=12 -> week index 11
+        assert meta["n_lines"] == 1500
+
+    def test_reports_cover_the_live_weeks(self, served_pipeline):
+        pipeline, _, _ = served_pipeline
+        assert [r.week for r in pipeline.reports] == list(range(11, 16))
+
+
+class TestEndToEndParity:
+    def test_served_dispatch_equals_the_submitted_list(self, served_pipeline):
+        """The acceptance criterion: store + registry -> identical top-N."""
+        pipeline, store, registry = served_pipeline
+        engine = ScoringEngine(
+            registry.load(),
+            StoredWorld(store),
+            shard_size=173,
+            model_version=registry.active,
+        )
+        final = pipeline.reports[-1]
+        dispatch = engine.dispatch(final.week)
+        assert np.array_equal(dispatch.line_ids, final.submitted)
+
+    def test_served_scores_match_live_ranking_for_all_live_weeks(
+        self, served_pipeline
+    ):
+        pipeline, store, registry = served_pipeline
+        engine = ScoringEngine(registry.load(), StoredWorld(store))
+        result = pipeline.simulator.result()
+        for report in pipeline.reports:
+            served = engine.score_week(report.week).scores
+            live = pipeline.predictor.score_week(result, report.week)
+            assert np.array_equal(served, live)
+
+    def test_pipeline_without_persistence_is_unchanged(self, served_pipeline):
+        """Attaching store+registry must not perturb the simulation."""
+        pipeline, _, _ = served_pipeline
+        plain = NevermindPipeline(
+            SimulationConfig(
+                n_weeks=16,
+                population=PopulationConfig(n_lines=1500, seed=3),
+                fault_rate_scale=4.0,
+                seed=42,
+            ),
+            PipelineConfig(
+                warmup_weeks=12,
+                predictor=PredictorConfig(capacity=30, train_rounds=25),
+            ),
+        )
+        plain.run()
+        assert len(plain.reports) == len(pipeline.reports)
+        for a, b in zip(plain.reports, pipeline.reports):
+            assert np.array_equal(a.submitted, b.submitted)
+            assert a.real_problems == b.real_problems

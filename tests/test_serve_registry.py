@@ -1,0 +1,100 @@
+"""Model registry: publish, activate/rollback, checksum enforcement."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelBundle, ModelRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestVersioning:
+    def test_publish_assigns_sequential_versions(self, registry, small_predictor):
+        bundle = ModelBundle(predictor=small_predictor, meta={"note": "a"})
+        assert registry.publish(bundle) == "v0001"
+        assert registry.publish(bundle) == "v0002"
+        assert registry.versions == ["v0001", "v0002"]
+        assert registry.active is None  # publish alone does not activate
+
+    def test_activate_and_rollback(self, registry, small_predictor):
+        bundle = ModelBundle(predictor=small_predictor)
+        registry.publish(bundle, activate=True)
+        registry.publish(bundle, activate=True)
+        assert registry.active == "v0002"
+        assert registry.rollback() == "v0001"
+        assert registry.active == "v0001"
+
+    def test_rollback_needs_a_previous_activation(self, registry, small_predictor):
+        with pytest.raises(RuntimeError):
+            registry.rollback()
+        registry.publish(ModelBundle(predictor=small_predictor), activate=True)
+        with pytest.raises(RuntimeError):
+            registry.rollback()
+
+    def test_activate_unknown_version(self, registry):
+        with pytest.raises(KeyError):
+            registry.activate("v0099")
+
+    def test_meta_round_trips(self, registry, small_predictor):
+        meta = {"trained_week": 17, "note": "weekly retrain"}
+        version = registry.publish(
+            ModelBundle(predictor=small_predictor, meta=meta)
+        )
+        assert registry.meta(version) == meta
+
+    def test_manifest_survives_reopen(self, tmp_path, small_predictor):
+        root = tmp_path / "registry"
+        first = ModelRegistry(root)
+        first.publish(ModelBundle(predictor=small_predictor), activate=True)
+        first.publish(ModelBundle(predictor=small_predictor), activate=True)
+        first.rollback()
+        reopened = ModelRegistry(root)
+        assert reopened.versions == ["v0001", "v0002"]
+        assert reopened.active == "v0001"
+        reopened.activate("v0002")
+        assert reopened.rollback() == "v0001"
+
+
+class TestLoading:
+    def test_loaded_predictor_scores_identically(
+        self, registry, small_predictor, small_result
+    ):
+        registry.publish(ModelBundle(predictor=small_predictor), activate=True)
+        loaded = registry.load()
+        week = int(small_result.measurements.filled_weeks[-1])
+        expected = small_predictor.score_week(small_result, week)
+        actual = loaded.predictor.score_week(small_result, week)
+        assert np.array_equal(actual, expected)
+
+    def test_load_without_activation_requires_version(
+        self, registry, small_predictor
+    ):
+        version = registry.publish(ModelBundle(predictor=small_predictor))
+        with pytest.raises(RuntimeError):
+            registry.load()
+        assert registry.load(version) is not None
+
+    def test_tampered_bundle_is_rejected(self, registry, small_predictor):
+        version = registry.publish(
+            ModelBundle(predictor=small_predictor), activate=True
+        )
+        bundle_path = registry.root / version / "bundle.json"
+        payload = json.loads(bundle_path.read_text())
+        payload["meta"]["note"] = "edited after publish"
+        bundle_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="checksum"):
+            registry.load(version)
+
+    def test_bundle_dict_checksum_is_self_validating(self, small_predictor):
+        payload = ModelBundle(predictor=small_predictor).to_dict()
+        ModelBundle.from_dict(json.loads(json.dumps(payload)))  # clean load
+        payload["meta"]["x"] = 1
+        with pytest.raises(ValueError, match="checksum"):
+            ModelBundle.from_dict(payload)

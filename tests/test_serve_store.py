@@ -1,0 +1,155 @@
+"""Line-week store: round-trips, append-only discipline, integrity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.measurement.records import N_FEATURES
+from repro.netsim.population import PopulationConfig
+from repro.serve import LineWeekStore, StoredWorld, snapshot_result
+
+
+class TestRoundTrip:
+    def test_snapshot_covers_every_filled_week(self, small_result, small_store):
+        assert small_store.weeks == [
+            int(w) for w in small_result.measurements.filled_weeks
+        ]
+        assert small_store.n_lines == small_result.n_lines
+
+    def test_matrices_read_back_verbatim(self, small_result, small_store):
+        for week in (0, 7, small_store.latest_week):
+            live = small_result.measurements.week_matrix(week)
+            stored = small_store.week_matrix(week)
+            # float32 in, float32 out: bit-identical including NaN pattern
+            assert stored.dtype == np.float32
+            assert np.array_equal(stored, live, equal_nan=True)
+
+    def test_ticket_vectors_read_back_verbatim(self, small_result, small_store):
+        week = small_store.latest_week
+        day = small_store.day_of(week)
+        assert day == int(small_result.measurements.saturday_day[week])
+        live = small_result.ticket_log.last_ticket_day_before(
+            small_result.n_lines, day
+        )
+        assert np.array_equal(small_store.last_ticket_day(week), live)
+
+    def test_reopen_sees_the_same_weeks(self, small_store):
+        reopened = LineWeekStore.open(small_store.root)
+        assert reopened.weeks == small_store.weeks
+        assert reopened.n_lines == small_store.n_lines
+        week = reopened.latest_week
+        assert np.array_equal(
+            reopened.week_matrix(week), small_store.week_matrix(week),
+            equal_nan=True,
+        )
+
+    def test_snapshot_is_idempotent(self, small_result, small_store):
+        again = snapshot_result(small_result, small_store.root)
+        assert again.weeks == small_store.weeks
+
+
+class TestAppendDiscipline:
+    @pytest.fixture()
+    def empty_store(self, tmp_path):
+        return LineWeekStore.create(
+            tmp_path / "s", n_lines=10, population=PopulationConfig(n_lines=10)
+        )
+
+    def test_duplicate_week_is_rejected(self, empty_store):
+        features = np.zeros((10, N_FEATURES), dtype=np.float32)
+        tickets = np.full(10, -1)
+        empty_store.append_week(3, 27, features, tickets)
+        with pytest.raises(ValueError, match="append-only"):
+            empty_store.append_week(3, 27, features, tickets)
+
+    def test_shape_validation(self, empty_store):
+        with pytest.raises(ValueError, match="features"):
+            empty_store.append_week(
+                0, 6, np.zeros((9, N_FEATURES), dtype=np.float32),
+                np.full(10, -1),
+            )
+        with pytest.raises(ValueError, match="last_ticket_day"):
+            empty_store.append_week(
+                0, 6, np.zeros((10, N_FEATURES), dtype=np.float32),
+                np.full(9, -1),
+            )
+
+    def test_create_refuses_existing_store(self, empty_store):
+        with pytest.raises(FileExistsError):
+            LineWeekStore.create(
+                empty_store.root, n_lines=10,
+                population=PopulationConfig(n_lines=10),
+            )
+
+    def test_open_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            LineWeekStore.open(tmp_path / "nowhere")
+
+
+class TestIntegrity:
+    def test_verify_passes_on_a_clean_store(self, small_store):
+        small_store.verify()
+
+    def test_corrupted_shard_is_detected(self, tmp_path):
+        store = LineWeekStore.create(
+            tmp_path / "s", n_lines=4, population=PopulationConfig(n_lines=4)
+        )
+        store.append_week(
+            0, 6, np.ones((4, N_FEATURES), dtype=np.float32), np.full(4, -1)
+        )
+        shard = store.root / "week_00000.npy"
+        data = np.load(shard)
+        data[0, 0] = 99.0
+        np.save(shard, data)
+        with pytest.raises(ValueError, match="checksum"):
+            LineWeekStore.open(store.root).verify()
+
+    def test_unsupported_format_version(self, tmp_path):
+        store = LineWeekStore.create(
+            tmp_path / "s", n_lines=4, population=PopulationConfig(n_lines=4)
+        )
+        manifest = json.loads((store.root / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (store.root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            LineWeekStore.open(store.root)
+
+
+class TestStoredWorld:
+    def test_population_rebuilds_from_stored_seed(self, small_result, small_store):
+        world = StoredWorld(small_store)
+        live = small_result.population
+        rebuilt = world.population()
+        assert rebuilt.n_lines == live.n_lines
+        assert np.array_equal(rebuilt.loop_kft, live.loop_kft)
+        assert np.array_equal(rebuilt.profile_idx, live.profile_idx)
+
+    def test_encode_week_matches_live_encoding(
+        self, small_result, small_store, small_predictor
+    ):
+        week = small_store.latest_week
+        live = small_predictor.encoder.encode(
+            small_result.measurements, week, small_result.population,
+            small_result.ticket_log,
+        )
+        stored = StoredWorld(small_store).encode_week(
+            week, small_predictor.encoder
+        )
+        assert np.array_equal(stored.matrix, live.matrix, equal_nan=True)
+
+    def test_ticket_view_rejects_mismatched_queries(self, small_store):
+        world = StoredWorld(small_store)
+        week = small_store.latest_week
+        view_day = small_store.day_of(week)
+        encoder_view = world.encode_week  # smoke: encode still works
+        del encoder_view
+        from repro.serve.store import _StoredTicketView
+
+        view = _StoredTicketView(small_store.last_ticket_day(week), view_day)
+        with pytest.raises(ValueError, match="lines"):
+            view.last_ticket_day_before(small_store.n_lines + 1, view_day)
+        with pytest.raises(ValueError, match="day"):
+            view.last_ticket_day_before(small_store.n_lines, view_day + 1)
