@@ -13,11 +13,16 @@ Three subcommands mirror how an operator would poke at the system:
 * ``snapshot`` -- simulate and persist the weekly campaigns into a
   line-week store (optionally training + publishing a model bundle);
 * ``serve`` -- run the scoring service over a store and registry, or
-  ``--smoke`` for an end-to-end in-process self-test.
+  ``--smoke`` for an end-to-end in-process self-test;
+* ``obs`` -- observability tooling: ``obs report`` runs an instrumented
+  proactive loop (or reads a saved telemetry JSON) and renders the
+  per-stage timing and quality breakdown.
 
 All commands are seeded, run at laptop scale by default, and accept
 ``--scenario`` to pick a plant preset (suburban/urban/rural/storm_season/
-outage_prone); flags scale them up.
+outage_prone); flags scale them up.  ``--verbose`` (or
+``REPRO_LOG_LEVEL``) turns on the key=value structured logs and
+``REPRO_TRACE=1`` enables span tracing everywhere.
 """
 
 from __future__ import annotations
@@ -50,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(ignored with --scenario)")
     common.add_argument("--scenario", default=None,
                         help="plant preset (see repro.netsim.scenarios)")
+    common.add_argument("--verbose", action="store_true",
+                        help="structured key=value logs at DEBUG level "
+                             "(default level comes from REPRO_LOG_LEVEL)")
 
     sub.add_parser("simulate", parents=[common],
                    help="run the plant and print a world summary")
@@ -106,6 +114,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "snapshot, publish, serve on an ephemeral port, "
                             "and check the HTTP dispatch list against the "
                             "batch predictor")
+
+    obs = sub.add_parser(
+        "obs", parents=[common],
+        help="observability tooling over the metrics registry and tracer")
+    obs.add_argument("action", choices=["report"],
+                     help="report: run an instrumented proactive loop "
+                          "(or render --input) as a telemetry summary")
+    obs.add_argument("--input", default=None,
+                     help="render a previously saved telemetry JSON "
+                          "instead of running the demo loop")
+    obs.add_argument("--out", default=None,
+                     help="also write the collected telemetry as JSON here")
+    obs.add_argument("--rounds", type=int, default=60,
+                     help="boosting rounds of the demo loop's predictor")
+    obs.add_argument("--no-trace", action="store_true",
+                     help="leave span tracing off for the demo loop "
+                          "(metrics only)")
     return parser
 
 
@@ -305,11 +330,17 @@ def _serve_smoke(args: argparse.Namespace) -> int:
             with urllib.request.urlopen(base + path, timeout=30) as response:
                 return json.load(response)
 
+        def get_text(path: str) -> str:
+            with urllib.request.urlopen(base + path, timeout=30) as response:
+                return response.read().decode()
+
         try:
             health = get("/healthz")
             week = health["latest_week"]
             served = get(f"/dispatch?week={week}")
             metrics = get("/metrics")
+            prometheus = get_text("/metrics?format=prometheus")
+            trace = get("/trace")
         finally:
             server.shutdown()
             server.server_close()
@@ -322,9 +353,29 @@ def _serve_smoke(args: argparse.Namespace) -> int:
         print("smoke FAILED: served dispatch list differs from the batch "
               "predictor's predict_top")
         return 1
+
+    from repro.obs import check_prometheus_text, tracing_enabled
+
+    problems = check_prometheus_text(prometheus)
+    if problems:
+        print("smoke FAILED: /metrics?format=prometheus is not valid "
+              "exposition text:")
+        for problem in problems[:10]:
+            print(f"  {problem}")
+        return 1
+    if "repro_http_requests_total" not in prometheus:
+        print("smoke FAILED: exposition text is missing the request counter")
+        return 1
+    if tracing_enabled() and not trace.get("spans"):
+        print("smoke FAILED: REPRO_TRACE is on but /trace exported no spans")
+        return 1
+    span_note = (
+        f", {len(trace['spans'])} span tree(s)" if trace.get("spans") else ""
+    )
     print(f"smoke ok: model {health['model_version']}, week {week}, "
           f"top-{len(served['line_ids'])} dispatch list matches the batch "
-          f"predictor ({metrics['mean_lines_per_sec']:.0f} lines/sec)")
+          f"predictor ({metrics['mean_lines_per_sec']:.0f} lines/sec, "
+          f"prometheus text valid{span_note})")
     return 0
 
 
@@ -352,6 +403,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs report``: render a run's telemetry as a summary table."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import collect_telemetry, render_report, set_tracing
+
+    if args.input is not None:
+        telemetry = json.loads(Path(args.input).read_text())
+        print(render_report(telemetry))
+        return 0
+
+    # Demo loop: run the proactive pipeline with tracing on, so the
+    # report shows the full per-stage breakdown out of the box.
+    from repro import PipelineConfig, PredictorConfig
+    from repro.core.pipeline import NevermindPipeline
+    from repro.netsim.population import PopulationConfig
+    from repro.netsim.simulator import SimulationConfig
+
+    if not args.no_trace:
+        set_tracing(True)
+    try:
+        capacity = max(20, args.lines // 50)
+        pipeline = NevermindPipeline(
+            SimulationConfig(
+                n_weeks=args.weeks,
+                population=PopulationConfig(n_lines=args.lines, seed=args.seed),
+                fault_rate_scale=args.fault_scale,
+                seed=args.seed,
+            ),
+            PipelineConfig(
+                predictor=PredictorConfig(
+                    capacity=capacity, train_rounds=args.rounds
+                )
+            ),
+        )
+        pipeline.run()
+        telemetry = collect_telemetry(meta={
+            "command": "obs report",
+            "lines": args.lines,
+            "weeks": args.weeks,
+            "seed": args.seed,
+            "live_weeks": len(pipeline.reports),
+            "summary": pipeline.summary(),
+        })
+    finally:
+        if not args.no_trace:
+            set_tracing(None)
+
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(telemetry, indent=1))
+        print(f"wrote telemetry to {args.out}")
+    print(render_report(telemetry))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "predict": _cmd_predict,
@@ -359,12 +466,16 @@ _COMMANDS = {
     "export": _cmd_export,
     "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    configure_logging(verbose=getattr(args, "verbose", False))
     return _COMMANDS[args.command](args)
 
 

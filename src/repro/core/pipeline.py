@@ -25,6 +25,18 @@ import numpy as np
 from repro.core.predictor import PredictorConfig, TicketPredictor
 from repro.data.splits import TemporalSplit, paper_style_split
 from repro.netsim.simulator import DslSimulator, SimulationConfig
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
+
+LOG = get_logger("pipeline")
+
+#: Weekly-stage durations: encode/score run milliseconds at test scale,
+#: a retrain takes seconds at benchmark scale.
+_STAGE_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 if TYPE_CHECKING:  # serve imports stay out of the core import path
     from repro.serve.registry import ModelRegistry
@@ -102,6 +114,34 @@ class NevermindPipeline:
         self.registry = registry
         self.reports: list[WeeklyReport] = []
         self._trained_at: int | None = None
+        registry_m = get_registry()
+        self._stage_seconds = registry_m.histogram(
+            "repro_pipeline_stage_seconds",
+            "Wall time per weekly pipeline stage",
+            buckets=_STAGE_BUCKETS,
+        )
+        self._weeks_total = registry_m.counter(
+            "repro_pipeline_weeks_total", "Live proactive weeks completed"
+        )
+        self._submitted_total = registry_m.counter(
+            "repro_pipeline_submitted_total", "Lines submitted to ATDS"
+        )
+        self._real_total = registry_m.counter(
+            "repro_pipeline_real_problems_total",
+            "Submitted lines that had an active fault",
+        )
+        self._fixed_total = registry_m.counter(
+            "repro_pipeline_fixed_total",
+            "Submitted faults cleared before a customer complaint",
+        )
+        self._precision_gauge = registry_m.gauge(
+            "repro_pipeline_precision",
+            "Precision of the most recent weekly campaign",
+        )
+        self._drift_gauge = registry_m.gauge(
+            "repro_pipeline_calibration_drift",
+            "Mean predicted P of submitted lines minus realized precision",
+        )
 
     def _training_split(self, week: int) -> TemporalSplit:
         """A split ending at ``week`` with the horizon fully in the past."""
@@ -129,8 +169,15 @@ class NevermindPipeline:
         if not due:
             return
         split = self._training_split(week)
-        self.predictor.fit(self.simulator.result(), split)
+        with span("pipeline.train", week=week), self._stage_seconds.time(stage="train"):
+            self.predictor.fit(self.simulator.result(), split)
         self._trained_at = week
+        LOG.info(kv(
+            "pipeline.train",
+            week=week,
+            features=len(self.predictor.feature_names),
+            rounds=len(self.predictor.model.learners) if self.predictor.model else 0,
+        ))
         if self.registry is not None:
             from repro.serve.registry import ModelBundle
 
@@ -149,27 +196,44 @@ class NevermindPipeline:
         """Append this Saturday's campaign to the line-week store."""
         if self.store is None or week in self.store.weeks:
             return
-        result = self.simulator.result()
-        day = int(result.measurements.saturday_day[week])
-        self.store.append_week(
-            week,
-            day,
-            result.measurements.week_matrix(week),
-            result.ticket_log.last_ticket_day_before(result.n_lines, day),
-        )
+        with span("pipeline.persist", week=week), \
+                self._stage_seconds.time(stage="persist"):
+            result = self.simulator.result()
+            day = int(result.measurements.saturday_day[week])
+            self.store.append_week(
+                week,
+                day,
+                result.measurements.week_matrix(week),
+                result.ticket_log.last_ticket_day_before(result.n_lines, day),
+            )
 
     def step(self) -> WeeklyReport | None:
         """Advance one week; returns the proactive report once live."""
         week = self.simulator.step()
+        with span("pipeline.week", week=week):
+            return self._step_week(week)
+
+    def _step_week(self, week: int) -> WeeklyReport | None:
         self._persist_week(week)
         self._maybe_train(week)
         if self._trained_at is None:
             return None
 
         result = self.simulator.result()
-        submitted = self.predictor.predict_top(result, week)
-        fix_day = int(result.measurements.saturday_day[week]) + self.config.fix_delay_days
-        records = self.simulator.apply_proactive_fixes(submitted, fix_day)
+        with span("pipeline.score", week=week), \
+                self._stage_seconds.time(stage="score"):
+            scores = self.predictor.score_week(result, week)
+            # Stable descending sort: identical ids to predict_top, but the
+            # scores are kept so calibration drift needs no second pass.
+            submitted = np.argsort(-scores, kind="stable")
+            submitted = submitted[: self.config.predictor.capacity]
+        with span("pipeline.dispatch", week=week), \
+                self._stage_seconds.time(stage="dispatch"):
+            fix_day = (
+                int(result.measurements.saturday_day[week])
+                + self.config.fix_delay_days
+            )
+            records = self.simulator.apply_proactive_fixes(submitted, fix_day)
         real = sum(r.true_disposition >= 0 for r in records)
         fixed = sum(r.true_disposition >= 0 and r.fixed for r in records)
         report = WeeklyReport(
@@ -180,6 +244,25 @@ class NevermindPipeline:
             no_trouble_found=sum(r.true_disposition < 0 for r in records),
         )
         self.reports.append(report)
+
+        mean_top_p = float(scores[submitted].mean()) if submitted.size else 0.0
+        drift = mean_top_p - report.precision
+        self._weeks_total.inc()
+        self._submitted_total.inc(len(submitted))
+        self._real_total.inc(real)
+        self._fixed_total.inc(fixed)
+        self._precision_gauge.set(report.precision)
+        self._drift_gauge.set(drift)
+        LOG.info(kv(
+            "pipeline.week",
+            week=week,
+            submitted=len(submitted),
+            real_problems=real,
+            fixed=fixed,
+            precision=round(report.precision, 4),
+            mean_top_p=round(mean_top_p, 4),
+            calibration_drift=round(drift, 4),
+        ))
         return report
 
     def run(self, n_weeks: int | None = None) -> list[WeeklyReport]:

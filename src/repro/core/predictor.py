@@ -34,6 +34,7 @@ from repro.features.encoding import EncoderConfig, FeatureSet, LineFeatureEncode
 from repro.features.selection import single_feature_ap
 from repro.ml.boostexter import BStump, BStumpConfig
 from repro.netsim.simulator import SimulationResult
+from repro.obs.tracing import span
 
 __all__ = ["PredictorConfig", "TicketPredictor"]
 
@@ -134,10 +135,22 @@ class TicketPredictor:
             raise ValueError("training window contains a single class")
         self._base_categorical = train.features.categorical.copy()
 
-        base_scores = single_feature_ap(
-            train.features, train.y, selection.features, selection.y,
-            cfg.capacity, n_rounds=cfg.selection_rounds,
-        )
+        with span(
+            "predict.fit",
+            rows=train.features.matrix.shape[0],
+            base_features=train.features.n_features,
+        ):
+            return self._fit_datasets_inner(train, selection)
+
+    def _fit_datasets_inner(
+        self, train: LabeledDataset, selection: LabeledDataset
+    ) -> "TicketPredictor":
+        cfg = self.config
+        with span("predict.select_base"):
+            base_scores = single_feature_ap(
+                train.features, train.y, selection.features, selection.y,
+                cfg.capacity, n_rounds=cfg.selection_rounds,
+            )
         self.selection_scores_["base"] = base_scores
         best = float(np.max(base_scores)) if base_scores.size else 0.0
         base_threshold = (
@@ -165,15 +178,17 @@ class TicketPredictor:
         self.recipes = _DerivedRecipes(base_indices=[int(i) for i in keep])
 
         if cfg.include_derived:
-            self._select_derived(train, selection, base_scores)
+            with span("predict.select_derived"):
+                self._select_derived(train, selection, base_scores)
 
-        X_train = self._assemble(train.features)
-        names = self._column_names(train.features)
-        self.feature_names = names
-        categorical = self._column_categorical(train.features)
-        self.model = BStump(BStumpConfig(n_rounds=cfg.train_rounds)).fit(
-            X_train, train.y, categorical=categorical
-        )
+        with span("predict.final_train", rounds=cfg.train_rounds):
+            X_train = self._assemble(train.features)
+            names = self._column_names(train.features)
+            self.feature_names = names
+            categorical = self._column_categorical(train.features)
+            self.model = BStump(BStumpConfig(n_rounds=cfg.train_rounds)).fit(
+                X_train, train.y, categorical=categorical
+            )
         return self
 
     def _select_derived(
@@ -290,10 +305,12 @@ class TicketPredictor:
 
     def score_week(self, result: SimulationResult, week: int) -> np.ndarray:
         """Calibrated scores for every line at prediction week ``week``."""
-        base = self.encoder.encode(
-            result.measurements, week, result.population, result.ticket_log
-        )
-        return self.score_features(base)
+        with span("predict.encode", week=week):
+            base = self.encoder.encode(
+                result.measurements, week, result.population, result.ticket_log
+            )
+        with span("predict.score", week=week):
+            return self.score_features(base)
 
     def rank_week(self, result: SimulationResult, week: int) -> np.ndarray:
         """All line ids ranked by decreasing ticket probability."""

@@ -45,6 +45,8 @@ from repro.features.sweep import sweep_chunk_margins
 from repro.ml.boostexter import BStump, BStumpConfig
 from repro.ml.metrics import auc, average_precision, entropy, top_n_average_precision
 from repro.ml.pca import PCA
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.parallel import parallel_map
 
 __all__ = [
@@ -202,43 +204,66 @@ def single_feature_ap(
     eligible = _eligible_columns(train.matrix)
     config = BStumpConfig(n_rounds=n_rounds, calibrate=False)
 
-    margins: dict[int, np.ndarray] = {}
-    if batched:
-        y_signed = BStump._canonical_labels(y_train)
-        cont_cols = np.flatnonzero(eligible & ~train.categorical)
-        chunks = [
-            cont_cols[i : i + _BATCH_CHUNK_COLUMNS]
-            for i in range(0, cont_cols.size, _BATCH_CHUNK_COLUMNS)
-        ]
-        chunk_margins = parallel_map(
-            lambda cols: _boost_columns_chunk(
-                train.matrix.T[cols], y_signed, test.matrix.T[cols], config
-            ),
-            chunks,
-            workers=workers,
-        )
-        for cols, chunk in zip(chunks, chunk_margins):
-            for slot, j in enumerate(cols):
-                margins[int(j)] = chunk[slot]
-        # Categorical candidates are few (binary basics); the per-column
-        # loop is exact and cheap, fanned out over the fabric.
-        cat_cols = [int(j) for j in np.flatnonzero(eligible & train.categorical)]
-        cat_margins = parallel_map(
-            lambda j: _fit_single_column_margin(train, y_train, test, j, config),
-            cat_cols,
-            workers=workers,
-        )
-        margins.update(zip(cat_cols, cat_margins))
-    else:
-        loop_cols = [int(j) for j in np.flatnonzero(eligible)]
-        loop_margins = parallel_map(
-            lambda j: _fit_single_column_margin(train, y_train, test, j, config),
-            loop_cols,
-            workers=workers,
-        )
-        margins.update(zip(loop_cols, loop_margins))
+    registry = get_registry()
+    registry.counter(
+        "repro_selection_candidates_total",
+        "Candidate columns scored by the AP(N) selection sweep",
+    ).inc(int(np.count_nonzero(eligible)))
+    sweep_seconds = registry.histogram(
+        "repro_selection_sweep_seconds",
+        "Wall time of one full AP(N) selection sweep",
+    )
 
-    return _scores_from_margins(margins, train, test, y_test, n, n_features)
+    margins: dict[int, np.ndarray] = {}
+    with span(
+        "select.single_feature_ap",
+        candidates=int(np.count_nonzero(eligible)),
+        batched=batched,
+    ), sweep_seconds.time(batched=str(batched).lower()):
+        if batched:
+            y_signed = BStump._canonical_labels(y_train)
+            cont_cols = np.flatnonzero(eligible & ~train.categorical)
+            chunks = [
+                cont_cols[i : i + _BATCH_CHUNK_COLUMNS]
+                for i in range(0, cont_cols.size, _BATCH_CHUNK_COLUMNS)
+            ]
+            chunk_margins = parallel_map(
+                lambda cols: _boost_columns_chunk(
+                    train.matrix.T[cols], y_signed, test.matrix.T[cols], config
+                ),
+                chunks,
+                workers=workers,
+                task_label="select.chunk",
+            )
+            for cols, chunk in zip(chunks, chunk_margins):
+                for slot, j in enumerate(cols):
+                    margins[int(j)] = chunk[slot]
+            # Categorical candidates are few (binary basics); the per-column
+            # loop is exact and cheap, fanned out over the fabric.
+            cat_cols = [
+                int(j) for j in np.flatnonzero(eligible & train.categorical)
+            ]
+            cat_margins = parallel_map(
+                lambda j: _fit_single_column_margin(train, y_train, test, j, config),
+                cat_cols,
+                workers=workers,
+                task_label="select.column",
+            )
+            margins.update(zip(cat_cols, cat_margins))
+        else:
+            loop_cols = [int(j) for j in np.flatnonzero(eligible)]
+            loop_margins = parallel_map(
+                lambda j: _fit_single_column_margin(train, y_train, test, j, config),
+                loop_cols,
+                workers=workers,
+                task_label="select.column",
+            )
+            margins.update(zip(loop_cols, loop_margins))
+
+        with span("select.ap_scoring"):
+            return _scores_from_margins(
+                margins, train, test, y_test, n, n_features
+            )
 
 
 def _scores_from_margins(

@@ -21,14 +21,51 @@ tickets (unreported problems are mislabelled negatives).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.ml.calibration import PlattCalibrator
 from repro.ml.ensemble_scoring import CompiledEnsemble, compile_stumps
 from repro.ml.stumps import Stump, StumpSearch
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span, tracing_enabled
 
 __all__ = ["BStumpConfig", "WeakLearner", "BStump"]
+
+#: Per-round stump-search times: microseconds on test fixtures up to
+#: seconds on benchmark-scale matrices.
+_ROUND_TIME_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Z-loss of selected stumps; Z near 1.0 means the learner is almost
+#: abstaining (the early-stop region), low Z means strong rounds.
+_ROUND_Z_BUCKETS = (0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99, 1.0)
+
+
+def _train_metrics():
+    registry = get_registry()
+    return (
+        registry.counter(
+            "repro_train_rounds_total", "Boosting rounds trained"
+        ),
+        registry.histogram(
+            "repro_train_round_seconds",
+            "Stump search + weight update wall time per boosting round",
+            buckets=_ROUND_TIME_BUCKETS,
+        ),
+        registry.histogram(
+            "repro_train_round_z",
+            "Z-loss of the stump selected each boosting round",
+            buckets=_ROUND_Z_BUCKETS,
+        ),
+        registry.gauge(
+            "repro_train_margin_mean_abs",
+            "Mean |margin| after the latest boosting round (traced runs)",
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -141,39 +178,58 @@ class BStump:
                 raise ValueError("sample_weight must be non-negative")
             weights = weights / np.sum(weights)
 
-        search = StumpSearch(
-            X,
-            y,
-            categorical,
-            missing_policy=self.config.missing_policy,
-            max_split_points=self.config.max_split_points,
-        )
-        self.learners = []
-        self.train_z_ = []
-        self.n_features_ = X.shape[1]
-        self._compiled = None
-        self._compiled_n_learners = -1
+        rounds_total, round_seconds, round_z, margin_gauge = _train_metrics()
+        with span(
+            "train.fit", rows=int(n), features=int(X.shape[1]),
+            rounds=int(self.config.n_rounds),
+        ) as fit_span:
+            with span("train.search_setup"):
+                search = StumpSearch(
+                    X,
+                    y,
+                    categorical,
+                    missing_policy=self.config.missing_policy,
+                    max_split_points=self.config.max_split_points,
+                )
+            self.learners = []
+            self.train_z_ = []
+            self.n_features_ = X.shape[1]
+            self._compiled = None
+            self._compiled_n_learners = -1
 
-        margin = np.zeros(n)
-        for t in range(self.config.n_rounds):
-            stump = search.best_stump(weights)
-            if stump.z >= self.config.early_stop_z and t > 0:
-                break
-            self.learners.append(WeakLearner(stump=stump, round_index=t, z=stump.z))
-            self.train_z_.append(stump.z)
-            h = stump.predict(X)
-            margin += h
-            weights = weights * np.exp(-y * h)
-            total = np.sum(weights)
-            if not np.isfinite(total) or total <= 0:
-                break
-            weights /= total
+            traced_run = tracing_enabled()
+            margin = np.zeros(n)
+            with span("train.boost_rounds"):
+                for t in range(self.config.n_rounds):
+                    round_start = perf_counter()
+                    stump = search.best_stump(weights)
+                    if stump.z >= self.config.early_stop_z and t > 0:
+                        break
+                    self.learners.append(
+                        WeakLearner(stump=stump, round_index=t, z=stump.z)
+                    )
+                    self.train_z_.append(stump.z)
+                    h = stump.predict(X)
+                    margin += h
+                    weights = weights * np.exp(-y * h)
+                    total = np.sum(weights)
+                    round_seconds.observe(perf_counter() - round_start)
+                    round_z.observe(stump.z)
+                    rounds_total.inc()
+                    if traced_run:
+                        # The extra O(n) reduction only runs on traced fits.
+                        margin_gauge.set(float(np.mean(np.abs(margin))))
+                    if not np.isfinite(total) or total <= 0:
+                        break
+                    weights /= total
 
-        if not self.learners:
-            raise RuntimeError("boosting selected no weak learners")
+            if not self.learners:
+                raise RuntimeError("boosting selected no weak learners")
+            fit_span.set_tag("rounds_trained", len(self.learners))
 
-        if self.config.calibrate:
-            self.calibrator = PlattCalibrator().fit(margin, y)
+            if self.config.calibrate:
+                with span("train.calibrate"):
+                    self.calibrator = PlattCalibrator().fit(margin, y)
         return self
 
     def compiled(self) -> CompiledEnsemble:

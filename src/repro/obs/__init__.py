@@ -1,0 +1,80 @@
+"""Unified observability: metrics registry, span tracing, structured logs.
+
+Three pillars, all stdlib-only:
+
+* :mod:`repro.obs.metrics` -- a process-global, thread-safe registry of
+  counters, gauges and fixed-bucket histograms, serializable as JSON and
+  as Prometheus text exposition format;
+* :mod:`repro.obs.tracing` -- ``with span("train.round", round=t):``
+  hierarchical wall-time trees, toggled by ``REPRO_TRACE`` and free when
+  disabled, with serializable contexts for cross-worker propagation;
+* :mod:`repro.obs.log` -- stdlib logging with a key=value formatter,
+  levelled by ``REPRO_LOG_LEVEL`` / ``--verbose``.
+
+:mod:`repro.obs.report` renders a run's telemetry (``repro obs report``)
+and :mod:`repro.obs.promcheck` validates exposition text in CI.
+"""
+
+from repro.obs.log import (
+    LOG_LEVEL_ENV_VAR,
+    configure_logging,
+    get_logger,
+    kv,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.promcheck import check_prometheus_text, parse_samples
+from repro.obs.report import collect_telemetry, render_report
+from repro.obs.tracing import (
+    TRACE_ENV_VAR,
+    Span,
+    SpanContext,
+    Tracer,
+    current_context,
+    flame_report,
+    get_tracer,
+    set_tracer,
+    set_tracing,
+    span,
+    trace_in_subprocess,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "LOG_LEVEL_ENV_VAR",
+    "configure_logging",
+    "get_logger",
+    "kv",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "check_prometheus_text",
+    "parse_samples",
+    "collect_telemetry",
+    "render_report",
+    "TRACE_ENV_VAR",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "current_context",
+    "flame_report",
+    "get_tracer",
+    "set_tracer",
+    "set_tracing",
+    "span",
+    "trace_in_subprocess",
+    "traced",
+    "tracing_enabled",
+]

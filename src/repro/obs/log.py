@@ -1,0 +1,109 @@
+"""Structured logging: stdlib ``logging`` with a key=value line format.
+
+Subsystems log one event per line, machine-parseable and grep-friendly::
+
+    ts=2026-08-05T10:12:03 level=info logger=repro.core.pipeline \
+        event=pipeline.week week=17 submitted=40 precision=0.45
+
+Use :func:`get_logger` for a namespaced logger and :func:`kv` to build
+the ``event=... key=value`` message body; :func:`configure_logging`
+installs the formatter once on the ``repro`` logger tree and resolves
+the level from (in priority order) an explicit argument, a ``--verbose``
+flag, the ``REPRO_LOG_LEVEL`` environment variable, and a WARNING
+default -- so library use stays silent unless the operator asks.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import re
+from typing import Any
+
+__all__ = ["LOG_LEVEL_ENV_VAR", "configure_logging", "get_logger", "kv"]
+
+LOG_LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+_ROOT = "repro"
+_BARE_RE = re.compile(r"[A-Za-z0-9_.:+\-/%@]*\Z")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool):
+        text = "true" if value else "false"
+    else:
+        text = str(value)
+    if _BARE_RE.match(text):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def kv(event: str, **fields) -> str:
+    """Build an ``event=... key=value`` message body (insertion order)."""
+    parts = [f"event={_format_value(event)}"]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+    return " ".join(parts)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Prefix every record with ts/level/logger key=value pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = self.formatTime(record, "%Y-%m-%dT%H:%M:%S")
+        prefix = (
+            f"ts={ts} level={record.levelname.lower()} logger={record.name}"
+        )
+        message = record.getMessage()
+        if record.exc_info and not message.endswith("\n"):
+            message = f"{message} exc={_format_value(self.formatException(record.exc_info))}"
+        return f"{prefix} {message}"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``repro.`` prefixed if needed)."""
+    if name != _ROOT and not name.startswith(_ROOT + "."):
+        name = f"{_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def _resolve_level(level: str | int | None, verbose: bool) -> int:
+    if level is None and verbose:
+        return logging.DEBUG
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV_VAR, "").strip() or "WARNING"
+    if isinstance(level, str):
+        try:
+            return int(level)
+        except ValueError:
+            resolved = logging.getLevelName(level.upper())
+            if not isinstance(resolved, int):
+                raise ValueError(f"unknown log level {level!r}") from None
+            return resolved
+    return int(level)
+
+
+def configure_logging(
+    level: str | int | None = None, verbose: bool = False
+) -> logging.Logger:
+    """Install the key=value handler on the ``repro`` logger (idempotent).
+
+    Args:
+        level: explicit level name or number; ``None`` falls back to
+            ``--verbose`` (DEBUG), then ``REPRO_LOG_LEVEL``, then WARNING.
+        verbose: the CLI's ``--verbose`` flag.
+
+    Returns:
+        The configured root ``repro`` logger.
+    """
+    logger = logging.getLogger(_ROOT)
+    logger.setLevel(_resolve_level(level, verbose))
+    if not any(getattr(h, "_repro_obs", False) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(KeyValueFormatter())
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger

@@ -1,0 +1,165 @@
+"""Render collected telemetry into a human-readable run report.
+
+This backs the ``repro obs report`` CLI: it snapshots the global
+registry and tracer into one plain-JSON *telemetry* document
+(:func:`collect_telemetry`) and renders it as aligned text tables
+(:func:`render_report`) -- span timing breakdown, histogram summaries
+(count / mean / estimated p50 / p90 / p99), and counter/gauge values.
+
+Quantiles are estimated from the histogram buckets by linear
+interpolation inside the bucket containing the target rank -- the same
+estimate a ``histogram_quantile`` query would give a scraper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer, flame_report, get_tracer, tracing_enabled
+
+__all__ = ["collect_telemetry", "render_report", "estimate_quantile"]
+
+TELEMETRY_VERSION = 1
+
+
+def collect_telemetry(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One JSON-ready document holding a run's metrics and span trees."""
+    return {
+        "version": TELEMETRY_VERSION,
+        "tracing_enabled": tracing_enabled(),
+        "meta": dict(meta or {}),
+        "metrics": (registry or get_registry()).snapshot(),
+        "trace": (tracer or get_tracer()).export(),
+    }
+
+
+def estimate_quantile(
+    buckets: list[float], counts: list[int], count: int, q: float
+) -> float:
+    """Estimate quantile ``q`` from per-bucket (non-cumulative) counts.
+
+    Interpolates linearly within the bucket containing the target rank;
+    ranks landing in the +Inf overflow bucket return the last finite
+    boundary (the histogram cannot resolve beyond it).
+    """
+    if count <= 0:
+        return math.nan
+    target = q * count
+    cumulative = 0.0
+    lower = 0.0
+    for bound, bucket_count in zip(buckets, counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target:
+            if bucket_count == 0:
+                return bound
+            fraction = (target - previous) / bucket_count
+            return lower + fraction * (bound - lower)
+        lower = bound
+    return buckets[-1] if buckets else math.nan
+
+
+def _label_suffix(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt_seconds(value: float) -> str:
+    if math.isnan(value):
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.2f}ms"
+
+
+def _fmt_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_report(telemetry: dict[str, Any]) -> str:
+    """The full text report: spans, histograms, counters and gauges."""
+    sections: list[str] = []
+    meta = telemetry.get("meta") or {}
+    if meta:
+        sections.append(
+            "run: " + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        )
+
+    sections.append("== span timing (wall-time tree) ==")
+    trace = telemetry.get("trace") or []
+    if trace:
+        sections.append(flame_report(trace))
+    elif telemetry.get("tracing_enabled"):
+        sections.append("(tracing enabled, but no spans were recorded)")
+    else:
+        sections.append("(tracing disabled -- rerun with REPRO_TRACE=1)")
+
+    metrics = telemetry.get("metrics") or {}
+    histograms = {
+        name: entry for name, entry in metrics.items()
+        if entry["kind"] == "histogram" and entry["samples"]
+    }
+    scalars = {
+        name: entry for name, entry in metrics.items()
+        if entry["kind"] in ("counter", "gauge") and entry["samples"]
+    }
+
+    if histograms:
+        sections.append("")
+        sections.append("== stage timings / distributions ==")
+        header = (
+            f"{'metric':<52} {'count':>8} {'mean':>10} "
+            f"{'p50':>10} {'p90':>10} {'p99':>10}"
+        )
+        rows = [header, "-" * len(header)]
+        for name, entry in sorted(histograms.items()):
+            buckets = entry["buckets"]
+            # Only render duration-style units for timing histograms;
+            # other distributions (Z-losses, ...) are dimensionless.
+            fmt = _fmt_seconds if name.endswith("_seconds") else (
+                lambda v: "-" if math.isnan(v) else f"{v:.4g}"
+            )
+            for sample in entry["samples"]:
+                count = sample["count"]
+                mean = sample["sum"] / count if count else math.nan
+                label = f"{name}{_label_suffix(sample['labels'])}"
+                quantiles = [
+                    estimate_quantile(buckets, sample["counts"], count, q)
+                    for q in (0.5, 0.9, 0.99)
+                ]
+                rows.append(
+                    f"{label:<52} {count:>8} {fmt(mean):>10} "
+                    + " ".join(f"{fmt(v):>10}" for v in quantiles)
+                )
+        sections.append("\n".join(rows))
+
+    if scalars:
+        sections.append("")
+        sections.append("== counters and gauges ==")
+        header = f"{'metric':<60} {'kind':<8} {'value':>14}"
+        rows = [header, "-" * len(header)]
+        for name, entry in sorted(scalars.items()):
+            for sample in entry["samples"]:
+                label = f"{name}{_label_suffix(sample['labels'])}"
+                rows.append(
+                    f"{label:<60} {entry['kind']:<8} "
+                    f"{_fmt_number(sample['value']):>14}"
+                )
+        sections.append("\n".join(rows))
+
+    if not histograms and not scalars:
+        sections.append("")
+        sections.append("(no metrics recorded)")
+    return "\n".join(sections)

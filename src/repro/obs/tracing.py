@@ -1,0 +1,391 @@
+"""Span tracing: hierarchical wall-time trees with near-zero idle cost.
+
+The API is one context manager::
+
+    from repro.obs import span
+
+    with span("train.round", round=t):
+        ...
+
+Spans nest per thread, record wall time, tags, and error status, and
+export as JSON trees or a flame-style text report.  Tracing is **off by
+default**: the ``REPRO_TRACE`` environment variable (or
+:func:`set_tracing`) turns it on, and when it is off :func:`span`
+returns a shared no-op context manager -- no allocation, no lock, no
+record -- so instrumented hot paths pay a single function call and a
+dict build for the tags.
+
+Cross-boundary propagation: a worker (thread or process) cannot see the
+submitting thread's span stack, so the fabric captures a serializable
+:class:`SpanContext` (just the parent span id) before fan-out and each
+task adopts it (:meth:`Tracer.adopt`).  Within a process the child span
+attaches to the still-open parent through the tracer's id index; across
+processes the child's exported span trees carry the parent id and
+:meth:`Tracer.merge_remote` grafts them back onto the parent tree (see
+:func:`trace_in_subprocess` for the worker-side half).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, NamedTuple
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "tracing_enabled",
+    "set_tracing",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "traced",
+    "current_context",
+    "trace_in_subprocess",
+    "flame_report",
+]
+
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+_override: bool | None = None
+
+
+def tracing_enabled() -> bool:
+    """Whether spans record (programmatic override, else ``REPRO_TRACE``)."""
+    if _override is not None:
+        return _override
+    return os.environ.get(TRACE_ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def set_tracing(enabled: bool | None) -> None:
+    """Force tracing on/off; ``None`` returns control to the environment."""
+    global _override
+    _override = enabled
+
+
+class Span:
+    """One timed operation: name, tags, children, error status."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "tags",
+        "start", "end", "status", "error", "children",
+    )
+
+    def __init__(self, span_id: str, name: str, tags: dict[str, Any]):
+        self.span_id = span_id
+        self.parent_id: str | None = None
+        self.name = name
+        self.tags = tags
+        self.start = 0.0
+        self.end: float | None = None
+        self.status = "ok"
+        self.error: str | None = None
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else perf_counter()) - self.start
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "tags": dict(self.tags),
+            "duration_seconds": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
+        s = cls(payload["span_id"], payload["name"], dict(payload.get("tags", {})))
+        s.parent_id = payload.get("parent_id")
+        s.start = 0.0
+        s.end = float(payload.get("duration_seconds", 0.0))
+        s.status = payload.get("status", "ok")
+        s.error = payload.get("error")
+        s.children = [cls.from_dict(c) for c in payload.get("children", [])]
+        return s
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class SpanContext(NamedTuple):
+    """A serializable reference to a span, safe to pickle across processes."""
+
+    span_id: str | None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload: dict[str, Any] | None) -> "SpanContext":
+        if payload is None:
+            return cls(None)
+        return cls(payload.get("span_id"))
+
+
+class Tracer:
+    """Per-process span recorder with per-thread nesting stacks."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._index: dict[str, Span] = {}
+        self._roots: list[Span] = []
+
+    # ----- internals ------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._ids):x}"
+
+    # ----- recording ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        """Record one span; nests under the thread's innermost open span."""
+        if not tracing_enabled():
+            yield _NOOP_SPAN
+            return
+        stack = self._stack()
+        parent: Span | str | None = (
+            stack[-1] if stack else getattr(self._local, "remote_parent", None)
+        )
+        s = Span(self._new_id(), name, tags)
+        if isinstance(parent, Span):
+            s.parent_id = parent.span_id
+        elif isinstance(parent, str):
+            s.parent_id = parent
+        with self._lock:
+            self._index[s.span_id] = s
+        stack.append(s)
+        s.start = perf_counter()
+        try:
+            yield s
+        except BaseException as exc:
+            s.status = "error"
+            s.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            s.end = perf_counter()
+            stack.pop()
+            self._attach(s, parent)
+
+    def _attach(self, s: Span, parent: "Span | str | None") -> None:
+        if isinstance(parent, Span):
+            with self._lock:
+                parent.children.append(s)
+            return
+        with self._lock:
+            if isinstance(parent, str):
+                owner = self._index.get(parent)
+                if owner is not None:
+                    owner.children.append(s)
+                    return
+                s.tags.setdefault("remote_parent", parent)
+            self._roots.append(s)
+
+    # ----- propagation ----------------------------------------------------
+
+    def current_context(self) -> SpanContext:
+        """A serializable handle to the calling thread's innermost span."""
+        stack = self._stack()
+        if stack:
+            return SpanContext(stack[-1].span_id)
+        return SpanContext(getattr(self._local, "remote_parent", None))
+
+    @contextmanager
+    def adopt(self, context: SpanContext | None):
+        """Parent this thread's new root spans under ``context``."""
+        if context is None or context.span_id is None:
+            yield
+            return
+        previous = getattr(self._local, "remote_parent", None)
+        self._local.remote_parent = context.span_id
+        try:
+            yield
+        finally:
+            self._local.remote_parent = previous
+
+    def merge_remote(self, spans: list[dict[str, Any]]) -> None:
+        """Graft exported span trees (from another process) onto this one."""
+        for payload in spans:
+            s = Span.from_dict(payload)
+            with self._lock:
+                owner = self._index.get(s.parent_id) if s.parent_id else None
+                if owner is not None:
+                    owner.children.append(s)
+                else:
+                    self._roots.append(s)
+                self._index_tree(s)
+
+    def _index_tree(self, s: Span) -> None:
+        self._index[s.span_id] = s
+        for child in s.children:
+            self._index_tree(child)
+
+    # ----- reading --------------------------------------------------------
+
+    def export(self) -> list[dict[str, Any]]:
+        """JSON-ready trees of every finished top-level span."""
+        with self._lock:
+            return [s.to_dict() for s in self._roots]
+
+    def report(self) -> str:
+        """A flame-style indented text rendering of the recorded trees."""
+        return flame_report(self.export())
+
+    def reset(self) -> None:
+        """Drop all recorded spans AND per-thread nesting state.
+
+        Clearing ``_local`` matters for forked workers: the child
+        inherits the submitting thread's open-span stack, and a task
+        span must not silently attach to the fork's dead copy of it.
+        """
+        with self._lock:
+            self._roots.clear()
+            self._index.clear()
+            self._local = threading.local()
+
+
+def flame_report(spans: list[dict[str, Any]], max_depth: int = 12) -> str:
+    """Aggregate span trees by (depth, name) into an indented timing table.
+
+    Sibling spans with the same name fold into one line with a call count
+    and total/mean wall time; each line shows its share of the parent's
+    total, flame-graph style.
+    """
+    lines: list[str] = []
+
+    def walk(level: list[dict[str, Any]], depth: int, parent_total: float) -> None:
+        if depth >= max_depth or not level:
+            return
+        groups: dict[str, list[dict[str, Any]]] = {}
+        for s in level:
+            groups.setdefault(s["name"], []).append(s)
+        ordered = sorted(
+            groups.items(),
+            key=lambda kv: -sum(s["duration_seconds"] for s in kv[1]),
+        )
+        for name, group in ordered:
+            total = sum(s["duration_seconds"] for s in group)
+            count = len(group)
+            errors = sum(1 for s in group if s["status"] != "ok")
+            share = 100.0 * total / parent_total if parent_total > 0 else 100.0
+            label = "  " * depth + name
+            suffix = f"  [{errors} error(s)]" if errors else ""
+            lines.append(
+                f"{label:<44} x{count:<5} {total:>9.3f}s "
+                f"{total / count:>9.4f}s/call {share:>5.1f}%{suffix}"
+            )
+            walk(
+                [c for s in group for c in s["children"]],
+                depth + 1,
+                total,
+            )
+
+    grand_total = sum(s["duration_seconds"] for s in spans)
+    walk(spans, 0, grand_total)
+    if not lines:
+        return "(no spans recorded -- set REPRO_TRACE=1 to enable tracing)"
+    header = f"{'span':<44} {'count':<6} {'total':>9}  {'per call':>10} {'share':>6}"
+    return "\n".join([header, "-" * len(header), *lines])
+
+
+# ----- the process-global tracer -------------------------------------------
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the global tracer (tests); returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def span(name: str, **tags):
+    """Record a span on the global tracer (no-op when tracing is off)."""
+    if not tracing_enabled():
+        return _NOOP_SPAN
+    return _TRACER.span(name, **tags)
+
+
+def traced(name: str | None = None, **tags) -> Callable:
+    """Decorator form of :func:`span` (span name defaults to the function)."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not tracing_enabled():
+                return fn(*args, **kwargs)
+            with _TRACER.span(label, **tags):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def current_context() -> SpanContext:
+    """Serializable context of the calling thread (for fan-out capture)."""
+    return _TRACER.current_context()
+
+
+def trace_in_subprocess(context_wire, fn, *args, **kwargs):
+    """Worker-process entry point: adopt a wire context, run, export.
+
+    Run this inside the child process (it resets the child's
+    fork-inherited tracer so only the task's own spans export).  Returns
+    ``(result, exported_spans)``; the parent feeds the spans to
+    :meth:`Tracer.merge_remote` to graft them under the submitting span.
+    """
+    tracer = get_tracer()
+    tracer.reset()
+    context = SpanContext.from_wire(context_wire)
+    with tracer.adopt(context):
+        result = fn(*args, **kwargs)
+    return result, tracer.export()

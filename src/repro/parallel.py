@@ -20,13 +20,32 @@ bit.
 
 The worker count comes from the ``REPRO_WORKERS`` environment variable
 (default 1) unless the caller passes one explicitly.
+
+Observability: every task reports into the :mod:`repro.obs` registry --
+``repro_parallel_queue_depth`` (gauge of submitted-but-unfinished
+tasks), ``repro_parallel_task_seconds`` (histogram, labelled by the
+caller's ``task_label``), and ``repro_parallel_worker_busy_seconds_total``
+(per-worker counter; pool threads carry a stable ``repro-worker_N``
+name, so utilization is busy-seconds per worker over wall time).  When
+``REPRO_TRACE`` is on, the submitting thread's span context is captured
+and every task runs under an adopted child span, so fan-out appears as
+children of the submitting span even though workers have their own
+stacks -- the context is a serializable
+:class:`repro.obs.tracing.SpanContext`, so the same mechanism carries
+spans across process boundaries (see
+:func:`repro.obs.tracing.trace_in_subprocess`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer, tracing_enabled
 
 __all__ = ["WORKERS_ENV_VAR", "worker_count", "parallel_map", "split_shards"]
 
@@ -34,6 +53,13 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Task-duration buckets: selection chunks run sub-millisecond at test
+#: scale, locator fits run seconds at benchmark scale.
+_TASK_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 
 def worker_count(workers: int | None = None) -> int:
@@ -70,29 +96,96 @@ def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     workers: int | None = None,
+    task_label: str = "parallel.task",
 ) -> list[_R]:
     """Apply ``fn`` to every item, preserving input order.
 
-    Serial (a plain list comprehension) when the resolved worker count is
-    1 or there is at most one item; otherwise a thread pool.  Exceptions
-    from any task propagate to the caller either way.
+    Serial (a plain loop) when the resolved worker count is 1 or there is
+    at most one item; otherwise a thread pool.  Exceptions from any task
+    propagate to the caller either way.  Instrumentation (metrics, and
+    spans when tracing is on) never changes results: tasks run the same
+    bodies in the same submission order.
 
     Args:
         fn: task body; must not mutate shared state (tasks may run
             concurrently).
         items: the work list; consumed eagerly.
         workers: explicit worker count, else ``REPRO_WORKERS`` (default 1).
+        task_label: the ``task`` label on fabric metrics and the span name
+            of each task (e.g. ``"select.chunk"``, ``"serve.shard"``).
 
     Returns:
         ``[fn(item) for item in items]`` -- same values, same order,
         regardless of the worker count.
     """
     work: Sequence[_T] = list(items)
+    if not work:
+        return []
     n_workers = worker_count(workers)
-    if n_workers == 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    with ThreadPoolExecutor(max_workers=min(n_workers, len(work))) as pool:
-        return list(pool.map(fn, work))
+
+    registry = get_registry()
+    queue_depth = registry.gauge(
+        "repro_parallel_queue_depth",
+        "Tasks submitted to the parallel fabric but not yet finished",
+    )
+    tasks_total = registry.counter(
+        "repro_parallel_tasks_total", "Tasks completed by the parallel fabric"
+    )
+    task_errors = registry.counter(
+        "repro_parallel_task_errors_total", "Tasks that raised"
+    )
+    task_seconds = registry.histogram(
+        "repro_parallel_task_seconds",
+        "Wall time per fabric task",
+        buckets=_TASK_BUCKETS,
+    )
+    worker_busy = registry.counter(
+        "repro_parallel_worker_busy_seconds_total",
+        "Busy wall time per fabric worker thread",
+    )
+
+    tracer = get_tracer() if tracing_enabled() else None
+    context = tracer.current_context() if tracer is not None else None
+
+    finished: list[None] = []  # list.append is atomic under the GIL
+
+    def run(indexed: tuple[int, _T]) -> _R:
+        index, item = indexed
+        start = perf_counter()
+        try:
+            if tracer is not None:
+                with tracer.adopt(context):
+                    with tracer.span(task_label, index=index):
+                        result = fn(item)
+            else:
+                result = fn(item)
+        except BaseException:
+            task_errors.inc(task=task_label)
+            raise
+        finally:
+            queue_depth.dec()
+            finished.append(None)
+        elapsed = perf_counter() - start
+        task_seconds.observe(elapsed, task=task_label)
+        tasks_total.inc(task=task_label)
+        worker_busy.inc(elapsed, worker=threading.current_thread().name)
+        return result
+
+    queue_depth.inc(len(work))
+    try:
+        if n_workers == 1 or len(work) <= 1:
+            return [run(indexed) for indexed in enumerate(work)]
+        with ThreadPoolExecutor(
+            max_workers=min(n_workers, len(work)),
+            thread_name_prefix="repro-worker",
+        ) as pool:
+            return list(pool.map(run, enumerate(work)))
+    except BaseException:
+        # Tasks cancelled before starting never ran their dec; rebalance
+        # so an aborted fan-out cannot leave queue depth pinned above
+        # zero.  (The executor joins running tasks before propagating.)
+        queue_depth.dec(len(work) - len(finished))
+        raise
 
 
 def split_shards(n_items: int, shard_size: int) -> list[slice]:

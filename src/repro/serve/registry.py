@@ -37,8 +37,11 @@ from repro.ml.serialize import (
     combined_locator_to_dict,
     payload_checksum,
 )
+from repro.obs.log import get_logger, kv
 
 __all__ = ["ModelBundle", "ModelRegistry"]
+
+LOG = get_logger("serve.registry")
 
 _MANIFEST = "MANIFEST.json"
 _BUNDLE = "bundle.json"
@@ -151,6 +154,12 @@ class ModelRegistry:
             "meta": bundle.meta,
         }
         self._write_manifest()
+        LOG.info(kv(
+            "registry.publish",
+            version=version,
+            checksum=payload["checksum"][:12],
+            activate=activate,
+        ))
         if activate:
             self.activate(version)
         return version
@@ -161,17 +170,22 @@ class ModelRegistry:
             raise KeyError(f"unknown model version {version!r}")
         if version == self._active:
             return
+        previous = self._active
         self._history.append(version)
         self._active = version
         self._write_manifest()
+        LOG.info(kv("registry.activate", version=version, previous=previous))
 
     def rollback(self) -> str:
         """Re-activate the previously active version; returns its tag."""
         if len(self._history) < 2:
             raise RuntimeError("no previous activation to roll back to")
-        self._history.pop()
+        rolled_back = self._history.pop()
         self._active = self._history[-1]
         self._write_manifest()
+        LOG.warning(kv(
+            "registry.rollback", version=self._active, rolled_back=rolled_back
+        ))
         return self._active
 
     # ----- read path ------------------------------------------------------

@@ -38,6 +38,8 @@ import numpy as np
 from repro.features.encoding import FeatureSet
 from repro.measurement.records import MeasurementStore
 from repro.netsim.population import Population
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.parallel import parallel_map, split_shards
 from repro.serve.registry import ModelBundle
 from repro.serve.store import StoredWorld, _StoredTicketView
@@ -48,6 +50,13 @@ __all__ = ["WeekScores", "ScoringEngine", "DEFAULT_SHARD_SIZE"]
 #: Default lines per shard; small enough to parallelise a laptop-scale
 #: population, large enough that per-shard numpy dispatch overhead is noise.
 DEFAULT_SHARD_SIZE = 16_384
+
+#: Scoring-run durations: a cached test-scale week scores in milliseconds,
+#: a cold 100K-line week takes a second or two.
+_SCORE_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 
 @dataclass(frozen=True)
@@ -174,36 +183,50 @@ class ScoringEngine:
         if model is None:
             raise RuntimeError("bundle predictor is not fitted")
 
-        t0 = time.perf_counter()
-        population = self.world.population()
-        measurements = self.world.measurements()
-        day = self.world.store.day_of(week)
-        last_day = np.asarray(self.world.store.last_ticket_day(week))
-        t1 = time.perf_counter()
+        registry = get_registry()
+        week_seconds = registry.histogram(
+            "repro_serve_score_week_seconds",
+            "Wall time of one full (uncached) week scoring run",
+            buckets=_SCORE_BUCKETS,
+        )
 
-        compiled = model.compiled()
-        recipes = predictor.recipes
-        encoder = predictor.encoder
-        shards = split_shards(self.world.n_lines, self.shard_size)
+        with span("serve.score_week", week=week) as run_span, \
+                week_seconds.time():
+            t0 = time.perf_counter()
+            population = self.world.population()
+            measurements = self.world.measurements()
+            day = self.world.store.day_of(week)
+            last_day = np.asarray(self.world.store.last_ticket_day(week))
+            t1 = time.perf_counter()
 
-        def encode_and_score(shard: slice) -> np.ndarray:
-            base = encoder.encode(
-                _slice_measurements(measurements, shard),
-                week,
-                _slice_population(population, shard),
-                _StoredTicketView(last_day[shard], day),
+            compiled = model.compiled()
+            recipes = predictor.recipes
+            encoder = predictor.encoder
+            shards = split_shards(self.world.n_lines, self.shard_size)
+            run_span.set_tag("shards", len(shards))
+            run_span.set_tag("lines", self.world.n_lines)
+
+            def encode_and_score(shard: slice) -> np.ndarray:
+                base = encoder.encode(
+                    _slice_measurements(measurements, shard),
+                    week,
+                    _slice_population(population, shard),
+                    _StoredTicketView(last_day[shard], day),
+                )
+                columns = _AssembledColumns(base.matrix, recipes)
+                return compiled.decision_function_columns(
+                    columns, base.matrix.shape[0]
+                )
+
+            margins = parallel_map(
+                encode_and_score, shards, self.workers, task_label="serve.shard"
             )
-            columns = _AssembledColumns(base.matrix, recipes)
-            return compiled.decision_function_columns(
-                columns, base.matrix.shape[0]
-            )
-
-        margins = parallel_map(encode_and_score, shards, self.workers)
-        margin = np.concatenate(margins) if margins else np.empty(0)
-        if model.calibrator is None:
-            raise RuntimeError("bundle model has no calibrator")
-        scores = model.calibrator.transform(margin)
-        t2 = time.perf_counter()
+            margin = np.concatenate(margins) if margins else np.empty(0)
+            if model.calibrator is None:
+                raise RuntimeError("bundle model has no calibrator")
+            with span("serve.calibrate", week=week):
+                scores = model.calibrator.transform(margin)
+            t2 = time.perf_counter()
 
         result = WeekScores(
             week=week,

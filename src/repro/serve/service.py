@@ -1,10 +1,13 @@
 """The scoring service: a stdlib HTTP front end over store + registry.
 
-Endpoints (all JSON):
+Endpoints (JSON unless noted):
 
 =======================  ===================================================
 ``GET /healthz``         liveness + active model version + stored weeks
-``GET /metrics``         scoring latency, lines/sec, request counters
+``GET /metrics``         full metrics registry; ``?format=prometheus``
+                         returns text exposition for a scraper
+``GET /trace``           recorded span trees; ``?format=text`` renders the
+                         flame-style report (requires ``REPRO_TRACE``)
 ``GET /score``           per-line P(ticket): ``?line=ID[&week=W]``
 ``GET /dispatch``        top-N dispatch list: ``?[week=W][&capacity=N]``
 ``GET /locate``          disposition ranking: ``?line=ID[&week=W][&top=K]``
@@ -18,21 +21,34 @@ reads of one Saturday's scores -- costs one sharded scoring run.
 :class:`ScoringService` keeps all routing logic in plain methods
 returning ``(status, payload)`` pairs, so tests and the in-process smoke
 check can drive it without sockets.
+
+All service telemetry lives on the :mod:`repro.obs` registry
+(``repro_http_requests_total``, ``repro_http_request_seconds``, the
+scoring totals); ``/metrics`` takes one snapshot under the registry lock
+and formats it outside, so a slow scrape never blocks handler threads.
 """
 
 from __future__ import annotations
 
 import json
-import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import flame_report, get_tracer, tracing_enabled
 from repro.serve.registry import ModelRegistry
 from repro.serve.scoring import DEFAULT_SHARD_SIZE, ScoringEngine
 from repro.serve.store import LineWeekStore, StoredWorld
 
 __all__ = ["ScoringService", "make_server"]
+
+#: Request latencies: cached reads are sub-millisecond, a cold scoring
+#: run can take seconds.
+_REQUEST_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
 
 
 class _ServiceError(Exception):
@@ -52,19 +68,63 @@ class ScoringService:
         registry_root,
         shard_size: int = DEFAULT_SHARD_SIZE,
         workers: int | None = None,
+        require_model: bool = True,
     ):
+        """Args:
+            store_root: line-week store directory.
+            registry_root: model registry directory.
+            shard_size: lines per scoring shard.
+            workers: parallel-fabric worker override.
+            require_model: raise at construction when the registry has no
+                active version (the default).  ``False`` starts the
+                service anyway -- scoring routes answer 503 until a
+                bundle is activated and ``POST /reload`` succeeds, so a
+                registry-only mount degrades instead of crashing.
+        """
         self.registry = ModelRegistry(registry_root)
         self.world = StoredWorld(LineWeekStore.open(store_root))
         self.shard_size = shard_size
         self.workers = workers
         self.engine: ScoringEngine | None = None
         self._started = time.time()
-        self._lock = threading.Lock()
-        self._requests: dict[str, int] = {}
-        self._lines_scored = 0
-        self._score_seconds = 0.0
-        self._last: dict[str, float] = {}
-        self.reload()
+
+        metrics = get_registry()
+        self._requests_total = metrics.counter(
+            "repro_http_requests_total", "HTTP requests handled, by route"
+        )
+        self._request_seconds = metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency, by route",
+            buckets=_REQUEST_BUCKETS,
+        )
+        self._lines_scored_total = metrics.counter(
+            "repro_serve_lines_scored_total",
+            "Lines scored by uncached scoring runs",
+        )
+        self._scoring_seconds_total = metrics.counter(
+            "repro_serve_scoring_seconds_total",
+            "Wall time spent in uncached scoring runs",
+        )
+        self._last_week = metrics.gauge(
+            "repro_serve_last_scoring_week", "Week of the last scoring run"
+        )
+        self._last_seconds = metrics.gauge(
+            "repro_serve_last_scoring_seconds",
+            "Wall time of the last scoring run",
+        )
+        self._last_rate = metrics.gauge(
+            "repro_serve_last_lines_per_sec",
+            "Throughput of the last scoring run",
+        )
+        self._uptime = metrics.gauge(
+            "repro_serve_uptime_seconds", "Seconds since service construction"
+        )
+
+        try:
+            self.reload()
+        except RuntimeError:
+            if require_model:
+                raise
 
     # ----- lifecycle ------------------------------------------------------
 
@@ -87,16 +147,27 @@ class ScoringService:
         )
         return version
 
+    def _require_engine(self) -> ScoringEngine:
+        """The active engine, or a 503 while no model is loaded.
+
+        Scoring routes degrade to Service Unavailable (instead of an
+        assertion crash) when the service was mounted over a registry
+        with no active version yet.
+        """
+        if self.engine is None:
+            raise _ServiceError(
+                503, "no active model loaded -- activate a version and "
+                "POST /reload"
+            )
+        return self.engine
+
     @property
     def model_version(self) -> str:
-        assert self.engine is not None
+        if self.engine is None:
+            return "none"
         return self.engine.model_version or "unknown"
 
     # ----- shared helpers -------------------------------------------------
-
-    def _count(self, route: str) -> None:
-        with self._lock:
-            self._requests[route] = self._requests.get(route, 0) + 1
 
     def _resolve_week(self, query: dict[str, list[str]]) -> int:
         if "week" in query:
@@ -110,18 +181,16 @@ class ScoringService:
         return week
 
     def _scored(self, week: int):
-        assert self.engine is not None
-        fresh = week not in self.engine._score_cache
-        scored = self.engine.score_week(week)
+        engine = self._require_engine()
+        fresh = week not in engine._score_cache
+        scored = engine.score_week(week)
         if fresh:
-            with self._lock:
-                self._lines_scored += len(scored.scores)
-                self._score_seconds += scored.encode_seconds + scored.score_seconds
-                self._last = {
-                    "week": float(week),
-                    "seconds": scored.encode_seconds + scored.score_seconds,
-                    "lines_per_sec": scored.lines_per_sec,
-                }
+            seconds = scored.encode_seconds + scored.score_seconds
+            self._lines_scored_total.inc(len(scored.scores))
+            self._scoring_seconds_total.inc(seconds)
+            self._last_week.set(week)
+            self._last_seconds.set(seconds)
+            self._last_rate.set(scored.lines_per_sec)
         return scored
 
     # ----- routes ---------------------------------------------------------
@@ -130,30 +199,56 @@ class ScoringService:
         del query
         store = self.world.store
         return 200, {
-            "status": "ok",
+            "status": "ok" if self.engine is not None else "degraded",
             "model_version": self.model_version,
             "n_lines": store.n_lines,
             "weeks": store.weeks,
             "latest_week": store.latest_week,
         }
 
-    def handle_metrics(self, query) -> tuple[int, dict]:
-        del query
-        with self._lock:
-            mean_rate = (
-                self._lines_scored / self._score_seconds
-                if self._score_seconds > 0
-                else 0.0
+    def handle_metrics(self, query) -> tuple[int, dict | str]:
+        self._uptime.set(time.time() - self._started)
+        registry = get_registry()
+        if _format_param(query) == "prometheus":
+            return 200, registry.to_prometheus()
+
+        # JSON view: the full snapshot plus the legacy summary keys the
+        # ops tooling reads, all derived from one snapshot taken under
+        # the registry lock and formatted here, outside it.
+        snapshot = registry.snapshot()
+        requests = {
+            sample["labels"].get("route", ""): int(sample["value"])
+            for sample in snapshot.get("repro_http_requests_total", {}).get(
+                "samples", []
             )
-            return 200, {
-                "model_version": self.model_version,
-                "uptime_seconds": time.time() - self._started,
-                "requests": dict(self._requests),
-                "lines_scored": self._lines_scored,
-                "scoring_seconds_total": self._score_seconds,
-                "mean_lines_per_sec": mean_rate,
-                "last_scoring": dict(self._last),
-            }
+        }
+        lines_scored = _scalar(snapshot, "repro_serve_lines_scored_total")
+        score_seconds = _scalar(snapshot, "repro_serve_scoring_seconds_total")
+        return 200, {
+            "model_version": self.model_version,
+            "uptime_seconds": time.time() - self._started,
+            "requests": requests,
+            "lines_scored": int(lines_scored),
+            "scoring_seconds_total": score_seconds,
+            "mean_lines_per_sec": (
+                lines_scored / score_seconds if score_seconds > 0 else 0.0
+            ),
+            "last_scoring": {
+                "week": _scalar(snapshot, "repro_serve_last_scoring_week"),
+                "seconds": _scalar(snapshot, "repro_serve_last_scoring_seconds"),
+                "lines_per_sec": _scalar(snapshot, "repro_serve_last_lines_per_sec"),
+            },
+            "metrics": snapshot,
+        }
+
+    def handle_trace(self, query) -> tuple[int, dict | str]:
+        spans = get_tracer().export()
+        if _format_param(query) == "text":
+            return 200, flame_report(spans) + "\n"
+        return 200, {
+            "tracing_enabled": tracing_enabled(),
+            "spans": spans,
+        }
 
     def handle_score(self, query) -> tuple[int, dict]:
         week = self._resolve_week(query)
@@ -172,25 +267,25 @@ class ScoringService:
     def handle_dispatch(self, query) -> tuple[int, dict]:
         week = self._resolve_week(query)
         self._scored(week)  # populate cache + metrics
-        assert self.engine is not None
+        engine = self._require_engine()
         capacity = (
             _int_param(query, "capacity") if "capacity" in query else None
         )
         if capacity is not None and capacity < 0:
             raise _ServiceError(400, "capacity must be >= 0")
-        return 200, self.engine.dispatch(week, capacity).to_dict()
+        return 200, engine.dispatch(week, capacity).to_dict()
 
     def handle_locate(self, query) -> tuple[int, dict]:
         week = self._resolve_week(query)
         line = _int_param(query, "line")
         top = _int_param(query, "top") if "top" in query else 10
-        assert self.engine is not None
-        if self.engine.bundle.locator is None:
+        engine = self._require_engine()
+        if engine.bundle.locator is None:
             raise _ServiceError(
                 409, "the active bundle was published without a locator"
             )
         try:
-            ranking = self.engine.locate(week, line, top_k=top)
+            ranking = engine.locate(week, line, top_k=top)
         except IndexError as exc:
             raise _ServiceError(404, str(exc)) from None
         return 200, {
@@ -202,32 +297,42 @@ class ScoringService:
 
     def handle_reload(self, query) -> tuple[int, dict]:
         del query
-        version = self.reload()
+        try:
+            version = self.reload()
+        except RuntimeError as exc:
+            raise _ServiceError(503, str(exc)) from None
         return 200, {"status": "reloaded", "model_version": version}
 
     _GET_ROUTES = {
         "/healthz": handle_healthz,
         "/metrics": handle_metrics,
+        "/trace": handle_trace,
         "/score": handle_score,
         "/dispatch": handle_dispatch,
         "/locate": handle_locate,
     }
     _POST_ROUTES = {"/reload": handle_reload}
 
-    def dispatch_request(self, method: str, target: str) -> tuple[int, dict]:
-        """Route one request; returns (HTTP status, JSON payload)."""
+    def dispatch_request(self, method: str, target: str) -> tuple[int, dict | str]:
+        """Route one request; returns (HTTP status, payload).
+
+        The payload is a JSON-ready dict for most routes; the prometheus
+        and flame-text formats return a plain string, which the HTTP
+        layer sends as ``text/plain``.
+        """
         parts = urlsplit(target)
         routes = self._GET_ROUTES if method == "GET" else self._POST_ROUTES
         handler = routes.get(parts.path)
         if handler is None:
             return 404, {"error": f"unknown route {method} {parts.path}"}
-        self._count(parts.path)
-        try:
-            return handler(self, parse_qs(parts.query))
-        except _ServiceError as exc:
-            return exc.status, {"error": str(exc)}
-        except (KeyError, ValueError) as exc:
-            return 400, {"error": str(exc)}
+        self._requests_total.inc(route=parts.path)
+        with self._request_seconds.time(route=parts.path):
+            try:
+                return handler(self, parse_qs(parts.query))
+            except _ServiceError as exc:
+                return exc.status, {"error": str(exc)}
+            except (KeyError, ValueError) as exc:
+                return 400, {"error": str(exc)}
 
 
 def _int_param(query: dict[str, list[str]], name: str) -> int:
@@ -242,16 +347,34 @@ def _int_param(query: dict[str, list[str]], name: str) -> int:
         ) from None
 
 
+def _format_param(query: dict[str, list[str]]) -> str:
+    values = query.get("format", ["json"])
+    return values[0].strip().lower()
+
+
+def _scalar(snapshot: dict, name: str) -> float:
+    """The unlabelled sample value of a counter/gauge in a snapshot."""
+    for sample in snapshot.get(name, {}).get("samples", []):
+        if not sample["labels"]:
+            return float(sample["value"])
+    return 0.0
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Thin JSON adapter around :meth:`ScoringService.dispatch_request`."""
+    """Thin adapter around :meth:`ScoringService.dispatch_request`."""
 
     service: ScoringService  # set by make_server
 
     def _respond(self, method: str) -> None:
         status, payload = self.service.dispatch_request(method, self.path)
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

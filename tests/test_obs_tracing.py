@@ -1,0 +1,207 @@
+"""Span tracing: nesting, exception safety, propagation, idle cost."""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.obs.tracing import (
+    SpanContext,
+    Tracer,
+    _NOOP_SPAN,
+    flame_report,
+    set_tracer,
+    set_tracing,
+    span,
+    trace_in_subprocess,
+    traced,
+    tracing_enabled,
+)
+from repro.parallel import parallel_map
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh global tracer with tracing forced on; restores both after."""
+    fresh = Tracer()
+    previous = set_tracer(fresh)
+    set_tracing(True)
+    try:
+        yield fresh
+    finally:
+        set_tracing(None)
+        set_tracer(previous)
+
+
+@pytest.fixture()
+def disabled():
+    set_tracing(False)
+    try:
+        yield
+    finally:
+        set_tracing(None)
+
+
+class TestDisabledMode:
+    def test_span_returns_the_shared_noop(self, disabled):
+        assert not tracing_enabled()
+        assert span("anything", week=3) is _NOOP_SPAN
+        with span("anything") as s:
+            s.set_tag("ignored", 1)  # must not raise
+
+    def test_nothing_is_recorded(self, disabled):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        try:
+            with span("a"):
+                with span("b"):
+                    pass
+            assert fresh.export() == []
+        finally:
+            set_tracer(previous)
+
+    def test_disabled_calls_are_cheap(self, disabled):
+        # Loose sanity bound, not a benchmark: 50k no-op spans must be
+        # far under a second (the bench guard enforces the real budget).
+        start = time.perf_counter()
+        for _ in range(50_000):
+            with span("hot", index=1):
+                pass
+        assert time.perf_counter() - start < 1.0
+
+
+class TestRecording:
+    def test_nesting_builds_a_tree_with_tags(self, tracer):
+        with span("parent", week=7) as p:
+            with span("child.a"):
+                pass
+            with span("child.b"):
+                pass
+            p.set_tag("extra", "yes")
+        [root] = tracer.export()
+        assert root["name"] == "parent"
+        assert root["tags"] == {"week": 7, "extra": "yes"}
+        assert [c["name"] for c in root["children"]] == ["child.a", "child.b"]
+        assert root["duration_seconds"] >= 0
+        assert root["status"] == "ok"
+
+    def test_exceptions_mark_the_span_and_propagate(self, tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("failing"):
+                raise RuntimeError("boom")
+        [root] = tracer.export()
+        assert root["status"] == "error"
+        assert "RuntimeError: boom" in root["error"]
+
+    def test_decorator_names_default_to_the_function(self, tracer):
+        @traced()
+        def do_work(x):
+            return x * 2
+
+        assert do_work(21) == 42
+        [root] = tracer.export()
+        assert root["name"].endswith("do_work")
+
+    def test_flame_report_aggregates_siblings(self, tracer):
+        with span("round"):
+            pass
+        with span("round"):
+            pass
+        text = flame_report(tracer.export())
+        assert "round" in text and "x2" in text
+
+    def test_flame_report_empty_mentions_the_toggle(self):
+        assert "REPRO_TRACE" in flame_report([])
+
+
+class TestPropagation:
+    def test_worker_thread_spans_attach_to_the_submitting_span(self, tracer):
+        with span("fanout"):
+            parallel_map(
+                lambda x: x + 1, range(6), workers=3, task_label="unit.task"
+            )
+        [root] = tracer.export()
+        tasks = [c for c in root["children"] if c["name"] == "unit.task"]
+        assert len(tasks) == 6
+        assert sorted(c["tags"]["index"] for c in tasks) == list(range(6))
+
+    def test_adopt_without_context_is_a_noop(self, tracer):
+        with tracer.adopt(None):
+            with span("lonely"):
+                pass
+        [root] = tracer.export()
+        assert root["name"] == "lonely"
+        assert root["parent_id"] is None
+
+    def test_merge_remote_grafts_under_the_open_parent(self, tracer):
+        with span("parent") as p:
+            remote = {
+                "span_id": "ffff-1",
+                "parent_id": p.span_id,
+                "name": "remote.task",
+                "tags": {},
+                "duration_seconds": 0.25,
+                "status": "ok",
+                "children": [],
+            }
+            tracer.merge_remote([remote])
+        [root] = tracer.export()
+        assert [c["name"] for c in root["children"]] == ["remote.task"]
+
+    def test_merge_remote_unknown_parent_becomes_a_root(self, tracer):
+        tracer.merge_remote([
+            {
+                "span_id": "ffff-2",
+                "parent_id": "gone-99",
+                "name": "orphan",
+                "tags": {},
+                "duration_seconds": 0.1,
+                "status": "ok",
+                "children": [],
+            }
+        ])
+        names = [s["name"] for s in tracer.export()]
+        assert names == ["orphan"]
+
+    def test_span_context_wire_round_trip(self):
+        context = SpanContext("abc-1")
+        assert SpanContext.from_wire(context.to_wire()) == context
+        assert SpanContext.from_wire(None) == SpanContext(None)
+
+
+def _child_work(context_wire, pipe):
+    """Runs in the forked child: trace a task, ship the spans back."""
+    def task():
+        with span("child.compute", pid_tagged=True):
+            return 123
+
+    result, spans = trace_in_subprocess(context_wire, task)
+    pipe.send((result, spans))
+    pipe.close()
+
+
+class TestCrossProcess:
+    def test_spans_cross_a_fork_boundary(self, tracer):
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("fork start method unavailable")
+
+        parent_conn, child_conn = ctx.Pipe()
+        with span("parent.fanout") as p:
+            context = tracer.current_context()
+            process = ctx.Process(
+                target=_child_work, args=(context.to_wire(), child_conn)
+            )
+            process.start()
+            result, spans = parent_conn.recv()
+            process.join(timeout=30)
+            assert result == 123
+            tracer.merge_remote(spans)
+        assert p.span_id == context.span_id
+        [root] = tracer.export()
+        assert root["name"] == "parent.fanout"
+        child_names = [c["name"] for c in root["children"]]
+        assert "child.compute" in child_names
