@@ -16,7 +16,13 @@ Three subcommands mirror how an operator would poke at the system:
   ``--smoke`` for an end-to-end in-process self-test;
 * ``obs`` -- observability tooling: ``obs report`` runs an instrumented
   proactive loop (or reads a saved telemetry JSON) and renders the
-  per-stage timing and quality breakdown.
+  per-stage timing and quality breakdown;
+* ``lifecycle`` -- continuous training: ``lifecycle run`` drives the
+  proactive loop under the lifecycle controller (scheduled retrains,
+  shadow champion--challenger gating, auto-rollback) and ``lifecycle
+  status`` renders the signed decision log of a previous run;
+  ``--smoke`` runs the CI loop with one forced promotion and one forced
+  rollback.
 
 All commands are seeded, run at laptop scale by default, and accept
 ``--scenario`` to pick a plant preset (suburban/urban/rural/storm_season/
@@ -131,25 +137,60 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--no-trace", action="store_true",
                      help="leave span tracing off for the demo loop "
                           "(metrics only)")
+
+    lifecycle = sub.add_parser(
+        "lifecycle", parents=[common],
+        help="continuous training: scheduled retrains, shadow gating, "
+             "promotion and rollback")
+    lifecycle.add_argument("action", choices=["run", "status"],
+                           help="run: drive the loop under the lifecycle "
+                                "controller; status: render a run's "
+                                "decision log and registry state")
+    lifecycle.add_argument("--root", default="lifecycle",
+                           help="working directory (gets store/ and "
+                                "registry/ subdirectories on run; status "
+                                "reads the same layout)")
+    lifecycle.add_argument("--capacity", type=int, default=None,
+                           help="ATDS capacity N (default: 2%% of lines)")
+    lifecycle.add_argument("--rounds", type=int, default=80,
+                           help="boosting rounds per (re)trained model")
+    lifecycle.add_argument("--warmup", type=int, default=13,
+                           help="reactive warm-up weeks before the first "
+                                "champion trains")
+    lifecycle.add_argument("--horizon", type=int, default=3,
+                           help="label horizon T in weeks")
+    lifecycle.add_argument("--cadence", type=int, default=4,
+                           help="scheduled retrain cadence in weeks "
+                                "(drift triggers can fire sooner)")
+    lifecycle.add_argument("--smoke", action="store_true",
+                           help="in-process end-to-end self-test in a temp "
+                                "dir: run the loop with one forced "
+                                "promotion and one sabotaged challenger, "
+                                "and check that the watchdog rolls it back "
+                                "with an intact decision chain")
     return parser
 
 
-def _simulate(args: argparse.Namespace):
-    from repro import DslSimulator, PopulationConfig, SimulationConfig
+def _sim_config(args: argparse.Namespace):
+    from repro import PopulationConfig, SimulationConfig
 
     if args.scenario:
         from repro.netsim.scenarios import scenario
 
-        config = scenario(args.scenario, n_lines=args.lines,
-                          n_weeks=args.weeks, seed=args.seed)
-    else:
-        config = SimulationConfig(
-            n_weeks=args.weeks,
-            population=PopulationConfig(n_lines=args.lines, seed=args.seed),
-            fault_rate_scale=args.fault_scale,
-            seed=args.seed,
-        )
-    return DslSimulator(config).run()
+        return scenario(args.scenario, n_lines=args.lines,
+                        n_weeks=args.weeks, seed=args.seed)
+    return SimulationConfig(
+        n_weeks=args.weeks,
+        population=PopulationConfig(n_lines=args.lines, seed=args.seed),
+        fault_rate_scale=args.fault_scale,
+        seed=args.seed,
+    )
+
+
+def _simulate(args: argparse.Namespace):
+    from repro import DslSimulator
+
+    return DslSimulator(_sim_config(args)).run()
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -459,6 +500,206 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lifecycle_controller(args: argparse.Namespace, root, config=None):
+    """Build a pipeline + lifecycle controller rooted at ``root``.
+
+    Creates ``root/store`` and ``root/registry``; the decision log lands
+    next to the registry manifest so ``lifecycle status`` and the
+    service's ``/lifecycle`` route can read the whole story from disk.
+    """
+    from repro import PipelineConfig, PredictorConfig
+    from repro.core.pipeline import NevermindPipeline
+    from repro.lifecycle import LifecycleConfig, LifecycleController
+    from repro.serve import ModelRegistry
+    from repro.serve.store import LineWeekStore
+
+    sim = _sim_config(args)
+    store_root = root / "store"
+    if (store_root / "manifest.json").exists():
+        raise SystemExit(
+            f"{store_root} already holds a line-week store; a lifecycle "
+            "run simulates fresh weeks, so pick a new --root"
+        )
+    store = LineWeekStore.create(
+        store_root, sim.population.n_lines, sim.population
+    )
+    capacity = args.capacity or max(20, args.lines // 50)
+    pipeline = NevermindPipeline(
+        sim,
+        PipelineConfig(
+            warmup_weeks=args.warmup,
+            retrain_every=0,  # the lifecycle controller owns every retrain
+            predictor=PredictorConfig(
+                capacity=capacity,
+                horizon_weeks=args.horizon,
+                train_rounds=args.rounds,
+            ),
+        ),
+        store=store,
+        registry=ModelRegistry(root / "registry"),
+    )
+    return LifecycleController(
+        pipeline, config or LifecycleConfig(cadence_weeks=args.cadence)
+    )
+
+
+def _inverted_challenger(pipeline, week: int):
+    """Train a real challenger, then negate every stump score.
+
+    The result ranks lines exactly backwards -- the worst live regression
+    the smoke can hand the watchdog -- while remaining a perfectly
+    ordinary, serialisable, fitted predictor to the registry and the
+    shadow scorer.
+    """
+    from dataclasses import replace
+
+    challenger = pipeline.train_challenger(week)
+    model = challenger.model
+    model.learners = [
+        replace(learner, stump=replace(
+            learner.stump,
+            s_lo=-learner.stump.s_lo,
+            s_hi=-learner.stump.s_hi,
+            s_miss=-learner.stump.s_miss,
+        ))
+        for learner in model.learners
+    ]
+    model._compiled = None
+    return challenger
+
+
+def _lifecycle_smoke(args: argparse.Namespace) -> int:
+    """End-to-end self-test of the continuous-training loop.
+
+    Runs the full controller in a temp dir and forces both interesting
+    paths: the first challenger is pushed through the gate (forced
+    promotion), the second is an inverted saboteur that the gate is also
+    forced to accept -- so the *watchdog* must catch it live and roll the
+    registry back.  Exit 0 only if both legs happened and the decision
+    chain verifies.  Used by the CI lifecycle-smoke job.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.lifecycle import LifecycleConfig, lifecycle_status
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        controller = _lifecycle_controller(args, root, config=LifecycleConfig(
+            cadence_weeks=2,
+            shadow_weeks=2,
+            bootstrap_samples=100,
+            watchdog_drop=0.6,
+            watchdog_patience=2,
+            seed=args.seed,
+        ))
+        pipeline = controller.pipeline
+        controller.force_next_decision = "promote"
+        sabotaged = False
+        total = pipeline.simulator.config.n_weeks
+        while pipeline.simulator.week < total:
+            controller.step()
+            counts = controller.status()["decision_counts"]
+            if counts.get("promote", 0) >= 1 and not sabotaged:
+                # Leg 2: the next challenger is deliberately inverted and
+                # the gate is forced open, so only the watchdog stands
+                # between it and the customers.
+                controller.challenger_factory = (
+                    lambda week: _inverted_challenger(pipeline, week)
+                )
+                controller.force_next_decision = "promote"
+                sabotaged = True
+            if counts.get("rollback", 0) >= 1:
+                break
+        status = controller.status()
+        disk = lifecycle_status(root / "registry")
+
+    counts = status["decision_counts"]
+    if counts.get("promote", 0) < 2 or counts.get("rollback", 0) < 1:
+        print(f"lifecycle smoke FAILED: expected >=2 promotions and >=1 "
+              f"rollback, got decisions {counts} (is --weeks long enough "
+              f"past --warmup?)")
+        return 1
+    if not disk["chain_valid"]:
+        print("lifecycle smoke FAILED: decision chain did not verify:")
+        for problem in disk["chain_problems"][:10]:
+            print(f"  {problem}")
+        return 1
+    if disk["active_version"] != status["champion_version"]:
+        print(f"lifecycle smoke FAILED: registry active "
+              f"{disk['active_version']} != controller champion "
+              f"{status['champion_version']}")
+        return 1
+    promotes = [r for r in disk["decisions"] if r["action"] == "promote"]
+    rollbacks = [r for r in disk["decisions"] if r["action"] == "rollback"]
+    restored = rollbacks[-1]["details"]["restored"]
+    if restored != promotes[0]["details"]["version"]:
+        print(f"lifecycle smoke FAILED: rollback restored {restored}, "
+              f"expected the first promoted champion "
+              f"{promotes[0]['details']['version']}")
+        return 1
+    registry_rollbacks = [
+        e for e in disk["registry_events"] if e["action"] == "rollback"
+    ]
+    if not registry_rollbacks:
+        print("lifecycle smoke FAILED: registry manifest records no "
+              "rollback event")
+        return 1
+    print(f"lifecycle smoke ok: {counts.get('retrain', 0)} retrains, "
+          f"{counts['promote']} promotions (1 forced good, 1 forced "
+          f"saboteur), watchdog rolled back to {restored} at week "
+          f"{rollbacks[-1]['week']}, decision chain of "
+          f"{len(disk['decisions'])} records verified")
+    return 0
+
+
+def _lifecycle_print_status(root) -> int:
+    from repro.lifecycle import lifecycle_status
+
+    registry_root = root / "registry" if (root / "registry").is_dir() else root
+    status = lifecycle_status(registry_root)
+    versions = ", ".join(status["versions"]) or "none"
+    print(f"registry {registry_root}: active {status['active_version']}, "
+          f"versions {versions}")
+    counts = status["decision_counts"]
+    rendered = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"decisions: {rendered or 'none'}")
+    print(f"decision chain intact: {status['chain_valid']}")
+    for problem in status["chain_problems"]:
+        print(f"  problem: {problem}")
+    for record in status["decisions"][-8:]:
+        details = record["details"]
+        extra = (details.get("reason") or details.get("version")
+                 or details.get("restored") or "")
+        print(f"  week {record['week']:>3}  {record['action']:<9} {extra}")
+    return 0
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.smoke:
+        return _lifecycle_smoke(args)
+    if args.action == "status":
+        return _lifecycle_print_status(Path(args.root))
+
+    controller = _lifecycle_controller(args, Path(args.root))
+    controller.run()
+    summary = controller.pipeline.summary()
+    status = controller.status()
+    counts = status["decision_counts"]
+    print(f"lifecycle run: {int(summary['weeks'])} live weeks, "
+          f"overall precision {summary['precision']:.3f}")
+    print(f"  champion {status['active_version']} "
+          f"(since week {status['champion_since_week']})")
+    print("  decisions: "
+          + (", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+             or "none"))
+    print(f"  decision chain intact: {status['chain_valid']}")
+    print(f"  decision log: {controller.log.path}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "predict": _cmd_predict,
@@ -467,6 +708,7 @@ _COMMANDS = {
     "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
     "obs": _cmd_obs,
+    "lifecycle": _cmd_lifecycle,
 }
 
 

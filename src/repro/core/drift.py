@@ -24,8 +24,8 @@ from repro.core.analysis import evaluate_predictions
 from repro.core.predictor import TicketPredictor
 from repro.netsim.simulator import SimulationResult
 
-__all__ = ["WeeklyPerformance", "DriftReport", "weekly_performance",
-           "drift_report"]
+__all__ = ["WeeklyPerformance", "DriftReport", "LiveDriftSignals",
+           "weekly_performance", "drift_report", "live_drift_signals"]
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,72 @@ class DriftReport:
             f"-> retrain {'RECOMMENDED' if self.retrain_recommended else 'not needed'}"
         )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LiveDriftSignals:
+    """Deployed-model degradation evidence from the live proactive loop.
+
+    Unlike :func:`drift_report` -- which re-scores past weeks offline --
+    these signals come for free from the campaigns the pipeline already
+    ran: each :class:`~repro.core.pipeline.WeeklyReport` carries the
+    realized precision and the mean predicted probability of the
+    submitted lines, so drift is observable without a second scoring
+    pass.  The lifecycle scheduler reads them every week.
+
+    Attributes:
+        n_reports: how many live weeks the signals cover.
+        baseline_precision: mean precision over the earliest
+            ``baseline_window`` reports (the model's launch level).
+        recent_precision: mean precision over the latest
+            ``recent_window`` reports.
+        relative_drop: (baseline - recent) / baseline, clipped at 0.
+        calibration_drift: mean |predicted P - realized precision| over
+            the recent window.
+    """
+
+    n_reports: int
+    baseline_precision: float
+    recent_precision: float
+    relative_drop: float
+    calibration_drift: float
+
+
+def live_drift_signals(
+    reports,
+    baseline_window: int = 3,
+    recent_window: int = 2,
+) -> LiveDriftSignals | None:
+    """Summarise drift over a run of live weekly reports.
+
+    Args:
+        reports: :class:`~repro.core.pipeline.WeeklyReport` sequence for
+            one deployed model, in week order (i.e. since its adoption).
+        baseline_window: earliest reports forming the launch baseline.
+        recent_window: latest reports forming the current level.
+
+    Returns:
+        The signals, or ``None`` while the run is too short for the
+        baseline and recent windows not to overlap.
+    """
+    if baseline_window < 1 or recent_window < 1:
+        raise ValueError("baseline_window and recent_window must be >= 1")
+    if len(reports) < baseline_window + recent_window:
+        return None
+    baseline = float(np.mean([r.precision for r in reports[:baseline_window]]))
+    recent_reports = reports[-recent_window:]
+    recent = float(np.mean([r.precision for r in recent_reports]))
+    drop = max(0.0, (baseline - recent) / baseline) if baseline > 0 else 0.0
+    calibration = float(np.mean(
+        [abs(r.mean_top_p - r.precision) for r in recent_reports]
+    ))
+    return LiveDriftSignals(
+        n_reports=len(reports),
+        baseline_precision=baseline,
+        recent_precision=recent,
+        relative_drop=drop,
+        calibration_drift=calibration,
+    )
 
 
 def weekly_performance(

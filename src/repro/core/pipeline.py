@@ -74,6 +74,9 @@ class WeeklyReport:
         real_problems: how many submissions had an active fault.
         fixed: how many of those the dispatch actually cleared.
         no_trouble_found: dispatches on healthy lines.
+        mean_top_p: mean predicted P(ticket) of the submitted lines --
+            compared against the realized precision this is the live
+            calibration-drift signal (no second scoring pass needed).
     """
 
     week: int
@@ -81,6 +84,7 @@ class WeeklyReport:
     real_problems: int
     fixed: int
     no_trouble_found: int
+    mean_top_p: float = 0.0
 
     @property
     def precision(self) -> float:
@@ -97,6 +101,7 @@ class NevermindPipeline:
         config: PipelineConfig | None = None,
         store: "LineWeekStore | None" = None,
         registry: "ModelRegistry | None" = None,
+        on_week_end=None,
     ):
         """Args:
             simulation: plant configuration (defaults as in DslSimulator).
@@ -106,12 +111,19 @@ class NevermindPipeline:
                 subsystem can re-score it without re-simulation.
             registry: optional model registry; every (re)trained
                 predictor is published and activated as a new version.
+            on_week_end: optional ``callback(week, report)`` invoked at
+                the end of every completed week (``report`` is None
+                during warm-up).  The lifecycle controller hangs its
+                scheduler off this hook instead of duplicating the
+                weekly cadence; it may also be assigned after
+                construction via the ``on_week_end`` attribute.
         """
         self.config = config or PipelineConfig()
         self.simulator = DslSimulator(simulation)
         self.predictor = TicketPredictor(self.config.predictor)
         self.store = store
         self.registry = registry
+        self.on_week_end = on_week_end
         self.reports: list[WeeklyReport] = []
         self._trained_at: int | None = None
         registry_m = get_registry()
@@ -166,8 +178,17 @@ class NevermindPipeline:
         due = self._trained_at is None or (
             cfg.retrain_every > 0 and week - self._trained_at >= cfg.retrain_every
         )
-        if not due:
-            return
+        if due:
+            self.retrain(week)
+
+    def retrain(self, week: int) -> None:
+        """(Re)fit the serving predictor on all data up to ``week``.
+
+        The internal cadence (``_maybe_train``) and external schedulers
+        (the lifecycle controller) share this path: it refits in place,
+        stamps the training week, and -- when a registry is attached --
+        publishes and activates the new version.
+        """
         split = self._training_split(week)
         with span("pipeline.train", week=week), self._stage_seconds.time(stage="train"):
             self.predictor.fit(self.simulator.result(), split)
@@ -191,6 +212,38 @@ class NevermindPipeline:
                 ),
                 activate=True,
             )
+
+    def train_challenger(self, week: int) -> TicketPredictor:
+        """Fit a fresh predictor on data up to ``week`` without serving it.
+
+        The active (champion) predictor keeps scoring; the returned
+        challenger is the caller's to shadow-evaluate, publish, and --
+        only if it passes the promotion gate -- :meth:`adopt`.
+        """
+        challenger = TicketPredictor(self.config.predictor)
+        split = self._training_split(week)
+        with span("pipeline.train_challenger", week=week), \
+                self._stage_seconds.time(stage="train_challenger"):
+            challenger.fit(self.simulator.result(), split)
+        LOG.info(kv(
+            "pipeline.train_challenger",
+            week=week,
+            features=len(challenger.feature_names),
+        ))
+        return challenger
+
+    def adopt(self, predictor: TicketPredictor, week: int) -> None:
+        """Swap the serving predictor (a promoted challenger) in.
+
+        Registry bookkeeping (publish/activate) is the caller's job --
+        the lifecycle gate activates through the registry and then
+        adopts, so the manifest and the in-process pipeline agree.
+        """
+        if predictor.model is None:
+            raise ValueError("cannot adopt an unfitted predictor")
+        self.predictor = predictor
+        self._trained_at = week
+        LOG.info(kv("pipeline.adopt", week=week))
 
     def _persist_week(self, week: int) -> None:
         """Append this Saturday's campaign to the line-week store."""
@@ -217,6 +270,8 @@ class NevermindPipeline:
         self._persist_week(week)
         self._maybe_train(week)
         if self._trained_at is None:
+            if self.on_week_end is not None:
+                self.on_week_end(week, None)
             return None
 
         result = self.simulator.result()
@@ -236,16 +291,17 @@ class NevermindPipeline:
             records = self.simulator.apply_proactive_fixes(submitted, fix_day)
         real = sum(r.true_disposition >= 0 for r in records)
         fixed = sum(r.true_disposition >= 0 and r.fixed for r in records)
+        mean_top_p = float(scores[submitted].mean()) if submitted.size else 0.0
         report = WeeklyReport(
             week=week,
             submitted=submitted,
             real_problems=real,
             fixed=fixed,
             no_trouble_found=sum(r.true_disposition < 0 for r in records),
+            mean_top_p=mean_top_p,
         )
         self.reports.append(report)
 
-        mean_top_p = float(scores[submitted].mean()) if submitted.size else 0.0
         drift = mean_top_p - report.precision
         self._weeks_total.inc()
         self._submitted_total.inc(len(submitted))
@@ -263,6 +319,8 @@ class NevermindPipeline:
             mean_top_p=round(mean_top_p, 4),
             calibration_drift=round(drift, 4),
         ))
+        if self.on_week_end is not None:
+            self.on_week_end(week, report)
         return report
 
     def run(self, n_weeks: int | None = None) -> list[WeeklyReport]:

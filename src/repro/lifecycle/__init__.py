@@ -1,0 +1,59 @@
+"""Model lifecycle subsystem: the loop that keeps the champion honest.
+
+The serving stack (:mod:`repro.serve`) answers "score this week with the
+active model"; this package answers "which model *should* be active, and
+when does it change".  It wires four pieces into a closed loop driven by
+the pipeline's weekly hook:
+
+- :class:`~repro.lifecycle.scheduler.RetrainScheduler` -- cadence- and
+  drift-triggered challenger training;
+- :class:`~repro.lifecycle.shadow.ShadowEvaluator` /
+  :class:`~repro.lifecycle.shadow.PromotionGate` -- side-by-side scoring
+  on label-complete weeks plus a bootstrap non-inferiority test;
+- :class:`~repro.lifecycle.decisions.DecisionLog` -- a hash-chained
+  audit trail of every bootstrap / retrain / promote / hold / rollback;
+- :class:`~repro.lifecycle.watchdog.PromotionWatchdog` -- post-promotion
+  live monitoring with automatic registry rollback.
+
+:class:`~repro.lifecycle.controller.LifecycleController` is the
+conductor; ``repro lifecycle run|status`` and the service's
+``/lifecycle`` route are the operator's windows into it.
+"""
+
+from repro.lifecycle.config import LifecycleConfig
+from repro.lifecycle.controller import (
+    LifecycleController,
+    lifecycle_status,
+    shadow_labels,
+)
+from repro.lifecycle.decisions import (
+    DEFAULT_LOG_NAME,
+    DecisionLog,
+    DecisionRecord,
+)
+from repro.lifecycle.scheduler import RetrainDecision, RetrainScheduler
+from repro.lifecycle.shadow import (
+    GateDecision,
+    PromotionGate,
+    ShadowEvaluator,
+    ShadowReport,
+)
+from repro.lifecycle.watchdog import PromotionWatchdog, WatchdogVerdict
+
+__all__ = [
+    "LifecycleConfig",
+    "LifecycleController",
+    "lifecycle_status",
+    "shadow_labels",
+    "DecisionLog",
+    "DecisionRecord",
+    "DEFAULT_LOG_NAME",
+    "RetrainDecision",
+    "RetrainScheduler",
+    "GateDecision",
+    "PromotionGate",
+    "ShadowEvaluator",
+    "ShadowReport",
+    "PromotionWatchdog",
+    "WatchdogVerdict",
+]

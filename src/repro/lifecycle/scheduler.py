@@ -1,0 +1,89 @@
+"""The retrain scheduler: *when* should a challenger be trained?
+
+Two triggers, mirroring Section 4's weekly re-ranking discipline and the
+drift evidence of :mod:`repro.core.drift`:
+
+* **cadence** -- at least every ``cadence_weeks`` since the last retrain
+  attempt (promoted or not), the scheduled refresh;
+* **drift** -- earlier than cadence when the live loop's own telemetry
+  (precision decay from the launch baseline, or calibration error of the
+  submitted lines) crosses the configured thresholds.
+
+The scheduler is deliberately pure bookkeeping: it looks at week numbers
+and :class:`~repro.core.drift.LiveDriftSignals` and answers with a
+:class:`RetrainDecision`; training, evaluation and promotion belong to
+the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.drift import LiveDriftSignals
+from repro.lifecycle.config import LifecycleConfig
+
+__all__ = ["RetrainDecision", "RetrainScheduler"]
+
+
+@dataclass(frozen=True)
+class RetrainDecision:
+    """Whether a retrain is due this week, and why.
+
+    Attributes:
+        due: train a challenger now.
+        reason: ``cadence`` | ``precision_drift`` | ``calibration_drift``,
+            or ``none`` when not due.
+        detail: the triggering measurement, for the decision log.
+    """
+
+    due: bool
+    reason: str = "none"
+    detail: str = ""
+
+
+class RetrainScheduler:
+    """Decides retrain timing from cadence and live drift signals."""
+
+    def __init__(self, config: LifecycleConfig, trained_at: int):
+        """Args:
+            config: lifecycle knobs (cadence, thresholds, windows).
+            trained_at: week the current champion was trained.
+        """
+        self.config = config
+        self.last_retrain_week = trained_at
+
+    def decide(
+        self, week: int, signals: LiveDriftSignals | None
+    ) -> RetrainDecision:
+        """The retrain decision for the week just completed.
+
+        Drift triggers take precedence over cadence in the recorded
+        reason (they fire earlier or at worst simultaneously), and they
+        respect ``drift_cooldown_weeks`` so one bad week cannot retrain
+        twice in a row on the same evidence.
+        """
+        cfg = self.config
+        since = week - self.last_retrain_week
+        cooled = since >= cfg.drift_cooldown_weeks
+        if signals is not None and cooled:
+            if signals.relative_drop >= cfg.drift_relative_drop:
+                return self._due(
+                    week, "precision_drift",
+                    f"live precision fell {signals.relative_drop:.0%} from "
+                    f"baseline {signals.baseline_precision:.3f}",
+                )
+            if signals.calibration_drift >= cfg.drift_calibration_threshold:
+                return self._due(
+                    week, "calibration_drift",
+                    f"mean |predicted - realized| = "
+                    f"{signals.calibration_drift:.3f} over the recent window",
+                )
+        if cfg.cadence_weeks > 0 and since >= cfg.cadence_weeks:
+            return self._due(
+                week, "cadence", f"{since} weeks since last retrain"
+            )
+        return RetrainDecision(due=False)
+
+    def _due(self, week: int, reason: str, detail: str) -> RetrainDecision:
+        self.last_retrain_week = week
+        return RetrainDecision(due=True, reason=reason, detail=detail)

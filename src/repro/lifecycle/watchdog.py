@@ -1,0 +1,80 @@
+"""The post-promotion watchdog: catch what the shadow gate could not.
+
+Shadow evaluation scores a challenger on *past* weeks; a challenger can
+pass the gate and still regress live -- the plant moved, the shadow weeks
+were unrepresentative, or the gate's margin absorbed a real decline.
+The watchdog is the second line of defence: it observes every live
+weekly report after a promotion, compares the realized precision against
+the promotion-time baseline, and -- after ``patience`` consecutive weeks
+below ``(1 - drop)`` of that baseline -- tells the controller to roll
+back.  Requiring *consecutive* strikes makes a single noisy Saturday
+harmless while a sustained regression still triggers within
+``patience`` weeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["WatchdogVerdict", "PromotionWatchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogVerdict:
+    """One week's watchdog assessment.
+
+    Attributes:
+        rollback: the regression is sustained -- back out now.
+        strike: this week counted against the promoted model.
+        precision: the live precision observed.
+        floor: the precision floor the week was held to.
+    """
+
+    rollback: bool
+    strike: bool
+    precision: float
+    floor: float
+
+
+class PromotionWatchdog:
+    """Counts consecutive sub-floor weeks after a promotion."""
+
+    def __init__(self, baseline_precision: float, drop: float, patience: int):
+        """Args:
+            baseline_precision: precision level the promotion was judged
+                against (the champion's shadow precision at the gate).
+            drop: tolerated relative decline before a week is a strike.
+            patience: consecutive strikes that trigger rollback.
+        """
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0 <= drop < 1:
+            raise ValueError("drop must be in [0, 1)")
+        self.baseline = float(baseline_precision)
+        self.floor = (1.0 - drop) * self.baseline
+        self.patience = patience
+        self.strikes = 0
+        self.weeks_observed = 0
+
+    def observe(self, precision: float) -> WatchdogVerdict:
+        """Feed one live week's precision; returns the verdict."""
+        self.weeks_observed += 1
+        strike = precision < self.floor
+        self.strikes = self.strikes + 1 if strike else 0
+        return WatchdogVerdict(
+            rollback=self.strikes >= self.patience,
+            strike=strike,
+            precision=float(precision),
+            floor=self.floor,
+        )
+
+    def state(self) -> dict[str, Any]:
+        """Serialisable state for status endpoints."""
+        return {
+            "baseline_precision": self.baseline,
+            "floor": self.floor,
+            "patience": self.patience,
+            "strikes": self.strikes,
+            "weeks_observed": self.weeks_observed,
+        }

@@ -15,14 +15,21 @@ half of the paper's Fig. 3 loop:
 * :mod:`repro.serve.service` -- a stdlib-only HTTP API over the above.
 """
 
-from repro.serve.registry import ModelBundle, ModelRegistry
-from repro.serve.scoring import DEFAULT_SHARD_SIZE, ScoringEngine, WeekScores
+from repro.serve.registry import ModelBundle, ModelRegistry, RegistryError
+from repro.serve.scoring import (
+    DEFAULT_SHARD_SIZE,
+    ScoringEngine,
+    WeekScores,
+    score_bundles,
+)
 from repro.serve.service import ScoringService, make_server
 from repro.serve.store import LineWeekStore, StoredWorld, snapshot_result
 
 __all__ = [
     "ModelBundle",
     "ModelRegistry",
+    "RegistryError",
+    "score_bundles",
     "ScoringEngine",
     "WeekScores",
     "DEFAULT_SHARD_SIZE",

@@ -39,7 +39,11 @@ from repro.ml.serialize import (
 )
 from repro.obs.log import get_logger, kv
 
-__all__ = ["ModelBundle", "ModelRegistry"]
+__all__ = ["ModelBundle", "ModelRegistry", "RegistryError"]
+
+
+class RegistryError(RuntimeError):
+    """An invalid registry operation (e.g. rollback with no predecessor)."""
 
 LOG = get_logger("serve.registry")
 
@@ -119,10 +123,12 @@ class ModelRegistry:
             self._versions: dict[str, dict[str, Any]] = manifest["versions"]
             self._active: str | None = manifest["active"]
             self._history: list[str] = list(manifest.get("history", []))
+            self._events: list[dict[str, Any]] = list(manifest.get("events", []))
         else:
             self._versions = {}
             self._active = None
             self._history = []
+            self._events = []
             self._write_manifest()
 
     # ----- manifest -------------------------------------------------------
@@ -132,9 +138,18 @@ class ModelRegistry:
             "format_version": _FORMAT_VERSION,
             "active": self._active,
             "history": self._history,
+            "events": self._events,
             "versions": self._versions,
         }
         _atomic_write_text(self.root / _MANIFEST, json.dumps(manifest, indent=1))
+
+    def _record_event(self, action: str, **details: Any) -> None:
+        """Append one lifecycle event to the manifest's audit trail.
+
+        The caller is responsible for the following ``_write_manifest``;
+        events and the state change they describe land atomically.
+        """
+        self._events.append({"action": action, "at": time.time(), **details})
 
     # ----- write path -----------------------------------------------------
 
@@ -153,6 +168,7 @@ class ModelRegistry:
             "published_at": time.time(),
             "meta": bundle.meta,
         }
+        self._record_event("publish", version=version)
         self._write_manifest()
         LOG.info(kv(
             "registry.publish",
@@ -173,15 +189,29 @@ class ModelRegistry:
         previous = self._active
         self._history.append(version)
         self._active = version
+        self._record_event("activate", version=version, previous=previous)
         self._write_manifest()
         LOG.info(kv("registry.activate", version=version, previous=previous))
 
     def rollback(self) -> str:
-        """Re-activate the previously active version; returns its tag."""
+        """Re-activate the previously active version; returns its tag.
+
+        Raises:
+            RegistryError: when there is no earlier activation to return
+                to -- i.e. fewer than two versions have ever been
+                activated, so the registry has no known-good predecessor.
+        """
         if len(self._history) < 2:
-            raise RuntimeError("no previous activation to roll back to")
+            raise RegistryError(
+                f"cannot roll back: {len(self._history)} version(s) have "
+                "been activated and rollback needs a predecessor "
+                "(activate at least two versions first)"
+            )
         rolled_back = self._history.pop()
         self._active = self._history[-1]
+        self._record_event(
+            "rollback", version=self._active, rolled_back=rolled_back
+        )
         self._write_manifest()
         LOG.warning(kv(
             "registry.rollback", version=self._active, rolled_back=rolled_back
@@ -199,6 +229,16 @@ class ModelRegistry:
     def versions(self) -> list[str]:
         """All published version tags, in publish order."""
         return sorted(self._versions)
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The append-only publish/activate/rollback audit trail.
+
+        Each event is ``{"action", "at", "version", ...}``; rollbacks also
+        name the ``rolled_back`` version, so an external decision log can
+        cite exactly which registry transition it caused.
+        """
+        return [dict(e) for e in self._events]
 
     def meta(self, version: str) -> dict[str, Any]:
         """Publish-time metadata of a version."""

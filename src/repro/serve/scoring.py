@@ -45,7 +45,7 @@ from repro.serve.registry import ModelBundle
 from repro.serve.store import StoredWorld, _StoredTicketView
 from repro.tickets.dispatch import DispatchList, Dispatcher, build_dispatch_list
 
-__all__ = ["WeekScores", "ScoringEngine", "DEFAULT_SHARD_SIZE"]
+__all__ = ["WeekScores", "ScoringEngine", "DEFAULT_SHARD_SIZE", "score_bundles"]
 
 #: Default lines per shard; small enough to parallelise a laptop-scale
 #: population, large enough that per-shard numpy dispatch overhead is noise.
@@ -138,6 +138,81 @@ class _AssembledColumns:
             return self._rows[:, self._quad[j - n_base]] ** 2
         i, k = self._pairs[j - n_base - n_quad]
         return self._rows[:, i] * self._rows[:, k]
+
+
+def score_bundles(
+    bundles: dict[str, ModelBundle],
+    world: StoredWorld,
+    week: int,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    workers: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Score several bundles over one stored week, encoding each shard once.
+
+    This is the shadow champion--challenger path: all bundles must share
+    the same encoder configuration, so the Table-3 encode -- the dominant
+    cost of a scoring run -- is paid once per shard and only the cheap
+    per-model column assembly + compiled-ensemble fold is repeated.  Each
+    model's scores are bit-identical to a solo :class:`ScoringEngine` run
+    of the same bundle (same row-wise encode, same columnar fold order).
+
+    Returns calibrated per-line score vectors keyed like ``bundles``.
+    """
+    if not bundles:
+        raise ValueError("need at least one bundle to score")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    names = list(bundles)
+    encoder_configs = [bundles[n].predictor.encoder.config for n in names]
+    if any(cfg != encoder_configs[0] for cfg in encoder_configs[1:]):
+        raise ValueError(
+            "bundles use different encoder configurations; the shared-"
+            "encode shadow path needs identical Table-3 encoders"
+        )
+    models = {}
+    for name in names:
+        predictor = bundles[name].predictor
+        if predictor.model is None or predictor.model.calibrator is None:
+            raise RuntimeError(f"bundle {name!r} is not fitted/calibrated")
+        models[name] = (predictor.model.compiled(), predictor.recipes)
+
+    with span("serve.score_bundles", week=week, models=len(names)) as run_span:
+        population = world.population()
+        measurements = world.measurements()
+        day = world.store.day_of(week)
+        last_day = np.asarray(world.store.last_ticket_day(week))
+        encoder = bundles[names[0]].predictor.encoder
+        shards = split_shards(world.n_lines, shard_size)
+        run_span.set_tag("shards", len(shards))
+
+        def encode_and_score_all(shard: slice) -> list[np.ndarray]:
+            base = encoder.encode(
+                _slice_measurements(measurements, shard),
+                week,
+                _slice_population(population, shard),
+                _StoredTicketView(last_day[shard], day),
+            )
+            n_rows = base.matrix.shape[0]
+            return [
+                compiled.decision_function_columns(
+                    _AssembledColumns(base.matrix, recipes), n_rows
+                )
+                for compiled, recipes in (models[n] for n in names)
+            ]
+
+        per_shard = parallel_map(
+            encode_and_score_all, shards, workers, task_label="serve.shadow_shard"
+        )
+        out: dict[str, np.ndarray] = {}
+        for i, name in enumerate(names):
+            margin = (
+                np.concatenate([shard[i] for shard in per_shard])
+                if per_shard
+                else np.empty(0)
+            )
+            calibrator = bundles[name].predictor.model.calibrator
+            out[name] = calibrator.transform(margin)
+    return out
 
 
 class ScoringEngine:

@@ -11,6 +11,8 @@ Endpoints (JSON unless noted):
 ``GET /score``           per-line P(ticket): ``?line=ID[&week=W]``
 ``GET /dispatch``        top-N dispatch list: ``?[week=W][&capacity=N]``
 ``GET /locate``          disposition ranking: ``?line=ID[&week=W][&top=K]``
+``GET /lifecycle``       continuous-training status: registry versions and
+                         events, the signed decision log, chain validity
 ``POST /reload``         re-read the registry's active bundle and the store
 =======================  ===================================================
 
@@ -295,6 +297,14 @@ class ScoringService:
             "ranking": ranking,
         }
 
+    def handle_lifecycle(self, query) -> tuple[int, dict]:
+        del query
+        # Imported lazily: repro.lifecycle builds on repro.serve, so a
+        # module-level import here would be circular.
+        from repro.lifecycle.controller import lifecycle_status
+
+        return 200, lifecycle_status(self.registry.root)
+
     def handle_reload(self, query) -> tuple[int, dict]:
         del query
         try:
@@ -310,6 +320,7 @@ class ScoringService:
         "/score": handle_score,
         "/dispatch": handle_dispatch,
         "/locate": handle_locate,
+        "/lifecycle": handle_lifecycle,
     }
     _POST_ROUTES = {"/reload": handle_reload}
 

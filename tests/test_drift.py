@@ -1,9 +1,19 @@
 """Tests for deployment drift monitoring (repro.core.drift)."""
 
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
-from repro.core.drift import DriftReport, WeeklyPerformance, drift_report, weekly_performance
+import repro.core.drift as drift_mod
+from repro.core.analysis import PredictionOutcome
+from repro.core.drift import (
+    DriftReport,
+    WeeklyPerformance,
+    drift_report,
+    live_drift_signals,
+    weekly_performance,
+)
 from repro.core.predictor import PredictorConfig, TicketPredictor
 
 
@@ -75,3 +85,85 @@ class TestDriftReport:
 
         assert make([0.4, 0.38, 0.37]).retrain_recommended is False
         assert make([0.4, 0.32, 0.25]).retrain_recommended is True
+
+    def test_single_week_has_flat_trend(self, deployed):
+        result, split, predictor = deployed
+        week = list(split.test_weeks)[:1]
+        report = drift_report(result, predictor, week)
+        assert len(report.weekly) == 1
+        assert report.accuracy_slope == 0.0
+        assert report.relative_drop == 0.0
+        assert report.retrain_recommended is False
+
+    def test_all_zero_label_weeks_do_not_crash(self, deployed, monkeypatch):
+        # A quiet plant (no tickets at all in the horizon) must yield a
+        # clean zero-accuracy report, not a divide-by-zero.
+        result, split, predictor = deployed
+
+        def all_miss(result, ranked, week, horizon):
+            n = len(ranked)
+            return PredictionOutcome(
+                week=week,
+                day=0,
+                ranked_lines=ranked,
+                hits=np.zeros(n, dtype=bool),
+                delays=np.full(n, -1),
+            )
+
+        monkeypatch.setattr(drift_mod, "evaluate_predictions", all_miss)
+        report = drift_report(result, predictor, list(split.test_weeks))
+        assert all(w.accuracy == 0.0 for w in report.weekly)
+        assert all(w.base_rate == 0.0 for w in report.weekly)
+        assert all(w.lift == 0.0 for w in report.weekly)
+        assert report.relative_drop == 0.0
+        assert report.retrain_recommended is False
+
+
+@dataclass
+class _FakeReport:
+    precision: float
+    mean_top_p: float
+
+
+class TestLiveDriftSignals:
+    def _reports(self, precisions, mean_top_p=0.5):
+        return [_FakeReport(p, mean_top_p) for p in precisions]
+
+    def test_empty_run_returns_none(self):
+        assert live_drift_signals([]) is None
+
+    def test_short_run_returns_none(self):
+        # baseline_window + recent_window reports are required.
+        reports = self._reports([0.5, 0.5, 0.5, 0.5])
+        assert live_drift_signals(reports, 3, 2) is None
+        assert live_drift_signals(reports, 2, 2) is not None
+
+    def test_window_validation(self):
+        reports = self._reports([0.5] * 6)
+        with pytest.raises(ValueError):
+            live_drift_signals(reports, baseline_window=0)
+        with pytest.raises(ValueError):
+            live_drift_signals(reports, recent_window=0)
+
+    def test_signals_are_computed(self):
+        reports = self._reports(
+            [0.6, 0.6, 0.6, 0.4, 0.4], mean_top_p=0.5
+        )
+        signals = live_drift_signals(reports, 3, 2)
+        assert signals.n_reports == 5
+        assert signals.baseline_precision == pytest.approx(0.6)
+        assert signals.recent_precision == pytest.approx(0.4)
+        assert signals.relative_drop == pytest.approx(1 / 3)
+        assert signals.calibration_drift == pytest.approx(0.1)
+
+    def test_improvement_clips_drop_at_zero(self):
+        reports = self._reports([0.3, 0.3, 0.3, 0.5, 0.5])
+        signals = live_drift_signals(reports, 3, 2)
+        assert signals.relative_drop == 0.0
+
+    def test_all_zero_precision_baseline_is_safe(self):
+        # Every live week missed: baseline 0 must not divide by zero.
+        reports = self._reports([0.0] * 5, mean_top_p=0.2)
+        signals = live_drift_signals(reports, 3, 2)
+        assert signals.relative_drop == 0.0
+        assert signals.calibration_drift == pytest.approx(0.2)

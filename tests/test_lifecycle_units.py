@@ -1,0 +1,267 @@
+"""Lifecycle components in isolation: scheduler, gate, watchdog, ledger.
+
+The full closed loop (drift-triggered retrain -> shadow -> promotion ->
+injected regression -> rollback) lives in ``test_lifecycle_loop.py``;
+these tests pin down each component's decision rule on synthetic inputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.drift import LiveDriftSignals
+from repro.lifecycle import (
+    DecisionLog,
+    LifecycleConfig,
+    PromotionGate,
+    PromotionWatchdog,
+    RetrainScheduler,
+    ShadowReport,
+    lifecycle_status,
+)
+
+
+def signals(relative_drop=0.0, calibration_drift=0.0):
+    return LiveDriftSignals(
+        n_reports=5,
+        baseline_precision=0.5,
+        recent_precision=0.5 * (1 - relative_drop),
+        relative_drop=relative_drop,
+        calibration_drift=calibration_drift,
+    )
+
+
+def shadow_report(delta=0.0, ci_low=-0.01, ci_high=0.01):
+    return ShadowReport(
+        weeks=(10, 11),
+        capacity=40,
+        champion_precision=0.5,
+        challenger_precision=0.5 + delta,
+        precision_delta=delta,
+        delta_ci_low=ci_low,
+        delta_ci_high=ci_high,
+        champion_ap=0.5,
+        challenger_ap=0.5 + delta,
+        shadow_seconds=0.1,
+        bootstrap_samples=100,
+        confidence=0.9,
+    )
+
+
+class TestLifecycleConfig:
+    def test_defaults_are_valid(self):
+        LifecycleConfig()
+
+    @pytest.mark.parametrize("overrides", [
+        {"cadence_weeks": -1},
+        {"confidence": 0.0},
+        {"confidence": 1.0},
+        {"watchdog_drop": 1.0},
+        {"watchdog_patience": 0},
+        {"shadow_weeks": 0},
+        {"bootstrap_samples": 0},
+        {"non_inferiority_margin": -0.1},
+    ])
+    def test_rejects_bad_values(self, overrides):
+        with pytest.raises(ValueError):
+            LifecycleConfig(**overrides)
+
+    def test_to_dict_round_trips(self):
+        config = LifecycleConfig(cadence_weeks=2, seed=7)
+        assert LifecycleConfig(**config.to_dict()) == config
+
+
+class TestRetrainScheduler:
+    def config(self, **kw):
+        defaults = dict(
+            cadence_weeks=4,
+            drift_relative_drop=0.25,
+            drift_calibration_threshold=0.15,
+            drift_cooldown_weeks=1,
+        )
+        defaults.update(kw)
+        return LifecycleConfig(**defaults)
+
+    def test_cadence_triggers_after_interval(self):
+        scheduler = RetrainScheduler(self.config(), trained_at=10)
+        assert not scheduler.decide(12, None).due
+        decision = scheduler.decide(14, None)
+        assert decision.due and decision.reason == "cadence"
+        # The trigger resets the clock.
+        assert scheduler.last_retrain_week == 14
+        assert not scheduler.decide(16, None).due
+
+    def test_cadence_zero_disables_the_clock(self):
+        scheduler = RetrainScheduler(self.config(cadence_weeks=0), trained_at=0)
+        assert not scheduler.decide(50, None).due
+
+    def test_precision_drift_fires_early(self):
+        scheduler = RetrainScheduler(self.config(), trained_at=10)
+        decision = scheduler.decide(12, signals(relative_drop=0.30))
+        assert decision.due and decision.reason == "precision_drift"
+        assert "0.30" in decision.detail or "30" in decision.detail
+
+    def test_calibration_drift_fires_early(self):
+        scheduler = RetrainScheduler(self.config(), trained_at=10)
+        decision = scheduler.decide(12, signals(calibration_drift=0.2))
+        assert decision.due and decision.reason == "calibration_drift"
+
+    def test_sub_threshold_drift_waits_for_cadence(self):
+        scheduler = RetrainScheduler(self.config(), trained_at=10)
+        weak = signals(relative_drop=0.1, calibration_drift=0.05)
+        assert not scheduler.decide(12, weak).due
+        assert scheduler.decide(14, weak).reason == "cadence"
+
+    def test_cooldown_suppresses_drift_thrash(self):
+        scheduler = RetrainScheduler(
+            self.config(drift_cooldown_weeks=3), trained_at=10
+        )
+        hot = signals(relative_drop=0.9)
+        assert not scheduler.decide(11, hot).due
+        assert not scheduler.decide(12, hot).due
+        assert scheduler.decide(13, hot).due
+
+
+class TestPromotionGate:
+    def test_clear_winner_promotes(self):
+        gate = PromotionGate(LifecycleConfig(non_inferiority_margin=0.02))
+        decision = gate.decide(shadow_report(delta=0.1, ci_low=0.05, ci_high=0.15))
+        assert decision.promote and decision.reason == "non_inferior"
+
+    def test_noisy_tie_promotes_within_margin(self):
+        gate = PromotionGate(LifecycleConfig(non_inferiority_margin=0.02))
+        decision = gate.decide(shadow_report(delta=0.0, ci_low=-0.015))
+        assert decision.promote
+
+    def test_regression_is_held(self):
+        gate = PromotionGate(LifecycleConfig(non_inferiority_margin=0.02))
+        decision = gate.decide(shadow_report(delta=-0.1, ci_low=-0.15, ci_high=-0.05))
+        assert not decision.promote and decision.reason == "inferior"
+        assert "margin" in decision.detail
+
+    def test_zero_margin_requires_nonnegative_bound(self):
+        gate = PromotionGate(LifecycleConfig(non_inferiority_margin=0.0))
+        assert not gate.decide(shadow_report(ci_low=-0.001)).promote
+        assert gate.decide(shadow_report(ci_low=0.0)).promote
+
+
+class TestPromotionWatchdog:
+    def test_consecutive_strikes_trigger_rollback(self):
+        dog = PromotionWatchdog(baseline_precision=0.5, drop=0.4, patience=2)
+        assert dog.floor == pytest.approx(0.3)
+        first = dog.observe(0.2)
+        assert first.strike and not first.rollback
+        second = dog.observe(0.25)
+        assert second.rollback
+
+    def test_good_week_resets_the_count(self):
+        dog = PromotionWatchdog(baseline_precision=0.5, drop=0.4, patience=2)
+        assert dog.observe(0.1).strike
+        assert not dog.observe(0.45).strike  # recovery
+        assert dog.strikes == 0
+        assert not dog.observe(0.1).rollback  # needs 2 consecutive again
+
+    def test_healthy_weeks_never_strike(self):
+        dog = PromotionWatchdog(baseline_precision=0.5, drop=0.4, patience=1)
+        for precision in (0.5, 0.35, 0.31, 0.9):
+            verdict = dog.observe(precision)
+            assert not verdict.strike and not verdict.rollback
+
+    def test_state_is_serialisable(self):
+        dog = PromotionWatchdog(baseline_precision=0.5, drop=0.4, patience=2)
+        dog.observe(0.1)
+        state = json.loads(json.dumps(dog.state()))
+        assert state["strikes"] == 1
+        assert state["weeks_observed"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PromotionWatchdog(0.5, drop=1.0, patience=2)
+        with pytest.raises(ValueError):
+            PromotionWatchdog(0.5, drop=0.4, patience=0)
+
+
+class TestDecisionLog:
+    def test_chain_grows_and_verifies(self, tmp_path):
+        log = DecisionLog(tmp_path / "LIFECYCLE.jsonl")
+        log.append("bootstrap", 12, version="v0001")
+        log.append("retrain", 14, reason="cadence")
+        log.append("promote", 14, version="v0002")
+        assert len(log) == 3
+        assert log.verify() == []
+        records = log.records()
+        assert records[0].prev_hash == "0" * 64
+        assert records[1].prev_hash == records[0].hash
+        assert records[2].prev_hash == records[1].hash
+
+    def test_reload_continues_the_chain(self, tmp_path):
+        path = tmp_path / "LIFECYCLE.jsonl"
+        first = DecisionLog(path)
+        first.append("bootstrap", 12, version="v0001")
+        head = first.head_hash
+        reopened = DecisionLog(path)
+        assert reopened.head_hash == head
+        reopened.append("retrain", 14, reason="cadence")
+        assert reopened.verify() == []
+        assert reopened.records()[1].prev_hash == head
+
+    def test_edited_record_breaks_the_chain(self, tmp_path):
+        path = tmp_path / "LIFECYCLE.jsonl"
+        log = DecisionLog(path)
+        log.append("bootstrap", 12, version="v0001")
+        log.append("promote", 14, version="v0002")
+        lines = path.read_text().splitlines()
+        doctored = json.loads(lines[0])
+        doctored["details"]["version"] = "v0009"  # rewrite history
+        lines[0] = json.dumps(doctored)
+        path.write_text("\n".join(lines) + "\n")
+        problems = DecisionLog(path).verify()
+        assert any("record 0" in p and "content hash" in p for p in problems)
+
+    def test_dropped_record_breaks_the_chain(self, tmp_path):
+        path = tmp_path / "LIFECYCLE.jsonl"
+        log = DecisionLog(path)
+        log.append("bootstrap", 12, version="v0001")
+        log.append("retrain", 14, reason="cadence")
+        log.append("promote", 14, version="v0002")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        problems = DecisionLog(path).verify()
+        assert problems  # sequence and prev_hash both snap
+
+    def test_record_round_trips_through_dicts(self, tmp_path):
+        log = DecisionLog(tmp_path / "log.jsonl")
+        record = log.append("hold", 15, reason="inferior", detail="ci below")
+        from repro.lifecycle import DecisionRecord
+
+        clone = DecisionRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert clone == record
+        assert clone.expected_hash() == clone.hash
+
+
+class TestLifecycleStatusFromDisk:
+    def test_empty_registry_reads_clean(self, tmp_path):
+        status = lifecycle_status(tmp_path / "registry")
+        assert status["active_version"] is None
+        assert status["decisions"] == []
+        assert status["chain_valid"] is True
+
+    def test_decisions_and_counts_surface(self, tmp_path):
+        root = tmp_path / "registry"
+        root.mkdir()
+        log = DecisionLog(root / "LIFECYCLE.jsonl")
+        log.append("bootstrap", 12, version="v0001")
+        log.append("retrain", 14, reason="cadence")
+        log.append("hold", 14, reason="inferior")
+        status = lifecycle_status(root)
+        assert status["decision_counts"] == {
+            "bootstrap": 1, "retrain": 1, "hold": 1,
+        }
+        assert status["chain_valid"] is True
+        assert [d["action"] for d in status["decisions"]] == [
+            "bootstrap", "retrain", "hold",
+        ]

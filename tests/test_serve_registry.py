@@ -7,7 +7,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.serve import ModelBundle, ModelRegistry
+from repro.serve import ModelBundle, ModelRegistry, RegistryError
 
 
 @pytest.fixture()
@@ -38,6 +38,17 @@ class TestVersioning:
         with pytest.raises(RuntimeError):
             registry.rollback()
 
+    def test_rollback_error_is_specific_and_explanatory(
+        self, registry, small_predictor
+    ):
+        # RegistryError subclasses RuntimeError, so old callers still
+        # catch it; the message says what to do about it.
+        with pytest.raises(RegistryError, match="predecessor"):
+            registry.rollback()
+        registry.publish(ModelBundle(predictor=small_predictor), activate=True)
+        with pytest.raises(RegistryError, match="1 version"):
+            registry.rollback()
+
     def test_activate_unknown_version(self, registry):
         with pytest.raises(KeyError):
             registry.activate("v0099")
@@ -60,6 +71,56 @@ class TestVersioning:
         assert reopened.active == "v0001"
         reopened.activate("v0002")
         assert reopened.rollback() == "v0001"
+
+
+class TestEventTrail:
+    def test_publish_activate_rollback_are_recorded(
+        self, registry, small_predictor
+    ):
+        bundle = ModelBundle(predictor=small_predictor)
+        registry.publish(bundle, activate=True)
+        registry.publish(bundle, activate=True)
+        registry.rollback()
+        actions = [e["action"] for e in registry.events]
+        assert actions == [
+            "publish", "activate", "publish", "activate", "rollback",
+        ]
+        rollback = registry.events[-1]
+        assert rollback["version"] == "v0001"
+        assert rollback["rolled_back"] == "v0002"
+        assert all("at" in e for e in registry.events)
+
+    def test_events_survive_reopen(self, tmp_path, small_predictor):
+        root = tmp_path / "registry"
+        first = ModelRegistry(root)
+        first.publish(ModelBundle(predictor=small_predictor), activate=True)
+        first.publish(ModelBundle(predictor=small_predictor), activate=True)
+        first.rollback()
+        reopened = ModelRegistry(root)
+        assert reopened.events == first.events
+
+    def test_events_list_is_a_defensive_copy(self, registry, small_predictor):
+        registry.publish(ModelBundle(predictor=small_predictor))
+        registry.events.append({"action": "forged"})
+        assert [e["action"] for e in registry.events] == ["publish"]
+
+    def test_manifest_without_events_key_still_loads(
+        self, tmp_path, small_predictor
+    ):
+        # Manifests written before the audit trail existed lack "events".
+        root = tmp_path / "registry"
+        ModelRegistry(root).publish(
+            ModelBundle(predictor=small_predictor), activate=True
+        )
+        manifest_path = root / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["events"]
+        manifest_path.write_text(json.dumps(manifest))
+        reopened = ModelRegistry(root)
+        assert reopened.events == []
+        assert reopened.active == "v0001"
+        reopened.publish(ModelBundle(predictor=small_predictor))
+        assert [e["action"] for e in reopened.events] == ["publish"]
 
 
 class TestLoading:

@@ -82,6 +82,19 @@ class TestRouting:
             assert status == expected, path
             assert "error" in payload
 
+    def test_lifecycle_status_route(self, service):
+        status, payload = service.dispatch_request("GET", "/lifecycle")
+        assert status == 200
+        assert payload["active_version"] == service.model_version
+        assert payload["versions"] == ["v0001", "v0002"]
+        # No controller has run against this registry: the decision log
+        # is empty (and trivially valid), but the registry's own event
+        # trail already shows the publishes and activations.
+        assert payload["decisions"] == []
+        assert payload["chain_valid"] is True
+        events = [e["action"] for e in payload["registry_events"]]
+        assert "publish" in events and "activate" in events
+
     def test_reload_follows_rollback(self, service):
         assert service.model_version == "v0002"
         service.registry.rollback()
