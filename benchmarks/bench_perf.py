@@ -134,6 +134,78 @@ def bench_train(rng, n_rows: int, n_rounds: int, n_features: int):
     }
 
 
+def bench_train_hist(rng, n_rows: int, n_rounds: int, n_features: int,
+                     quick: bool):
+    """Guard on the histogram training backend's speed *and* fidelity.
+
+    Fits the same synthetic week with ``backend="exact"`` and
+    ``backend="hist"`` and asserts both halves of the tentpole claim:
+
+    * **speed** -- hist must never be slower than exact; the full run
+      additionally enforces the >= 3x end-to-end speedup at the paper's
+      weekly-retrain shape (100K rows x 400 rounds).
+    * **fidelity** -- on distinct-valued data the shared split grid makes
+      both backends scan the same candidate thresholds, so the trained
+      models must agree stump for stump and their margins must match to
+      float-summation noise.
+    """
+    X = _synthetic_matrix(rng, n_rows, n_features)
+    y = (np.where(np.isnan(X[:, 0]), 0.0, X[:, 0])
+         + rng.normal(size=n_rows) > 0).astype(float)
+    exact_cfg = BStumpConfig(n_rounds=n_rounds, calibrate=False,
+                             backend="exact")
+    hist_cfg = BStumpConfig(n_rounds=n_rounds, calibrate=False,
+                            backend="hist")
+
+    # Warm both code paths (allocator, numpy dispatch) off the clock.
+    warm = _synthetic_matrix(rng, 512, 4)
+    warm_y = (rng.random(512) > 0.5).astype(float)
+    BStump(BStumpConfig(n_rounds=3, calibrate=False)).fit(warm, warm_y)
+    BStump(BStumpConfig(n_rounds=3, calibrate=False,
+                        backend="hist")).fit(warm, warm_y)
+
+    exact_time, exact_model = _timed(lambda: BStump(exact_cfg).fit(X, y))
+    hist_time, hist_model = _timed(lambda: BStump(hist_cfg).fit(X, y))
+
+    structural_match = len(exact_model.learners) == len(hist_model.learners) and all(
+        a.stump.feature == b.stump.feature
+        and a.stump.threshold == b.stump.threshold
+        and a.stump.categorical == b.stump.categorical
+        for a, b in zip(exact_model.learners, hist_model.learners)
+    )
+    exact_margin = exact_model.decision_function(X)
+    hist_margin = hist_model.decision_function(X)
+    margin_max_diff = float(np.max(np.abs(exact_margin - hist_margin)))
+    assert margin_max_diff < 1e-6, (
+        f"hist-backend margins diverge from exact by {margin_max_diff:.2e} "
+        f"(structural match: {structural_match})"
+    )
+
+    speedup = exact_time / hist_time
+    min_speedup = 1.0 if quick else 3.0
+    assert speedup >= min_speedup, (
+        f"hist backend only {speedup:.2f}x vs exact "
+        f"({hist_time:.2f}s vs {exact_time:.2f}s); "
+        f"required >= {min_speedup:.1f}x at {n_rows} rows x {n_rounds} rounds"
+    )
+    return {
+        "n_rows": n_rows,
+        "n_rounds_requested": n_rounds,
+        "n_rounds_trained": len(hist_model.learners),
+        "n_features": n_features,
+        "n_bins": hist_cfg.n_bins,
+        "exact_seconds": exact_time,
+        "hist_seconds": hist_time,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "hist_rows_per_sec": n_rows / hist_time,
+        "exact_rows_per_sec": n_rows / exact_time,
+        "margin_max_diff": margin_max_diff,
+        "structural_match": structural_match,
+        "workers": worker_count(),
+    }
+
+
 def _reference_single_feature_ap(train, y_train, test, y_test, n, n_rounds):
     """The pre-optimisation selection sweep, kept as the bench baseline.
 
@@ -309,11 +381,13 @@ def main() -> None:
     if args.quick:
         score_rows, score_rounds, features = 5_000, 60, 20
         train_rows, train_rounds = 2_000, 40
+        hist_rows, hist_rounds = 5_000, 60
         sel_rows, sel_features, sel_rounds = 1_200, 30, 3
         repeats = 1
     else:
         score_rows, score_rounds, features = args.rows, args.rounds, args.features
         train_rows, train_rounds = 20_000, 150
+        hist_rows, hist_rounds = 100_000, 400
         sel_rows, sel_features, sel_rounds = 12_000, 83, 4
         repeats = 3
 
@@ -325,6 +399,8 @@ def main() -> None:
         "workers_env": os.environ.get("REPRO_WORKERS", ""),
         "score": bench_score(rng, score_rows, score_rounds, features, repeats),
         "train": bench_train(rng, train_rows, train_rounds, features),
+        "train_hist": bench_train_hist(rng, hist_rows, hist_rounds, features,
+                                       args.quick),
         "selection": bench_selection(rng, sel_rows, sel_features, sel_rounds,
                                      repeats),
         "obs_overhead": bench_obs_overhead(rng, score_rows, score_rounds,
@@ -338,6 +414,12 @@ def main() -> None:
           f"{score['naive_rows_per_sec']:.0f} rows/s)")
     print(f"train:     {report['train']['rows_per_sec']:.0f} rows/s "
           f"({report['train']['n_rounds_trained']} rounds)")
+    hist = report["train_hist"]
+    print(f"train_hist: {hist['speedup']:.1f}x hist vs exact "
+          f"({hist['hist_rows_per_sec']:.0f} rows/s vs "
+          f"{hist['exact_rows_per_sec']:.0f} rows/s), "
+          f"margin max diff {hist['margin_max_diff']:.1e}, "
+          f"structural match: {hist['structural_match']}")
     print(f"selection: {sel['speedup']:.1f}x batched vs reference "
           f"({sel['speedup_vs_loop']:.1f}x vs current loop), "
           f"scores identical: {sel['scores_identical']}, "

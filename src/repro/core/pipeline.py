@@ -17,7 +17,7 @@ this pipeline shows the end-to-end effect on the ticket stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -213,22 +213,48 @@ class NevermindPipeline:
                 activate=True,
             )
 
-    def train_challenger(self, week: int) -> TicketPredictor:
+    def train_challenger(
+        self,
+        week: int,
+        backend: str | None = None,
+        n_bins: int | None = None,
+    ) -> TicketPredictor:
         """Fit a fresh predictor on data up to ``week`` without serving it.
 
         The active (champion) predictor keeps scoring; the returned
         challenger is the caller's to shadow-evaluate, publish, and --
         only if it passes the promotion gate -- :meth:`adopt`.
+
+        Args:
+            week: last week of training data.
+            backend: optional training-backend override ("exact" or
+                "hist"); ``None`` keeps the configured predictor
+                backend.  The lifecycle controller passes its
+                ``challenger_backend`` here so continuous retrains use
+                the fast histogram path without touching the pipeline's
+                own config.
+            n_bins: optional histogram bin budget override; ``None``
+                keeps the configured value.
         """
-        challenger = TicketPredictor(self.config.predictor)
+        predictor_config = self.config.predictor
+        overrides = {}
+        if backend is not None and backend != predictor_config.backend:
+            overrides["backend"] = backend
+        if n_bins is not None and n_bins != predictor_config.n_bins:
+            overrides["n_bins"] = n_bins
+        if overrides:
+            predictor_config = replace(predictor_config, **overrides)
+        challenger = TicketPredictor(predictor_config)
         split = self._training_split(week)
-        with span("pipeline.train_challenger", week=week), \
+        with span("pipeline.train_challenger", week=week,
+                  backend=predictor_config.backend), \
                 self._stage_seconds.time(stage="train_challenger"):
             challenger.fit(self.simulator.result(), split)
         LOG.info(kv(
             "pipeline.train_challenger",
             week=week,
             features=len(challenger.feature_names),
+            backend=predictor_config.backend,
         ))
         return challenger
 

@@ -32,7 +32,8 @@ from repro.data.joins import LabeledDataset, build_ticket_dataset
 from repro.data.splits import TemporalSplit
 from repro.features.encoding import EncoderConfig, FeatureSet, LineFeatureEncoder
 from repro.features.selection import single_feature_ap
-from repro.ml.boostexter import BStump, BStumpConfig
+from repro.ml.binning import BinnedDataset
+from repro.ml.boostexter import BStump, BStumpConfig, TRAIN_BACKENDS
 from repro.netsim.simulator import SimulationResult
 from repro.obs.tracing import span
 
@@ -69,6 +70,13 @@ class PredictorConfig:
             (history + customer features only).
         min_selected: floor on the number of base features kept, in case a
             threshold filters everything on small simulations.
+        backend: training backend for the selection sweep and the final
+            model -- "exact" (sorted-domain search) or "hist"
+            (histogram-binned; see :mod:`repro.ml.binning`).  Under
+            "hist" each candidate matrix is binned exactly once and the
+            binning is shared between its selection sweep and the final
+            model fit.
+        n_bins: per-feature bin budget of the hist backend.
     """
 
     capacity: int = 400
@@ -82,6 +90,14 @@ class PredictorConfig:
     product_pool: int = 16
     include_derived: bool = True
     min_selected: int = 10
+    backend: str = "exact"
+    n_bins: int = 256
+
+    def __post_init__(self) -> None:
+        if self.backend not in TRAIN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {TRAIN_BACKENDS}, got {self.backend!r}"
+            )
 
 
 @dataclass
@@ -146,10 +162,25 @@ class TicketPredictor:
         self, train: LabeledDataset, selection: LabeledDataset
     ) -> "TicketPredictor":
         cfg = self.config
-        with span("predict.select_base"):
+        hist = cfg.backend == "hist"
+        # Under the hist backend every candidate matrix is quantised once
+        # and the binning is shared: the selection sweep scans its edges,
+        # and the final fit reuses the selected columns' codes -- a full
+        # select-then-train run bins each matrix exactly once.
+        base_binned = (
+            BinnedDataset.from_matrix(
+                train.features.matrix,
+                train.features.categorical,
+                max_bins=cfg.n_bins,
+            )
+            if hist
+            else None
+        )
+        with span("predict.select_base", backend=cfg.backend):
             base_scores = single_feature_ap(
                 train.features, train.y, selection.features, selection.y,
                 cfg.capacity, n_rounds=cfg.selection_rounds,
+                backend=cfg.backend, binned=base_binned,
             )
         self.selection_scores_["base"] = base_scores
         best = float(np.max(base_scores)) if base_scores.size else 0.0
@@ -177,18 +208,39 @@ class TicketPredictor:
             keep = order[:cfg.min_selected]
         self.recipes = _DerivedRecipes(base_indices=[int(i) for i in keep])
 
+        quad_binned = prod_binned = None
+        prod_rows: np.ndarray | None = None
         if cfg.include_derived:
             with span("predict.select_derived"):
-                self._select_derived(train, selection, base_scores)
+                quad_binned, prod_binned, prod_rows = self._select_derived(
+                    train, selection, base_scores, base_binned
+                )
 
-        with span("predict.final_train", rounds=cfg.train_rounds):
+        with span("predict.final_train", rounds=cfg.train_rounds,
+                  backend=cfg.backend):
             X_train = self._assemble(train.features)
             names = self._column_names(train.features)
             self.feature_names = names
             categorical = self._column_categorical(train.features)
-            self.model = BStump(BStumpConfig(n_rounds=cfg.train_rounds)).fit(
-                X_train, train.y, categorical=categorical
-            )
+            binned_final = None
+            if hist:
+                # Reassemble the final training columns from the
+                # selection-time binnings instead of re-binning: the
+                # assembled matrix's columns are (by construction) the
+                # same value columns the candidate binnings quantised.
+                parts = [base_binned.select(self.recipes.base_indices)]
+                if self.recipes.quad_indices and quad_binned is not None:
+                    parts.append(quad_binned.select(self.recipes.quad_indices))
+                if self.recipes.product_pairs and prod_binned is not None:
+                    parts.append(prod_binned.select(prod_rows))
+                binned_final = BinnedDataset.hstack(parts)
+            self.model = BStump(
+                BStumpConfig(
+                    n_rounds=cfg.train_rounds,
+                    backend=cfg.backend,
+                    n_bins=cfg.n_bins,
+                )
+            ).fit(X_train, train.y, categorical=categorical, binned=binned_final)
         return self
 
     def _select_derived(
@@ -196,9 +248,17 @@ class TicketPredictor:
         train: LabeledDataset,
         selection: LabeledDataset,
         base_scores: np.ndarray,
-    ) -> None:
-        """Score and select quadratic and product candidates (Fig 4 b/c)."""
+        base_binned: BinnedDataset | None = None,
+    ) -> tuple[BinnedDataset | None, BinnedDataset | None, np.ndarray | None]:
+        """Score and select quadratic and product candidates (Fig 4 b/c).
+
+        Returns the candidate binnings (hist backend only, else None) so
+        the final fit can reuse them: the quadratic candidates' binning,
+        the product candidates' binning, and the selected product rows
+        within it.
+        """
         cfg = self.config
+        hist = base_binned is not None
         base_train = train.features
         base_sel = selection.features
         n_base = base_train.n_features
@@ -216,9 +276,17 @@ class TicketPredictor:
             groups=quad_train.groups,
             categorical=quad_train.categorical,
         )
+        quad_binned = (
+            BinnedDataset.from_matrix(
+                quad_train.matrix, quad_train.categorical, max_bins=cfg.n_bins
+            )
+            if hist
+            else None
+        )
         quad_scores = single_feature_ap(
             quad_train, train.y, quad_sel, selection.y,
             cfg.capacity, n_rounds=cfg.selection_rounds,
+            backend=cfg.backend, binned=quad_binned,
         )
         self.selection_scores_["quadratic"] = quad_scores
         self.recipes.quad_indices = [
@@ -235,7 +303,7 @@ class TicketPredictor:
         ]
         if not pairs:
             self.selection_scores_["product"] = np.empty(0)
-            return
+            return quad_binned, None, None
         prod_train_matrix = np.column_stack(
             [base_train.matrix[:, i] * base_train.matrix[:, j] for i, j in pairs]
         )
@@ -254,15 +322,22 @@ class TicketPredictor:
             matrix=prod_sel_matrix, names=prod_names,
             groups=prod_train.groups, categorical=prod_train.categorical,
         )
+        prod_binned = (
+            BinnedDataset.from_matrix(
+                prod_train.matrix, prod_train.categorical, max_bins=cfg.n_bins
+            )
+            if hist
+            else None
+        )
         prod_scores = single_feature_ap(
             prod_train, train.y, prod_sel, selection.y,
             cfg.capacity, n_rounds=cfg.selection_rounds,
+            backend=cfg.backend, binned=prod_binned,
         )
         self.selection_scores_["product"] = prod_scores
-        self.recipes.product_pairs = [
-            pairs[i]
-            for i in np.flatnonzero(prod_scores > self._thresholds["product"])
-        ]
+        prod_rows = np.flatnonzero(prod_scores > self._thresholds["product"])
+        self.recipes.product_pairs = [pairs[i] for i in prod_rows]
+        return quad_binned, prod_binned, prod_rows
 
     # ----- column assembly ------------------------------------------------
 

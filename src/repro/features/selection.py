@@ -41,8 +41,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.features.encoding import FeatureSet
-from repro.features.sweep import sweep_chunk_margins
-from repro.ml.boostexter import BStump, BStumpConfig
+from repro.features.sweep import hist_sweep_chunk_margins, sweep_chunk_margins
+from repro.ml.binning import BinnedDataset
+from repro.ml.boostexter import BStump, BStumpConfig, TRAIN_BACKENDS
 from repro.ml.metrics import auc, average_precision, entropy, top_n_average_precision
 from repro.ml.pca import PCA
 from repro.obs.metrics import get_registry
@@ -168,6 +169,8 @@ def single_feature_ap(
     n_rounds: int = 4,
     batched: bool = True,
     workers: int | None = None,
+    backend: str = "exact",
+    binned: BinnedDataset | None = None,
 ) -> np.ndarray:
     """AP(N) of a single-feature BStump predictor, per candidate feature.
 
@@ -192,9 +195,23 @@ def single_feature_ap(
             loop, kept as the reference implementation.
         workers: parallel fan-out of the sweep; ``None`` reads
             ``REPRO_WORKERS`` (default serial).
+        backend: "exact" runs the sorted-domain sweep, "hist" the
+            histogram-binned one (see
+            :class:`~repro.features.sweep.HistColumnSweep`), which scans
+            the shared binning's edges instead of re-sorting every chunk.
+            Batched continuous columns only; the categorical and loop
+            paths are exact either way.
+        binned: pre-binned ``train`` matrix for the hist backend.  Pass
+            the binning the final training fit will reuse so a full
+            select-then-train run quantises the matrix exactly once;
+            ``None`` bins here on demand.
     """
     if train.n_features != test.n_features:
         raise ValueError("train and test feature sets must align")
+    if backend not in TRAIN_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {TRAIN_BACKENDS}, got {backend!r}"
+        )
     y_train = np.asarray(y_train)
     y_test = np.asarray(y_test)
     n_features = train.n_features
@@ -227,10 +244,25 @@ def single_feature_ap(
                 cont_cols[i : i + _BATCH_CHUNK_COLUMNS]
                 for i in range(0, cont_cols.size, _BATCH_CHUNK_COLUMNS)
             ]
-            chunk_margins = parallel_map(
-                lambda cols: _boost_columns_chunk(
+            if backend == "hist":
+                if binned is None:
+                    binned = BinnedDataset.from_matrix(
+                        train.matrix, train.categorical
+                    )
+                chunk_fn = lambda cols: hist_sweep_chunk_margins(  # noqa: E731
+                    binned.select(cols),
+                    y_signed,
+                    test.matrix.T[cols],
+                    config.n_rounds,
+                    config.early_stop_z,
+                    config.missing_policy,
+                )
+            else:
+                chunk_fn = lambda cols: _boost_columns_chunk(  # noqa: E731
                     train.matrix.T[cols], y_signed, test.matrix.T[cols], config
-                ),
+                )
+            chunk_margins = parallel_map(
+                chunk_fn,
                 chunks,
                 workers=workers,
                 task_label="select.chunk",
@@ -419,6 +451,8 @@ def select_features_top_n_ap(
     n_rounds: int = 12,
     batched: bool = True,
     workers: int | None = None,
+    backend: str = "exact",
+    binned: BinnedDataset | None = None,
 ) -> SelectionResult:
     """The paper's top-N average-precision feature selection.
 
@@ -431,10 +465,11 @@ def select_features_top_n_ap(
         top_k: alternatively keep the best k features regardless of
             family thresholds (used for the Fig-6 comparison at 50).
         n_rounds: boosting rounds of the single-feature predictors.
-        batched, workers: see :func:`single_feature_ap`.
+        batched, workers, backend, binned: see :func:`single_feature_ap`.
     """
     scores = single_feature_ap(
-        train, y_train, test, y_test, n, n_rounds, batched=batched, workers=workers
+        train, y_train, test, y_test, n, n_rounds, batched=batched,
+        workers=workers, backend=backend, binned=binned,
     )
     order = np.argsort(-scores, kind="stable")
     if top_k is not None:

@@ -52,9 +52,16 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.ml.binning import BinnedDataset
 from repro.ml.stumps import _EPS_SCALE
 
-__all__ = ["ColumnSweep", "SweepRound", "sweep_chunk_margins"]
+__all__ = [
+    "ColumnSweep",
+    "SweepRound",
+    "sweep_chunk_margins",
+    "HistColumnSweep",
+    "hist_sweep_chunk_margins",
+]
 
 
 class SweepRound(NamedTuple):
@@ -376,6 +383,219 @@ def sweep_chunk_margins(
         # The loop path checks the weight total after each update and
         # stops before the next stump; the raw total of this round's
         # statistics is that same quantity, one round later.
+        if t > 0:
+            with np.errstate(invalid="ignore"):
+                active &= np.isfinite(rr.raw_total) & (rr.raw_total > 0)
+            active &= rr.z < early_stop_z
+        if not np.any(active):
+            break
+        rounds.append(rr)
+        n_stumps[active] += 1
+        if t == n_rounds - 1:
+            break
+        sweep.update(rr, active)
+
+    return _fold_test_margins(rounds, n_stumps, X_test_t)
+
+
+class HistColumnSweep:
+    """Histogram-domain sweep over a chunk of pre-binned columns.
+
+    The single-feature boosting recurrence collapses even further on a
+    binned column than on a sorted one: with uniform initial weights, a
+    row's weight depends only on its (bin, class) trajectory -- every row
+    of the same class in the same bin always receives the same stump
+    output -- so the whole AdaBoost state is one weight scalar per
+    (column, bin, class).  Rounds then cost O(bins) per column with *no*
+    per-row work at all: the per-class bin weights start as
+    ``count / n``, candidate statistics are prefix sums over at most
+    ``max_bins`` bins, and the weight update is an elementwise multiply
+    of the (columns, bins) weight tables.
+
+    Candidate thresholds are the shared :class:`BinnedDataset`'s bin
+    edges, so a select-then-train run scans the same split set during
+    selection as the hist training backend does afterwards -- and bins the
+    feature matrix exactly once for both.
+    """
+
+    def __init__(
+        self,
+        binned: BinnedDataset,
+        y_signed: np.ndarray,
+        missing_policy: str = "score",
+    ):
+        """Args:
+            binned: pre-binned chunk; every column must be continuous.
+            y_signed: labels in {-1, +1}.
+            missing_policy: "score" or "abstain", as in StumpSearch.
+        """
+        if bool(np.any(binned.categorical)):
+            raise ValueError("HistColumnSweep handles continuous columns only")
+        C = binned.n_features
+        n = binned.n_rows
+        self.n = n
+        self.n_cols = C
+        self.eps = _EPS_SCALE / n
+        self.missing_policy = missing_policy
+        self.binned = binned
+
+        nvb = binned.n_value_bins.astype(np.int64)
+        W = int(nvb.max()) + 1  # value bins + missing bin
+        self._nvb = nvb
+        self._W = W
+        self._rows = np.arange(C)
+        # Candidate boundary k (split below bin k) is valid for 0..nvb[c].
+        self._invalid = np.arange(W)[None, :] > nvb[:, None]
+
+        pos = y_signed > 0
+        counts_pos = np.zeros((C, W))
+        counts_neg = np.zeros((C, W))
+        for c in range(C):
+            counts_pos[c] = np.bincount(binned.codes[c][pos], minlength=W)
+            counts_neg[c] = np.bincount(binned.codes[c][~pos], minlength=W)
+        # Raw (unnormalised) per-bin class weights; normalisation is a
+        # per-column scalar, as in ColumnSweep.
+        self._w_pos = counts_pos / n
+        self._w_neg = counts_neg / n
+
+    def round(self, normalize: bool) -> SweepRound:
+        """Best stump per column under the current per-bin weights.
+
+        Mirrors :meth:`ColumnSweep.round` semantics (same normalisation
+        folding, same missing-block terms, same first-lowest-boundary
+        tie-break) with boundary statistics read off per-bin prefix sums.
+        """
+        C, W = self.n_cols, self._W
+        rows = self._rows
+        nvb = self._nvb
+        wp = self._w_pos
+        wn = self._w_neg
+
+        wp_miss_raw = wp[rows, nvb]
+        wn_miss_raw = wn[rows, nvb]
+        # Prefix mass strictly below each candidate boundary, value bins
+        # only (the missing bin sits at nvb[c] and is masked per column).
+        value_mask = ~self._invalid.copy()
+        value_mask[rows, nvb] = False
+        wp_lo = np.zeros((C, W))
+        wn_lo = np.zeros((C, W))
+        np.cumsum(np.where(value_mask, wp, 0.0)[:, :-1], axis=1, out=wp_lo[:, 1:])
+        np.cumsum(np.where(value_mask, wn, 0.0)[:, :-1], axis=1, out=wn_lo[:, 1:])
+        present_pos = wp_lo[rows, nvb]
+        present_neg = wn_lo[rows, nvb]
+        raw_total = present_pos + present_neg + wp_miss_raw + wn_miss_raw
+
+        if normalize:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                inv = np.where(raw_total > 0, 1.0 / raw_total, 1.0)
+        else:
+            inv = np.ones(C)
+
+        wp_miss = np.clip(wp_miss_raw * inv, 0.0, None)
+        wn_miss = np.clip(wn_miss_raw * inv, 0.0, None)
+        z_miss, s_miss = self._missing_terms(wp_miss, wn_miss)
+
+        wp_lo *= inv[:, None]
+        wn_lo *= inv[:, None]
+        wp_hi = np.clip((present_pos * inv)[:, None] - wp_lo, 0.0, None)
+        wn_hi = np.clip((present_neg * inv)[:, None] - wn_lo, 0.0, None)
+
+        z = 2.0 * (np.sqrt(wp_lo * wn_lo) + np.sqrt(wp_hi * wn_hi)) + z_miss[:, None]
+        z[self._invalid] = np.inf
+
+        best = np.argmin(z, axis=1)
+        eps = self.eps
+        s_lo = 0.5 * np.log((wp_lo[rows, best] + eps) / (wn_lo[rows, best] + eps))
+        s_hi = 0.5 * np.log((wp_hi[rows, best] + eps) / (wn_hi[rows, best] + eps))
+        threshold = np.empty(C)
+        for c in range(C):
+            k = int(best[c])
+            if k == 0:
+                threshold[c] = -np.inf
+            elif k >= int(nvb[c]):
+                threshold[c] = np.inf
+            else:
+                threshold[c] = float(self.binned.edges[c][k - 1])
+        # Bin membership and the stump test are the same ``x >= edge``
+        # comparison, so the per-bin boundary always matches the
+        # threshold; below_pos/below_neg are unused by the hist update.
+        return SweepRound(
+            threshold=threshold,
+            s_lo=s_lo,
+            s_hi=s_hi,
+            s_miss=s_miss,
+            z=z[rows, best],
+            raw_total=raw_total,
+            below_pos=best,
+            below_neg=best,
+            boundary_exact=np.ones(C, dtype=bool),
+        )
+
+    def _missing_terms(self, wp_miss, wn_miss):
+        if self.missing_policy == "score":
+            z_miss = 2.0 * np.sqrt(np.clip(wp_miss * wn_miss, 0.0, None))
+            s_miss = 0.5 * np.log((wp_miss + self.eps) / (wn_miss + self.eps))
+            s_miss = np.where(wp_miss + wn_miss > 0, s_miss, 0.0)
+        else:
+            z_miss = wp_miss + wn_miss
+            s_miss = np.zeros_like(wp_miss)
+        return z_miss, s_miss
+
+    def update(self, rr: SweepRound, active: np.ndarray) -> None:
+        """Apply ``w *= exp(-y * h)`` on the per-bin weight tables.
+
+        The stump output is constant per bin, so the update is one
+        ``exp`` over the (columns, bins) score table and two elementwise
+        multiplies -- no row-domain work.
+        """
+        C, W = self.n_cols, self._W
+        rows = self._rows
+        below = np.arange(W)[None, :] < rr.below_pos[:, None]
+        scores = np.where(below, rr.s_lo[:, None], rr.s_hi[:, None])
+        scores[rows, self._nvb] = rr.s_miss
+        scores[~active] = 0.0
+        factor = np.exp(-scores)
+        self._w_pos *= factor
+        self._w_neg /= factor
+
+
+def hist_sweep_chunk_margins(
+    binned: BinnedDataset,
+    y_signed: np.ndarray,
+    X_test_t: np.ndarray,
+    n_rounds: int,
+    early_stop_z: float,
+    missing_policy: str = "score",
+) -> np.ndarray:
+    """Hist-backend margins of per-column single-feature models.
+
+    The binned counterpart of :func:`sweep_chunk_margins`: same boosting
+    recurrence, early stopping and degenerate-weight guard, with round
+    statistics taken from per-bin weights instead of sorted prefix sums,
+    and test margins through the same :func:`_fold_test_margins` replica
+    of the compiled scorer.
+
+    Args:
+        binned: pre-binned training chunk (continuous columns only),
+            column-aligned with ``X_test_t``.
+        y_signed: training labels in {-1, +1}.
+        X_test_t: (n_cols, n_test) raw test chunk, transposed.
+        n_rounds: boosting rounds per column.
+        early_stop_z: stop a column once its best Z reaches this value
+            (after the first round).
+        missing_policy: stump-search missing policy.
+
+    Returns:
+        (n_cols, n_test) margin matrix, one row per column.
+    """
+    C = binned.n_features
+    sweep = HistColumnSweep(binned, y_signed, missing_policy)
+
+    active = np.ones(C, dtype=bool)
+    rounds: list[SweepRound] = []
+    n_stumps = np.zeros(C, dtype=np.intp)
+    for t in range(n_rounds):
+        rr = sweep.round(normalize=t > 0)
         if t > 0:
             with np.errstate(invalid="ignore"):
                 active &= np.isfinite(rr.raw_total) & (rr.raw_total > 0)

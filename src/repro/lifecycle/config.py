@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any
 
+from repro.ml.boostexter import TRAIN_BACKENDS
+
 __all__ = ["LifecycleConfig"]
 
 
@@ -45,6 +47,12 @@ class LifecycleConfig:
             promotion-time baseline.
         watchdog_patience: consecutive strikes before automatic rollback.
         seed: bootstrap RNG seed (decisions must be reproducible).
+        challenger_backend: stump-search backend for challenger retrains
+            ("hist" by default: lifecycle retrains happen on the weekly
+            serving path, where the histogram backend's speed matters
+            most; the shadow gate judges the result either way).
+        challenger_bins: histogram bin budget for challenger retrains
+            (ignored by the exact backend).
     """
 
     cadence_weeks: int = 4
@@ -60,6 +68,8 @@ class LifecycleConfig:
     watchdog_drop: float = 0.4
     watchdog_patience: int = 2
     seed: int = 2010
+    challenger_backend: str = "hist"
+    challenger_bins: int = 256
 
     def __post_init__(self) -> None:
         if self.cadence_weeks < 0:
@@ -76,6 +86,13 @@ class LifecycleConfig:
             raise ValueError("bootstrap_samples must be >= 1")
         if self.non_inferiority_margin < 0:
             raise ValueError("non_inferiority_margin must be >= 0")
+        if self.challenger_backend not in TRAIN_BACKENDS:
+            raise ValueError(
+                f"challenger_backend must be one of {TRAIN_BACKENDS}, "
+                f"got {self.challenger_backend!r}"
+            )
+        if self.challenger_bins < 2:
+            raise ValueError("challenger_bins must be >= 2")
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

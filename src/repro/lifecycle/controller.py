@@ -197,14 +197,26 @@ class LifecycleController:
     # ----- retrain -> shadow -> gate --------------------------------------
 
     def _retrain_cycle(self, week: int, decision: RetrainDecision) -> None:
-        factory = self.challenger_factory or self.pipeline.train_challenger
-        challenger = factory(week)
+        if self.challenger_factory is not None:
+            # Custom factories keep their one-argument signature and own
+            # their backend choice; record what the trained model reports.
+            challenger = self.challenger_factory(week)
+        else:
+            challenger = self.pipeline.train_challenger(
+                week,
+                backend=self.config.challenger_backend,
+                n_bins=self.config.challenger_bins,
+            )
+        backend = challenger.config.backend
+        n_bins = challenger.config.n_bins
         challenger_bundle = ModelBundle(
             predictor=challenger,
             meta={
                 "trained_week": week,
                 "trigger": decision.reason,
                 "lifecycle": True,
+                "backend": backend,
+                "n_bins": n_bins,
             },
         )
         version = self.registry.publish(challenger_bundle, activate=False)
@@ -215,10 +227,12 @@ class LifecycleController:
             detail=decision.detail,
             challenger_version=version,
             champion_version=self.champion_version,
+            backend=backend,
+            n_bins=n_bins,
         )
         LOG.info(kv(
             "lifecycle.retrain", week=week, reason=decision.reason,
-            challenger=version,
+            challenger=version, backend=backend,
         ))
 
         shadow = self._shadow_evaluate(week, challenger_bundle)

@@ -85,6 +85,12 @@ def bstump_to_dict(model: BStump) -> dict[str, Any]:
             "calibrate": model.config.calibrate,
             "missing_policy": model.config.missing_policy,
             "max_split_points": model.config.max_split_points,
+            # Training provenance: a promoted model's bundle records which
+            # backend and bin budget produced it, so a retrain can
+            # reproduce it.  Payloads written before these fields existed
+            # load as backend="exact" via the dataclass defaults.
+            "backend": model.config.backend,
+            "n_bins": model.config.n_bins,
         },
         "n_features": model.n_features_,
         "learners": [
