@@ -7,6 +7,10 @@ Measures the three hot paths this repo optimises and writes the numbers
   naive scorer on a deep synthetic ensemble (default 100K rows x 400
   rounds, the Fig-3 weekly-scoring shape), asserting the margins agree.
 * **train** -- ``BStump.fit`` throughput in rows/sec.
+* **train_locator** -- the full Section-6 combined-locator fit (52
+  disposition heads + 4 location heads + CV-fold refits) unified on one
+  shared ``BinnedDataset`` vs per-head exact, asserting the unified fit
+  is faster and produces identical ranked disposition lists.
 * **selection** -- the batched single-feature sweep on a Fig-4-shaped
   workload (83 candidate features) against two baselines: the
   pre-optimisation reference (a per-column ``BStump`` fit plus the scalar
@@ -206,6 +210,145 @@ def bench_train_hist(rng, n_rows: int, n_rounds: int, n_features: int,
     }
 
 
+def _synthetic_locator_dataset(rng, n_rows: int, n_features: int):
+    """A quantised Section-6 dispatch set shaped for backend parity.
+
+    Features take ~49 distinct integer-grid values, so the histogram
+    edges (distinct-value midpoints under the bin budget) coincide with
+    the uncapped exact backend's candidate grid and every CV-fold subset
+    sees the full value set -- the regime in which the two backends scan
+    identical thresholds and must train identical heads.  The label
+    signal is kept deliberately weak: near-perfect separation makes
+    unrelated features tie on the same split partition, and the
+    ~1e-16 summation-noise tie-break then differs per backend (see
+    ``tests/test_locator_unified.py``).
+    """
+    from repro.data.joins import LocatorDataset
+    from repro.netsim.components import disposition_arrays
+
+    from repro.core.locator import N_DISPOSITIONS
+
+    # Per-feature *uniform* integer grids at staggered sizes: every value
+    # carries >= 1/18 of the mass, so each CV-fold subset contains the
+    # full value set (the fold-refit half of the parity regime), and no
+    # split isolates a near-empty side (the degenerate partitions behind
+    # cross-feature Z ties).
+    n_values = 6 + 2 * (np.arange(n_features) % 7)
+    X = np.floor(rng.random((n_rows, n_features)) * n_values)
+    # Every feature is informative for every code at a distinct strength:
+    # each boosting round then has a decisive winner instead of a pack of
+    # equally useless noise features.
+    prior = 1.0 / np.sqrt(np.arange(2, N_DISPOSITIONS + 2, dtype=float))
+    prior /= prior.sum()
+    weights = rng.normal(size=(n_features, N_DISPOSITIONS))
+    logits = (2.0 * X / (n_values - 1.0) - 1.0) @ weights
+    gumbel = -np.log(-np.log(rng.random((n_rows, N_DISPOSITIONS))))
+    disposition = np.argmax(np.log(prior) + 0.8 * logits + gumbel, axis=1)
+    location = disposition_arrays().location[disposition]
+    features = FeatureSet(
+        matrix=X,
+        names=[f"f{i}" for i in range(n_features)],
+        groups=["default"] * n_features,
+        categorical=np.zeros(n_features, dtype=bool),
+    )
+    return LocatorDataset(
+        features=features,
+        disposition=disposition,
+        location=location.astype(int),
+        line_ids=np.arange(n_rows),
+        ticket_days=np.zeros(n_rows, dtype=int),
+    )
+
+
+def bench_train_locator(rng, n_rows: int, n_rounds: int, n_features: int,
+                        folds: int, quick: bool):
+    """Guard on the unified multi-head locator fit's speed *and* fidelity.
+
+    Trains the full Section-6 combined locator -- 52 disposition heads,
+    4 major-location heads, and every CV-fold refit -- twice on the same
+    synthetic dispatch set: per-head exact (each of the (folds+1) x 56
+    fits re-sorting its own rows, the pre-unification path) and unified
+    hist (one shared :class:`BinnedDataset`, fold refits reusing row
+    subsets of its codes).  Asserts both halves of the tentpole claim:
+
+    * **speed** -- unified-hist must never be slower than per-head exact;
+      the full run enforces the >= 3x end-to-end locator-fit speedup.
+    * **fidelity** -- on the quantised dataset both backends scan the
+      same candidate grids, so the flat margins must agree to
+      float-summation noise and the *ranked disposition lists* -- the
+      artefact handed to the technician -- must be identical row for row.
+    """
+    from repro.core.locator import CombinedLocator, LocatorConfig
+
+    train = _synthetic_locator_dataset(rng, n_rows, n_features)
+    eval_X = _synthetic_locator_dataset(
+        rng, max(512, n_rows // 4), n_features
+    ).features.matrix
+    # max_split_points = n+1 keeps the exact candidate grid uncapped so
+    # its thresholds coincide with the shared histogram edges.
+    exact_cfg = LocatorConfig(n_rounds=n_rounds, cv_folds=folds,
+                              backend="exact", max_split_points=n_rows + 1)
+    hist_cfg = LocatorConfig(n_rounds=n_rounds, cv_folds=folds,
+                             backend="hist", max_split_points=n_rows + 1)
+
+    # Warm both code paths (allocator, numpy dispatch) off the clock.
+    warm = _synthetic_locator_dataset(rng, 256, 4)
+    CombinedLocator(LocatorConfig(n_rounds=2, cv_folds=2,
+                                  backend="exact")).fit(warm)
+    CombinedLocator(LocatorConfig(n_rounds=2, cv_folds=2,
+                                  backend="hist")).fit(warm)
+
+    exact_time, exact_model = _timed(
+        lambda: CombinedLocator(exact_cfg).fit(train)
+    )
+    hist_time, hist_model = _timed(
+        lambda: CombinedLocator(hist_cfg).fit(train)
+    )
+
+    margin_max_diff = float(np.max(np.abs(
+        exact_model.flat.decision_matrix(eval_X)
+        - hist_model.flat.decision_matrix(eval_X)
+    )))
+    assert margin_max_diff < 1e-6, (
+        f"unified-hist flat margins diverge from per-head exact by "
+        f"{margin_max_diff:.2e}"
+    )
+    exact_rank = np.argsort(-exact_model.predict_proba(eval_X), axis=1,
+                            kind="stable")
+    hist_rank = np.argsort(-hist_model.predict_proba(eval_X), axis=1,
+                           kind="stable")
+    ranked_lists_identical = bool(np.array_equal(exact_rank, hist_rank))
+    assert ranked_lists_identical, (
+        "unified-hist locator ranks dispositions differently from "
+        f"per-head exact on {np.sum(np.any(exact_rank != hist_rank, axis=1))}"
+        f"/{eval_X.shape[0]} held-out rows"
+    )
+
+    speedup = exact_time / hist_time
+    min_speedup = 1.0 if quick else 3.0
+    assert speedup >= min_speedup, (
+        f"unified-hist locator fit only {speedup:.2f}x vs per-head exact "
+        f"({hist_time:.2f}s vs {exact_time:.2f}s); required >= "
+        f"{min_speedup:.1f}x at {n_rows} rows x {n_rounds} rounds "
+        f"x {folds} folds"
+    )
+    return {
+        "n_rows": n_rows,
+        "n_rounds": n_rounds,
+        "n_features": n_features,
+        "cv_folds": folds,
+        "n_heads_trained": len(hist_model.flat.models_)
+        + len(hist_model.location_models_),
+        "exact_seconds": exact_time,
+        "hist_seconds": hist_time,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "margin_max_diff": margin_max_diff,
+        "ranked_lists_identical": ranked_lists_identical,
+        "workers": worker_count(),
+    }
+
+
 def _reference_single_feature_ap(train, y_train, test, y_test, n, n_rounds):
     """The pre-optimisation selection sweep, kept as the bench baseline.
 
@@ -382,12 +525,14 @@ def main() -> None:
         score_rows, score_rounds, features = 5_000, 60, 20
         train_rows, train_rounds = 2_000, 40
         hist_rows, hist_rounds = 5_000, 60
+        loc_rows, loc_rounds, loc_features, loc_folds = 1_200, 8, 12, 2
         sel_rows, sel_features, sel_rounds = 1_200, 30, 3
         repeats = 1
     else:
         score_rows, score_rounds, features = args.rows, args.rounds, args.features
         train_rows, train_rounds = 20_000, 150
         hist_rows, hist_rounds = 100_000, 400
+        loc_rows, loc_rounds, loc_features, loc_folds = 12_000, 40, 24, 3
         sel_rows, sel_features, sel_rounds = 12_000, 83, 4
         repeats = 3
 
@@ -401,6 +546,9 @@ def main() -> None:
         "train": bench_train(rng, train_rows, train_rounds, features),
         "train_hist": bench_train_hist(rng, hist_rows, hist_rounds, features,
                                        args.quick),
+        "train_locator": bench_train_locator(rng, loc_rows, loc_rounds,
+                                             loc_features, loc_folds,
+                                             args.quick),
         "selection": bench_selection(rng, sel_rows, sel_features, sel_rounds,
                                      repeats),
         "obs_overhead": bench_obs_overhead(rng, score_rows, score_rounds,
@@ -420,6 +568,12 @@ def main() -> None:
           f"{hist['exact_rows_per_sec']:.0f} rows/s), "
           f"margin max diff {hist['margin_max_diff']:.1e}, "
           f"structural match: {hist['structural_match']}")
+    loc = report["train_locator"]
+    print(f"train_locator: {loc['speedup']:.1f}x unified-hist vs per-head "
+          f"exact ({loc['hist_seconds']:.2f}s vs {loc['exact_seconds']:.2f}s "
+          f"for {loc['n_heads_trained']} heads x {loc['cv_folds']}+1 fits), "
+          f"margin max diff {loc['margin_max_diff']:.1e}, "
+          f"ranked lists identical: {loc['ranked_lists_identical']}")
     print(f"selection: {sel['speedup']:.1f}x batched vs reference "
           f"({sel['speedup_vs_loop']:.1f}x vs current loop), "
           f"scores identical: {sel['scores_identical']}, "

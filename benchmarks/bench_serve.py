@@ -15,6 +15,10 @@ path at deployment-like scale and writes the numbers to
   steady-state number is the headline ``lines_per_sec``, matching the
   deployment loop where weekly appends keep the store pages resident;
 * **dispatch** -- cutting the capacity-bounded top-N list.
+* **locate** -- Section-6 ranked-disposition lookups through the stacked
+  multi-head locator scorer: one-at-a-time ``locate`` calls vs a single
+  ``locate_batch`` pass over the same lines, with rankings asserted
+  identical.
 
 The scored margins are asserted bit-identical to an unsharded in-memory
 pass over the same assembled matrix, so the speed being measured is the
@@ -132,6 +136,60 @@ def _synthetic_bundle(rng, encoder, n_rounds: int, capacity: int) -> ModelBundle
     return ModelBundle(predictor=predictor, meta={"synthetic": True})
 
 
+def _synthetic_locator(rng, n_features: int, n_rounds: int):
+    """A fitted-looking Section-6 combined locator, no fit paid.
+
+    52 disposition heads + 4 location heads of random stumps over the
+    encoded base columns, uniform Platt calibrators, and mild Eq.-2
+    blends -- enough structure to exercise the real stacked multi-head
+    scoring path end to end.
+    """
+    from repro.core.locator import (
+        N_DISPOSITIONS,
+        N_LOCATIONS,
+        CombinedLocator,
+        LocatorConfig,
+    )
+
+    def _head(rounds: int) -> BStump:
+        model = BStump(BStumpConfig(n_rounds=rounds, calibrate=False))
+        model.n_features_ = n_features
+        model.learners = [
+            WeakLearner(
+                stump=Stump(
+                    feature=int(rng.integers(n_features)),
+                    threshold=float(rng.normal(loc=10.0, scale=4.0)),
+                    s_lo=float(rng.normal(scale=0.1)),
+                    s_hi=float(rng.normal(scale=0.1)),
+                    s_miss=float(rng.normal(scale=0.05)),
+                    categorical=False,
+                    z=1.0,
+                ),
+                round_index=r,
+                z=1.0,
+            )
+            for r in range(rounds)
+        ]
+        model.train_z_ = [1.0] * rounds
+        return model
+
+    locator = CombinedLocator(LocatorConfig(n_rounds=n_rounds))
+    flat = locator.flat
+    prior = rng.random(N_DISPOSITIONS) + 0.1
+    flat.prior_ = prior / prior.sum()
+    for code in range(N_DISPOSITIONS):
+        flat.models_[code] = _head(n_rounds)
+        calibrator = PlattCalibrator()
+        calibrator.a = -1.0
+        calibrator.b = 0.0
+        calibrator.fitted_ = True
+        flat.calibrators_[code] = calibrator
+        locator.blend_[code] = (1.0, 0.5, float(rng.normal(scale=0.1)))
+    for loc in range(N_LOCATIONS):
+        locator.location_models_[loc] = _head(n_rounds)
+    return locator
+
+
 def bench_serve(n_lines: int, n_weeks: int, n_rounds: int, shard_size: int,
                 workers: int | None):
     rng = np.random.default_rng(20100802)
@@ -178,6 +236,27 @@ def bench_serve(n_lines: int, n_weeks: int, n_rounds: int, shard_size: int,
         reference = bundle.predictor.score_features(base)
         parity = bool(np.array_equal(cold.scores, reference))
 
+        # Locate throughput: N technician lookups one at a time vs one
+        # batched multi-head pass over the same lines.  The first call
+        # pays the multi-head compile and base-feature encode off the
+        # clock; rankings must agree exactly.
+        bundle.locator = _synthetic_locator(
+            rng, base.matrix.shape[1], n_rounds
+        )
+        locate_ids = [
+            int(i) for i in rng.integers(0, n_lines, size=min(200, n_lines))
+        ]
+        engine.locate(target, locate_ids[0])  # warm: compile + encode
+        single_start = time.perf_counter()
+        single_rankings = [
+            engine.locate(target, line_id) for line_id in locate_ids
+        ]
+        locate_single_seconds = time.perf_counter() - single_start
+        batch_start = time.perf_counter()
+        batch_rankings = engine.locate_batch(target, locate_ids)
+        locate_batch_seconds = time.perf_counter() - batch_start
+        locate_parity = batch_rankings == single_rankings
+
     return {
         "n_lines": n_lines,
         "n_weeks": n_weeks,
@@ -195,6 +274,13 @@ def bench_serve(n_lines: int, n_weeks: int, n_rounds: int, shard_size: int,
         "dispatch_size": len(dispatch),
         "lines_per_sec": n_lines / warm_seconds,
         "parity_with_batch_scorer": parity,
+        "locate_lines": len(locate_ids),
+        "locate_single_seconds": locate_single_seconds,
+        "locate_batch_seconds": locate_batch_seconds,
+        "locate_single_lines_per_sec": len(locate_ids) / locate_single_seconds,
+        "locate_batch_lines_per_sec": len(locate_ids) / locate_batch_seconds,
+        "locate_batch_speedup": locate_single_seconds / locate_batch_seconds,
+        "locate_parity": locate_parity,
     }
 
 
@@ -244,6 +330,11 @@ def main() -> None:
           f"(best of 3 full passes, {serve['score_seconds_best']:.3f}s)")
     print(f"dispatch: top-{serve['dispatch_size']} "
           f"in {serve['dispatch_seconds'] * 1e3:.1f} ms")
+    print(f"locate:   {serve['locate_batch_lines_per_sec']:.0f} lines/s "
+          f"batched vs {serve['locate_single_lines_per_sec']:.0f} lines/s "
+          f"one-at-a-time ({serve['locate_batch_speedup']:.1f}x over "
+          f"{serve['locate_lines']} lines), "
+          f"rankings identical: {serve['locate_parity']}")
     print(f"parity with batch scorer: {serve['parity_with_batch_scorer']}")
     print(f"wrote {args.output}")
 

@@ -34,8 +34,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.joins import LocatorDataset
-from repro.ml.boostexter import BStump, BStumpConfig
+from repro.ml.binning import BinnedDataset
+from repro.ml.boostexter import TRAIN_BACKENDS, BStump, BStumpConfig
 from repro.ml.calibration import PlattCalibrator
+from repro.ml.ensemble_scoring import MultiHeadEnsemble, compile_multihead
 from repro.ml.logistic import fit_logistic_regression
 from repro.netsim.components import DISPOSITIONS, disposition_arrays
 from repro.parallel import parallel_map
@@ -71,6 +73,17 @@ class LocatorConfig:
             one-vs-rest models have memorised their training rows); ranking
             52 classes against each other requires honest confidences.
         cv_seed: fold-assignment seed.
+        backend: stump-search backend for every one-vs-rest head.
+            "hist" (default) quantises the training matrix into one
+            shared :class:`~repro.ml.binning.BinnedDataset` that all 52
+            disposition heads, all 4 location heads, and every CV-fold
+            refit reuse; "exact" runs the per-head sorted-domain search
+            (the historical path, and what pre-existing payloads load
+            as).
+        n_bins: per-feature bin budget for the shared binning (hist
+            backend only).
+        max_split_points: per-feature candidate-threshold cap per round
+            for the exact backend, forwarded to each head.
     """
 
     n_rounds: int = 150
@@ -78,6 +91,17 @@ class LocatorConfig:
     prior_smoothing: float = 1.0
     cv_folds: int = 3
     cv_seed: int = 17
+    backend: str = "hist"
+    n_bins: int = 256
+    max_split_points: int = 256
+
+    def __post_init__(self) -> None:
+        if self.backend not in TRAIN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {TRAIN_BACKENDS}, got {self.backend!r}"
+            )
+        if self.n_bins < 2:
+            raise ValueError("n_bins must be at least 2")
 
 
 class ExperienceModel:
@@ -111,13 +135,25 @@ def _fit_one_vs_rest(
     positives: np.ndarray,
     categorical: np.ndarray,
     cfg: LocatorConfig,
+    binned: BinnedDataset | None = None,
 ) -> BStump | None:
-    """A single uncalibrated one-vs-rest model, or None if class-starved."""
+    """A single uncalibrated one-vs-rest model, or None if class-starved.
+
+    ``binned`` is the shared pre-quantised form of ``X`` (hist backend);
+    passing it lets all heads trained on the same rows skip re-binning.
+    """
     n_pos = float(positives.sum())
     if n_pos < cfg.min_positive or n_pos > len(positives) - cfg.min_positive:
         return None
-    return BStump(BStumpConfig(n_rounds=cfg.n_rounds, calibrate=False)).fit(
-        X, positives.astype(float), categorical=categorical
+    head_cfg = BStumpConfig(
+        n_rounds=cfg.n_rounds,
+        calibrate=False,
+        max_split_points=cfg.max_split_points,
+        backend=cfg.backend,
+        n_bins=cfg.n_bins,
+    )
+    return BStump(head_cfg).fit(
+        X, positives.astype(float), categorical=categorical, binned=binned
     )
 
 
@@ -136,7 +172,10 @@ class FlatLocator:
         self.calibrators_: dict[int, PlattCalibrator] = {}
         self.prior_: np.ndarray | None = None
         self.oof_decision_: np.ndarray | None = None
+        self.fold_assignment_: np.ndarray | None = None
+        self.binned_: BinnedDataset | None = None
         self._categorical: np.ndarray | None = None
+        self._multihead: MultiHeadEnsemble | None = None
 
     def fit(self, train: LocatorDataset) -> "FlatLocator":
         cfg = self.config
@@ -148,39 +187,66 @@ class FlatLocator:
             counts.sum() + cfg.prior_smoothing * N_DISPOSITIONS
         )
 
+        # The shared binning fabric: quantise the training matrix once;
+        # every head (and, via ``binned_``, the combined model's location
+        # heads) searches the same pre-binned codes.
+        binned = None
+        if cfg.backend == "hist":
+            binned = BinnedDataset.from_matrix(
+                np.asarray(X, dtype=float),
+                self._categorical,
+                max_bins=cfg.n_bins,
+            )
+        self.binned_ = binned
+
         # The 52 one-vs-rest fits are independent over shared read-only
         # arrays -- the natural unit for the parallel fabric.
         fitted = parallel_map(
             lambda code: _fit_one_vs_rest(
-                X, train.disposition == code, self._categorical, cfg
+                X, train.disposition == code, self._categorical, cfg,
+                binned=binned,
             ),
             range(N_DISPOSITIONS),
         )
         self.models_ = {
             code: model for code, model in enumerate(fitted) if model is not None
         }
+        self._multihead = None
 
         # Out-of-fold margins for calibration (and for the combined model).
         folds = max(2, cfg.cv_folds)
         prior_logit = np.log(self.prior_ / (1.0 - self.prior_))
         oof = np.tile(prior_logit, (n, 1))
+        self.fold_assignment_ = None
         if n >= folds * 4:
             assignment = _fold_assignment(n, folds, cfg.cv_seed)
+            self.fold_assignment_ = assignment
             rests = [assignment != fold for fold in range(folds)]
+            # Per-fold row gathers hoisted out of the per-head tasks: a
+            # fold's training rows, held-out rows, and row subset of the
+            # shared binning are shared by its 52 refits.
+            fold_rows = [
+                (
+                    X[rest],
+                    X[~rest],
+                    binned.rows(rest) if binned is not None else None,
+                )
+                for rest in rests
+            ]
             tasks = [
                 (fold, code) for fold in range(folds) for code in self.models_
             ]
 
             def oof_margins(task: tuple[int, int]) -> np.ndarray | None:
                 fold, code = task
-                rest = rests[fold]
+                X_rest, X_hold, binned_rest = fold_rows[fold]
                 model = _fit_one_vs_rest(
-                    X[rest], train.disposition[rest] == code,
-                    self._categorical, cfg,
+                    X_rest, train.disposition[rests[fold]] == code,
+                    self._categorical, cfg, binned=binned_rest,
                 )
                 if model is None:
                     return None
-                return model.decision_function(X[~rest])
+                return model.decision_function(X_hold)
 
             for (fold, code), margins in zip(
                 tasks, parallel_map(oof_margins, tasks)
@@ -197,14 +263,31 @@ class FlatLocator:
             self.calibrators_[code] = PlattCalibrator().fit(oof[:, code], y)
         return self
 
+    def _stacked(self) -> MultiHeadEnsemble | None:
+        """The 52-way compiled scorer, built lazily and cached."""
+        if self._multihead is None and self.models_:
+            heads = {code: model.compiled() for code, model in self.models_.items()}
+            n_features = next(iter(heads.values())).n_features
+            self._multihead = compile_multihead(
+                heads, n_heads=N_DISPOSITIONS, n_features=n_features
+            )
+        return self._multihead
+
     def decision_matrix(self, X: np.ndarray) -> np.ndarray:
-        """(n, 52) raw margins; prior log-odds for untrained classes."""
+        """(n, 52) raw margins; prior log-odds for untrained classes.
+
+        One stacked multi-head pass over the feature columns
+        (:class:`~repro.ml.ensemble_scoring.MultiHeadEnsemble`), each
+        margin column bit-identical to that head's own
+        ``decision_function``.
+        """
         if self.prior_ is None:
             raise RuntimeError("locator is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         out = np.tile(np.log(self.prior_ / (1.0 - self.prior_)), (X.shape[0], 1))
-        for code, model in self.models_.items():
-            out[:, code] = model.decision_function(X)
+        stacked = self._stacked()
+        if stacked is not None:
+            stacked.decision_matrix(X, out=out)
         return out
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -213,10 +296,17 @@ class FlatLocator:
             raise RuntimeError("locator is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         out = np.tile(self.prior_, (X.shape[0], 1))
-        for code, model in self.models_.items():
-            out[:, code] = self.calibrators_[code].transform(
-                model.decision_function(X)
-            )
+        stacked = self._stacked()
+        if stacked is None:
+            return out
+        margins = stacked.decision_matrix(X)
+        codes = stacked.head_columns
+        # Vectorised Platt transform: the same clip/exp elementwise ops
+        # as PlattCalibrator.transform, applied to all columns at once.
+        a = np.array([self.calibrators_[int(c)].a for c in codes])
+        b = np.array([self.calibrators_[int(c)].b for c in codes])
+        z = np.clip(a * margins[:, codes] + b, -500, 500)
+        out[:, codes] = 1.0 / (1.0 + np.exp(z))
         return out
 
 
@@ -229,22 +319,26 @@ class CombinedLocator:
         self.location_models_: dict[int, BStump] = {}
         self.blend_: dict[int, tuple[float, float, float]] = {}
         self._location_of = disposition_arrays().location
+        self._loc_multihead: MultiHeadEnsemble | None = None
 
     def fit(self, train: LocatorDataset) -> "CombinedLocator":
         cfg = self.config
         X = train.features.matrix
         self.flat.fit(train)
 
-        # Major-location one-vs-rest models (4 of them, far better fed).
+        # Major-location one-vs-rest models (4 of them, far better fed),
+        # trained over the flat model's shared binning.
         fitted = parallel_map(
             lambda loc: _fit_one_vs_rest(
-                X, train.location == loc, train.features.categorical, cfg
+                X, train.location == loc, train.features.categorical, cfg,
+                binned=self.flat.binned_,
             ),
             range(N_LOCATIONS),
         )
         self.location_models_ = {
             loc: model for loc, model in enumerate(fitted) if model is not None
         }
+        self._loc_multihead = None
 
         # Per-disposition logistic blend of the two margins (Eq. 2),
         # fitted on out-of-fold margins so the blend sees honestly
@@ -271,8 +365,10 @@ class CombinedLocator:
     def _oof_location_margins(self, train: LocatorDataset) -> np.ndarray:
         """Cross-validated major-location margins over the training rows.
 
-        Uses the same fold assignment as the flat model's calibration pass
-        so disposition and location margins are consistent per row.
+        Reuses the flat model's stored fold assignment
+        (``flat.fold_assignment_``) so disposition and location margins
+        are fold-consistent per row, and reuses row subsets of the flat
+        model's shared binning for the fold refits.
         """
         cfg = self.config
         n = train.n_examples
@@ -280,47 +376,87 @@ class CombinedLocator:
         X = train.features.matrix
         if n < folds * 4:
             return self._location_margins(X)
-        assignment = _fold_assignment(n, folds, cfg.cv_seed)
+        assignment = self.flat.fold_assignment_
+        if assignment is None or assignment.shape != (n,):
+            assignment = _fold_assignment(n, folds, cfg.cv_seed)
+        binned = self.flat.binned_
+        if binned is not None and binned.n_rows != n:
+            binned = None
         f_loc = np.zeros((n, N_LOCATIONS))
         rests = [assignment != fold for fold in range(folds)]
+        fold_rows = [
+            (
+                X[rest],
+                X[~rest],
+                binned.rows(rest) if binned is not None else None,
+            )
+            for rest in rests
+        ]
         tasks = [
             (fold, loc) for fold in range(folds) for loc in range(N_LOCATIONS)
         ]
 
         def oof_margins(task: tuple[int, int]) -> np.ndarray | None:
             fold, loc = task
-            rest = rests[fold]
+            X_rest, X_hold, binned_rest = fold_rows[fold]
             model = _fit_one_vs_rest(
-                X[rest], train.location[rest] == loc,
-                train.features.categorical, cfg,
+                X_rest, train.location[rests[fold]] == loc,
+                train.features.categorical, cfg, binned=binned_rest,
             )
             if model is None:
                 return None
-            return model.decision_function(X[~rest])
+            return model.decision_function(X_hold)
 
         for (fold, loc), margins in zip(tasks, parallel_map(oof_margins, tasks)):
             if margins is not None:
                 f_loc[~rests[fold], loc] = margins
         return f_loc
 
+    def _stacked_locations(self) -> MultiHeadEnsemble | None:
+        """The 4-way compiled location scorer, built lazily and cached."""
+        if self._loc_multihead is None and self.location_models_:
+            heads = {
+                loc: model.compiled()
+                for loc, model in self.location_models_.items()
+            }
+            n_features = next(iter(heads.values())).n_features
+            self._loc_multihead = compile_multihead(
+                heads, n_heads=N_LOCATIONS, n_features=n_features
+            )
+        return self._loc_multihead
+
     def _location_margins(self, X: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         out = np.zeros((X.shape[0], N_LOCATIONS))
-        for loc, model in self.location_models_.items():
-            out[:, loc] = model.decision_function(X)
+        stacked = self._stacked_locations()
+        if stacked is not None:
+            stacked.decision_matrix(X, out=out)
         return out
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """(n, 52) adjusted posteriors ``P_adj(C_ij | x)`` per Eq. 2."""
+        """(n, 52) adjusted posteriors ``P_adj(C_ij | x)`` per Eq. 2.
+
+        Both margin matrices come from stacked multi-head passes, and
+        the Eq.-2 blend is applied to all trained columns at once; the
+        elementwise operations match the historical per-code loop, so
+        posteriors are bit-identical to it.
+        """
         if self.flat.prior_ is None:
             raise RuntimeError("locator is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         f_disp = self.flat.decision_matrix(X)
         f_loc = self._location_margins(X)
         out = np.tile(self.flat.prior_, (X.shape[0], 1))
-        for code, (g1, g2, g0) in self.blend_.items():
-            z = g1 * f_disp[:, code] + g2 * f_loc[:, self._location_of[code]] + g0
-            out[:, code] = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+        if self.blend_:
+            codes = np.array(sorted(self.blend_), dtype=np.intp)
+            gammas = np.array([self.blend_[int(c)] for c in codes])
+            locs = self._location_of[codes]
+            z = (
+                gammas[:, 0] * f_disp[:, codes]
+                + gammas[:, 1] * f_loc[:, locs]
+                + gammas[:, 2]
+            )
+            out[:, codes] = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
         return out
 
     def explain(self, x: np.ndarray, code: int, top_k: int = 6) -> dict:
@@ -382,11 +518,23 @@ def ranks_of_truth(prob_matrix: np.ndarray, truth: np.ndarray) -> np.ndarray:
     truth = np.asarray(truth, dtype=int)
     if truth.shape != (prob_matrix.shape[0],):
         raise ValueError("one truth label per row is required")
-    ranks = np.empty(len(truth), dtype=int)
-    for i, label in enumerate(truth):
-        order = np.argsort(-prob_matrix[i], kind="stable")
-        ranks[i] = int(np.flatnonzero(order == label)[0]) + 1
-    return ranks
+    n, n_codes = prob_matrix.shape
+    if n == 0:
+        return np.empty(0, dtype=int)
+    if truth.min() < 0 or truth.max() >= n_codes:
+        raise IndexError("truth label out of range")
+    # Rank under a stable descending sort = 1 + (entries strictly larger)
+    # + (tied entries at a lower column index) -- the exact position
+    # ``np.argsort(-row, kind="stable")`` would assign, without the
+    # per-row Python loop.
+    truth_p = prob_matrix[np.arange(n), truth][:, None]
+    beaten = np.count_nonzero(prob_matrix > truth_p, axis=1)
+    tied_before = np.count_nonzero(
+        (prob_matrix == truth_p)
+        & (np.arange(n_codes)[None, :] < truth[:, None]),
+        axis=1,
+    )
+    return (beaten + tied_before + 1).astype(int)
 
 
 def tests_to_locate(ranks: np.ndarray, quantile: float = 0.5) -> int:

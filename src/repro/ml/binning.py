@@ -214,6 +214,69 @@ class BinnedDataset:
             max_bins=max_bins,
         )
 
+    def rows(self, rows: Sequence[int] | np.ndarray) -> "BinnedDataset":
+        """A new dataset holding only the given rows (mask or indices).
+
+        The row-subset analogue of :meth:`select`, built for
+        cross-validation refits: a fold's training subset keeps the
+        *parent* matrix's bin edges, category values, and ``exact``
+        flags, so every fold scans the one-time quantised codes (a byte
+        gather) instead of re-binning and re-sorting ``X[rest]``.  Fold
+        models therefore share a single candidate-threshold grid with
+        the full-set models -- see DESIGN.md section 11.
+
+        Args:
+            rows: boolean mask over the parent rows, or integer row
+                indices in the desired order.
+        """
+        idx = np.asarray(rows)
+        if idx.ndim != 1:
+            raise ValueError("rows must be a 1-D mask or index sequence")
+        if idx.dtype == bool:
+            if idx.size != self.n_rows:
+                raise ValueError(
+                    f"row mask must have {self.n_rows} entries, got {idx.size}"
+                )
+            idx = np.flatnonzero(idx)
+        else:
+            idx = idx.astype(np.int64)
+            if idx.size and (idx.min() < 0 or idx.max() >= self.n_rows):
+                raise IndexError("row index out of range")
+        return BinnedDataset(
+            codes=self.codes[:, idx],
+            n_value_bins=self.n_value_bins,
+            edges=self.edges,
+            values=self.values,
+            categorical=self.categorical,
+            exact=self.exact,
+            max_bins=self.max_bins,
+        )
+
+    def shifted_codes(self) -> np.ndarray:
+        """The bin codes pre-shifted left by one, cached on the dataset.
+
+        :class:`~repro.ml.stumps.HistStumpSearch` fuses its per-round
+        class histograms by binning on ``2 * code + (y > 0)``; the
+        ``2 * code`` part depends only on the dataset, so many heads
+        trained over one shared binning (the locator's 52 one-vs-rest
+        models) reuse this widened copy instead of each re-shifting the
+        full code matrix.  Treat the returned array as read-only.
+        """
+        cached = getattr(self, "_shifted_codes", None)
+        if cached is None:
+            code2_max = 2 * int(self.n_value_bins.max()) + 1
+            dtype = (
+                np.uint16
+                if code2_max <= np.iinfo(np.uint16).max
+                else np.uint32
+            )
+            cached = self.codes.astype(dtype)
+            cached <<= 1
+            # Frozen dataclass; the cache is idempotent, so a racing
+            # double-compute is benign.
+            object.__setattr__(self, "_shifted_codes", cached)
+        return cached
+
     def select(self, columns: Sequence[int] | np.ndarray) -> "BinnedDataset":
         """A new dataset holding only ``columns``, in the given order.
 

@@ -40,7 +40,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CompiledEnsemble", "compile_stumps", "naive_grouped_margin"]
+__all__ = [
+    "CompiledEnsemble",
+    "MultiHeadEnsemble",
+    "compile_stumps",
+    "compile_multihead",
+    "naive_grouped_margin",
+]
 
 
 @dataclass(frozen=True)
@@ -225,6 +231,190 @@ class CompiledEnsemble:
             idx = np.searchsorted(group.keys, col, side="right")
             contrib = group.table[idx]
         return np.where(missing, group.miss, contrib)
+
+
+# ----- stacked multi-head scoring -----------------------------------------
+
+
+@dataclass(frozen=True)
+class _MergedGroup:
+    """One (feature, kind) column shared by several compiled heads.
+
+    ``keys`` is the union of the participating heads' keys (sorted
+    thresholds for a continuous column, distinct category codes for a
+    categorical one).  Each head's bucket table is *expanded* onto the
+    merged key grid so one ``searchsorted`` over the column serves every
+    head; ``tables[h]`` has ``len(keys) + 2`` entries -- the merged
+    buckets (continuous) or merged codes plus a no-match slot
+    (categorical), followed by a trailing missing-value slot.  The
+    expansion is a pure gather of each head's own bucket totals, so the
+    per-head contributions are the exact doubles
+    :meth:`CompiledEnsemble._group_contribution` produces.
+    """
+
+    feature: int
+    categorical: bool
+    keys: np.ndarray
+    head_positions: np.ndarray
+    tables: np.ndarray
+
+
+def _expand_continuous(group: _FeatureGroup, merged: np.ndarray) -> np.ndarray:
+    """One head's T+1 bucket table re-indexed by merged-grid bucket."""
+    # Merged bucket i >= 1 means the largest merged key <= v is
+    # merged[i - 1]; the head's bucket is then the number of *its*
+    # thresholds <= merged[i - 1] (its keys are a subset of the merged
+    # grid, so none lie strictly between merged[i - 1] and v).
+    own = np.searchsorted(group.keys, merged, side="right")
+    table = np.empty(merged.size + 2)
+    table[0] = group.table[0]
+    table[1 : merged.size + 1] = group.table[own]
+    table[merged.size + 1] = group.miss
+    return table
+
+
+def _expand_categorical(group: _FeatureGroup, merged: np.ndarray) -> np.ndarray:
+    """One head's per-code totals re-indexed by merged category code."""
+    pos = np.searchsorted(group.keys, merged)
+    np.minimum(pos, group.keys.size - 1, out=pos)
+    table = np.empty(merged.size + 2)
+    table[: merged.size] = np.where(
+        group.keys[pos] == merged, group.table[pos], group.no_match
+    )
+    table[merged.size] = group.no_match
+    table[merged.size + 1] = group.miss
+    return table
+
+
+def compile_multihead(
+    heads: dict[int, CompiledEnsemble], n_heads: int, n_features: int
+) -> "MultiHeadEnsemble":
+    """Stack several compiled heads into one multi-head scorer.
+
+    Args:
+        heads: mapping from output column (0..n_heads-1) to that head's
+            compiled ensemble; all heads must score the same feature
+            width.
+        n_heads: width of the stacked margin matrix.
+        n_features: width of the feature matrices being scored.
+
+    Returns:
+        A :class:`MultiHeadEnsemble` whose per-head margins are
+        bit-identical to each head's own ``decision_function``.
+    """
+    if n_heads <= 0:
+        raise ValueError("n_heads must be positive")
+    if n_features <= 0:
+        raise ValueError("n_features must be positive")
+    columns = np.array(sorted(heads), dtype=np.intp)
+    if columns.size and (columns[0] < 0 or columns[-1] >= n_heads):
+        raise ValueError("head column out of range")
+    position = {int(col): pos for pos, col in enumerate(columns)}
+
+    by_key: dict[tuple[int, bool], list[tuple[int, _FeatureGroup]]] = {}
+    for col in columns:
+        head = heads[int(col)]
+        if head.n_features != n_features:
+            raise ValueError(
+                f"head {int(col)} scores {head.n_features} features, "
+                f"expected {n_features}"
+            )
+        for group in head.groups:
+            by_key.setdefault((group.feature, group.categorical), []).append(
+                (position[int(col)], group)
+            )
+
+    merged_groups: list[_MergedGroup] = []
+    for (feature, categorical) in sorted(by_key):
+        members = by_key[(feature, categorical)]
+        merged = np.unique(np.concatenate([g.keys for _, g in members]))
+        expand = _expand_categorical if categorical else _expand_continuous
+        merged_groups.append(
+            _MergedGroup(
+                feature=feature,
+                categorical=categorical,
+                keys=merged,
+                head_positions=np.array([p for p, _ in members], dtype=np.intp),
+                tables=np.stack([expand(g, merged) for _, g in members]),
+            )
+        )
+    return MultiHeadEnsemble(
+        n_features=n_features,
+        n_heads=n_heads,
+        head_columns=columns,
+        groups=tuple(merged_groups),
+    )
+
+
+@dataclass(frozen=True)
+class MultiHeadEnsemble:
+    """Many compiled stump ensembles scored in one pass over the columns.
+
+    Build with :func:`compile_multihead`.  Where the naive path walks
+    each head separately -- 52 ``decision_function`` calls for the
+    trouble locator, each re-reading its feature columns -- this scorer
+    visits every *merged* (feature, kind) column once: one
+    ``searchsorted`` (or category match) per column, then one table
+    gather per participating head.  Heads usually share their most
+    informative features, so the per-column bucketing cost is paid once
+    instead of per head.
+
+    Exactness: each head's expanded tables hold the same bucket-total
+    doubles as its own :class:`CompiledEnsemble`, and a head's groups
+    are accumulated in the same ascending (feature, kind) order, so
+    every margin column is *bit-identical* to that head's
+    ``decision_function``.
+    """
+
+    n_features: int
+    n_heads: int
+    head_columns: np.ndarray
+    groups: tuple[_MergedGroup, ...]
+
+    def decision_matrix(
+        self, X: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The stacked (n, n_heads) margin matrix.
+
+        Args:
+            X: (n, n_features) rows to score.
+            out: optional (n, n_heads) matrix to write into; columns
+                without a head are left untouched (callers pre-fill
+                prior log-odds there), head columns are overwritten.
+
+        Returns:
+            ``out`` (or a fresh zero-initialised matrix).
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features} columns, got {X.shape}"
+            )
+        n = X.shape[0]
+        if out is None:
+            out = np.zeros((n, self.n_heads))
+        elif out.shape != (n, self.n_heads):
+            raise ValueError(
+                f"out must have shape ({n}, {self.n_heads}), got {out.shape}"
+            )
+        if not self.head_columns.size:
+            return out
+        acc = np.zeros((n, self.head_columns.size))
+        for group in self.groups:
+            col = X[:, group.feature]
+            missing = np.isnan(col)
+            size = group.keys.size
+            if group.categorical:
+                idx = np.searchsorted(group.keys, col)
+                np.minimum(idx, size - 1, out=idx)
+                slot = np.where(group.keys[idx] == col, idx, size)
+            else:
+                slot = np.searchsorted(group.keys, col, side="right")
+            slot = np.where(missing, size + 1, slot)
+            for pos, table in zip(group.head_positions, group.tables):
+                acc[:, pos] += table[slot]
+        out[:, self.head_columns] = acc
+        return out
 
 
 def naive_grouped_margin(stumps: list, X: np.ndarray, n_features: int) -> np.ndarray:

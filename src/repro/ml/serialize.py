@@ -188,6 +188,9 @@ def combined_locator_to_dict(model) -> dict[str, Any]:
             "prior_smoothing": model.config.prior_smoothing,
             "cv_folds": model.config.cv_folds,
             "cv_seed": model.config.cv_seed,
+            "backend": model.config.backend,
+            "n_bins": model.config.n_bins,
+            "max_split_points": model.config.max_split_points,
         },
         "prior": [float(p) for p in flat.prior_],
         "disposition_models": {
@@ -220,7 +223,14 @@ def combined_locator_from_dict(payload: dict[str, Any]):
     if version != _LOCATOR_FORMAT_VERSION:
         raise ValueError(f"unsupported locator format version: {version!r}")
     _verify_checksum(payload, "locator")
-    model = CombinedLocator(LocatorConfig(**payload["config"]))
+    config = dict(payload["config"])
+    # Payloads written before the locator rode the shared-binning fabric
+    # carry no backend knobs; those models were trained exact, and the
+    # per-head BStump payloads (which record their own backend) agree.
+    config.setdefault("backend", "exact")
+    config.setdefault("n_bins", 256)
+    config.setdefault("max_split_points", 256)
+    model = CombinedLocator(LocatorConfig(**config))
     flat = model.flat
     flat.prior_ = np.asarray(payload["prior"], dtype=float)
     flat.models_ = {

@@ -781,12 +781,10 @@ class HistStumpSearch:
         self._W = W
         # Fused class-and-bin codes: slot 2b+1 of the per-feature bincount
         # is the positive-class weight of bin b, slot 2b the negative.
-        code2_max = 2 * (W - 1) + 1
-        dtype = np.uint16 if code2_max <= np.iinfo(np.uint16).max else np.uint32
-        codes2 = binned.codes.astype(dtype)
-        codes2 <<= 1
-        codes2 += (y > 0)
-        self._codes2 = codes2
+        # The label-independent ``2 * code`` half is cached on the binned
+        # dataset, so multi-head consumers sharing one binning (the
+        # locator) widen and shift the code matrix only once.
+        self._codes2 = binned.shifted_codes() + (y > 0)
         self._hp = np.empty((F, W))
         self._hn = np.empty((F, W))
         C = self._cont_slots.size

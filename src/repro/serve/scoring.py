@@ -341,20 +341,42 @@ class ScoringEngine:
         ranked list).  Raises if the bundle was published without a
         locator.
         """
+        return self.locate_batch(week, [line_id], top_k=top_k)[0]
+
+    def locate_batch(
+        self, week: int, line_ids, top_k: int = 10
+    ) -> list[list[dict]]:
+        """Ranked disposition candidates for several lines at once.
+
+        All requested lines are scored in one stacked multi-head locator
+        pass (the 52 disposition heads and 4 location heads each read
+        the gathered feature columns once), instead of N single-row
+        ``predict_proba`` calls.  Per-line rankings are identical to
+        :meth:`locate`.
+        """
         locator = self.bundle.locator
         if locator is None:
             raise RuntimeError("bundle has no trouble locator")
-        if not 0 <= line_id < self.world.n_lines:
-            raise IndexError(f"line {line_id} out of range")
+        ids = [int(line_id) for line_id in line_ids]
+        if not ids:
+            raise ValueError("no line ids supplied")
+        for line_id in ids:
+            if not 0 <= line_id < self.world.n_lines:
+                raise IndexError(f"line {line_id} out of range")
         base = self.base_features(week)
-        probs = locator.predict_proba(base.matrix[line_id][None, :])[0]
-        order = np.argsort(-probs, kind="stable")[:top_k]
-        return [
-            {
-                "rank": rank + 1,
-                "disposition": int(code),
-                "name": Dispatcher.disposition_name(int(code)),
-                "posterior": float(probs[code]),
-            }
-            for rank, code in enumerate(order)
-        ]
+        probs = locator.predict_proba(base.matrix[np.asarray(ids, dtype=np.intp)])
+        rankings: list[list[dict]] = []
+        for row in probs:
+            order = np.argsort(-row, kind="stable")[:top_k]
+            rankings.append(
+                [
+                    {
+                        "rank": rank + 1,
+                        "disposition": int(code),
+                        "name": Dispatcher.disposition_name(int(code)),
+                        "posterior": float(row[code]),
+                    }
+                    for rank, code in enumerate(order)
+                ]
+            )
+        return rankings

@@ -279,13 +279,27 @@ class ScoringService:
 
     def handle_locate(self, query) -> tuple[int, dict]:
         week = self._resolve_week(query)
-        line = _int_param(query, "line")
         top = _int_param(query, "top") if "top" in query else 10
         engine = self._require_engine()
         if engine.bundle.locator is None:
             raise _ServiceError(
                 409, "the active bundle was published without a locator"
             )
+        if "lines" in query:
+            # Batched form: ?lines=a,b,c -- all lines ranked off one
+            # stacked multi-head locator pass.
+            lines = _int_list_param(query, "lines")
+            try:
+                rankings = engine.locate_batch(week, lines, top_k=top)
+            except IndexError as exc:
+                raise _ServiceError(404, str(exc)) from None
+            return 200, {
+                "lines": lines,
+                "week": week,
+                "model_version": self.model_version,
+                "rankings": rankings,
+            }
+        line = _int_param(query, "line")
         try:
             ranking = engine.locate(week, line, top_k=top)
         except IndexError as exc:
@@ -355,6 +369,24 @@ def _int_param(query: dict[str, list[str]], name: str) -> int:
     except ValueError:
         raise _ServiceError(
             400, f"query parameter {name!r} must be an integer"
+        ) from None
+
+
+def _int_list_param(query: dict[str, list[str]], name: str) -> list[int]:
+    values = query.get(name)
+    if not values:
+        raise _ServiceError(400, f"missing query parameter {name!r}")
+    parts = [p for p in values[0].split(",") if p.strip()]
+    if not parts:
+        raise _ServiceError(
+            400, f"query parameter {name!r} must list at least one integer"
+        )
+    try:
+        return [int(p) for p in parts]
+    except ValueError:
+        raise _ServiceError(
+            400,
+            f"query parameter {name!r} must be comma-separated integers",
         ) from None
 
 
