@@ -29,8 +29,11 @@ Run from the repo root::
     PYTHONPATH=src python benchmarks/bench_serve.py            # full
     PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
 
-``REPRO_WORKERS`` controls the scoring fan-out; the harness records the
-worker count it ran with.
+The headline run defaults to a multi-worker configuration
+(``min(4, cpu)``) so the sharded scoring path is actually exercised;
+a second single-worker pass is recorded as the ``serve_single_worker``
+comparison row.  ``--workers`` or ``REPRO_WORKERS`` override the
+fan-out, and the harness records the worker count it ran with.
 """
 
 from __future__ import annotations
@@ -295,7 +298,8 @@ def main() -> None:
     parser.add_argument("--shard-size", type=int, default=16_384,
                         help="lines per scoring shard")
     parser.add_argument("--workers", type=int, default=None,
-                        help="scoring fan-out (default: REPRO_WORKERS or 1)")
+                        help="scoring fan-out (default: REPRO_WORKERS, or "
+                             "min(4, cpu) when unset)")
     parser.add_argument("--quick", action="store_true",
                         help="small sizes for a CI smoke run")
     parser.add_argument("--output", type=Path,
@@ -310,13 +314,24 @@ def main() -> None:
             args.lines, args.weeks, args.rounds, args.shard_size
         )
 
+    # Fan-out resolution: explicit flag > REPRO_WORKERS > min(4, cpu).
+    # The multi-worker default keeps the headline number on the sharded
+    # scoring path instead of a degenerate one-worker run.
+    workers = args.workers
+    if workers is None and not os.environ.get("REPRO_WORKERS", "").strip():
+        workers = min(4, os.cpu_count() or 1)
+
     report = {
         "quick": args.quick,
         "numpy": np.__version__,
         "python": platform.python_version(),
         "workers_env": os.environ.get("REPRO_WORKERS", ""),
-        "serve": bench_serve(n_lines, n_weeks, n_rounds, shard, args.workers),
+        "serve": bench_serve(n_lines, n_weeks, n_rounds, shard, workers),
     }
+    if worker_count(workers) > 1:
+        report["serve_single_worker"] = bench_serve(
+            n_lines, n_weeks, n_rounds, shard, 1
+        )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     serve = report["serve"]
@@ -336,6 +351,11 @@ def main() -> None:
           f"{serve['locate_lines']} lines), "
           f"rankings identical: {serve['locate_parity']}")
     print(f"parity with batch scorer: {serve['parity_with_batch_scorer']}")
+    single = report.get("serve_single_worker")
+    if single is not None:
+        speedup = serve["lines_per_sec"] / max(single["lines_per_sec"], 1e-9)
+        print(f"single-worker comparison: {single['lines_per_sec']:.0f} "
+              f"lines/s ({serve['workers']} workers = {speedup:.2f}x)")
     print(f"wrote {args.output}")
 
 

@@ -41,7 +41,10 @@ Package map (see DESIGN.md for the experiment index):
   the locator and the feature-selection sweep fan out over;
 * :mod:`repro.serve` -- the serving subsystem: versioned model registry,
   append-only line-week store, sharded scoring engine, and the stdlib
-  HTTP scoring service (``python -m repro serve``).
+  HTTP scoring service (``python -m repro serve``);
+* :mod:`repro.fleet` -- plant-level triage: cross-line fault grouping,
+  network-vs-premise classification, and hotspot dispatch suppression
+  (``python -m repro triage``).
 """
 
 from repro.core.analysis import (
@@ -91,6 +94,20 @@ from repro.netsim.simulator import (
     DslSimulator,
     SimulationConfig,
     SimulationResult,
+)
+from repro.fleet import (
+    FaultCluster,
+    TriageConfig,
+    TriagePlan,
+    TriageResult,
+    evaluate_plan,
+    find_clusters,
+    plan_dispatches,
+)
+from repro.netsim.groupfaults import (
+    GroupFaultConfig,
+    GroupFaultModel,
+    GroupFaultSchedule,
 )
 from repro.tickets.churn import ChurnConfig, ChurnReport, estimate_churn
 from repro.serve import (
@@ -158,6 +175,16 @@ __all__ = [
     "ChurnConfig",
     "ChurnReport",
     "estimate_churn",
+    "GroupFaultConfig",
+    "GroupFaultModel",
+    "GroupFaultSchedule",
+    "TriageConfig",
+    "FaultCluster",
+    "TriageResult",
+    "TriagePlan",
+    "find_clusters",
+    "plan_dispatches",
+    "evaluate_plan",
     "parallel_map",
     "worker_count",
     "LineWeekStore",

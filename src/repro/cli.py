@@ -22,7 +22,11 @@ Three subcommands mirror how an operator would poke at the system:
   shadow champion--challenger gating, auto-rollback) and ``lifecycle
   status`` renders the signed decision log of a previous run;
   ``--smoke`` runs the CI loop with one forced promotion and one forced
-  rollback.
+  rollback;
+* ``triage`` -- plant-level triage: cluster one week's anomalous lines
+  by shared DSLAM/binder, classify upstream vs in-home, and compare
+  precision-at-capacity with and without dispatch suppression;
+  ``--smoke`` asserts the acceptance bar on a small correlated plant.
 
 All commands are seeded, run at laptop scale by default, and accept
 ``--scenario`` to pick a plant preset (suburban/urban/rural/storm_season/
@@ -168,6 +172,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "promotion and one sabotaged challenger, "
                                 "and check that the watchdog rolls it back "
                                 "with an intact decision chain")
+
+    triage = sub.add_parser(
+        "triage", parents=[common],
+        help="plant-level triage: cluster anomalies by shared plant and "
+             "plan suppressed + backfilled dispatches")
+    triage.add_argument("--capacity", type=int, default=None,
+                        help="ATDS capacity N (default: 2%% of lines)")
+    triage.add_argument("--rounds", type=int, default=60,
+                        help="boosting rounds of the scoring predictor")
+    triage.add_argument("--week", type=int, default=None,
+                        help="evaluation week (default: the late week with "
+                             "the most shared-fault-affected lines)")
+    triage.add_argument("--smoke", action="store_true",
+                        help="small fixed-scale self-test on the "
+                             "correlated_faults scenario: asserts >=90%% "
+                             "upstream recall, one group dispatch per "
+                             "cluster, and a strict precision-at-capacity "
+                             "improvement")
     return parser
 
 
@@ -700,6 +722,114 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _triage_eval_week(args: argparse.Namespace, result) -> int:
+    """The evaluation week: --week, or the late week with the most
+    shared-fault-affected lines (latest week when there are none)."""
+    from repro.netsim.simulator import SATURDAY_OFFSET
+
+    last = args.weeks - 1
+    if args.week is not None:
+        if not 0 <= args.week <= last:
+            raise SystemExit(f"--week must be in [0, {last}]")
+        return args.week
+    if result.group_faults is None:
+        return last
+    candidates = range(max(0, args.weeks - 6), args.weeks)
+    counts = {
+        week: int(
+            result.group_faults.affected_lines(week * 7 + SATURDAY_OFFSET).sum()
+        )
+        for week in candidates
+    }
+    return max(counts, key=lambda week: (counts[week], week))
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    """``repro triage``: cluster, classify, suppress, compare precision."""
+    from repro.fleet import evaluate_plan, find_clusters, plan_dispatches
+    from repro.netsim.simulator import SATURDAY_OFFSET
+
+    if args.smoke:
+        # Fixed small scale so CI asserts against one known plant.
+        args.lines, args.weeks, args.rounds = 2500, 20, 40
+        args.scenario = args.scenario or "correlated_faults"
+        args.capacity = None
+    if not args.scenario:
+        args.scenario = "correlated_faults"
+
+    result = _simulate(args)
+    predictor = _trained_predictor(args, result, rounds=args.rounds)
+    capacity = predictor.config.capacity
+    topology = result.population.topology
+    week = _triage_eval_week(args, result)
+    day = week * 7 + SATURDAY_OFFSET
+
+    scores = predictor.score_week(result, week)
+    triage = find_clusters(scores, topology, capacity)
+    plan = plan_dispatches(scores, capacity, triage, week=week)
+
+    fault = result.fault_active_on(day)
+    active_groups = set()
+    if result.group_faults is not None:
+        active_groups = {
+            (e.level, e.group_id)
+            for e in result.group_faults.schedule.active_on(day)
+        }
+    scored = evaluate_plan(plan, fault, active_groups)
+
+    upstream = triage.upstream_clusters
+    print(f"plant triage on {args.scenario!r} "
+          f"({args.lines} lines x {args.weeks} weeks, week {week})")
+    print(f"  anomaly pool: top {triage.pool_line_ids.size} of "
+          f"{triage.n_lines} lines (base rate {triage.base_rate:.1%})")
+    for cluster in triage.clusters:
+        parent = (f" (dslam {topology.dslam_of_binder(cluster.group_id)})"
+                  if cluster.level == "binder" else "")
+        print(f"  {cluster.level} {cluster.group_id}{parent}: "
+              f"{cluster.n_anomalous}/{cluster.n_lines} anomalous, "
+              f"p={cluster.p_value:.2e} -> {cluster.classification}")
+    print(f"  group dispatches: {len(upstream)} (one per upstream cluster), "
+          f"suppressed {scored['suppressed']} per-line dispatches, "
+          f"refilled {scored['backfilled']} slots")
+
+    recall = None
+    if result.group_faults is not None:
+        affected = result.group_faults.affected_lines(day)
+        pool = np.zeros(triage.n_lines, dtype=bool)
+        pool[triage.pool_line_ids] = True
+        truly = affected & pool
+        clustered = triage.upstream_line_mask() & truly
+        if truly.any():
+            recall = clustered.sum() / truly.sum()
+            print(f"  upstream recall: {recall:.0%} "
+                  f"({int(clustered.sum())}/{int(truly.sum())} "
+                  f"truly-upstream anomalous lines clustered)")
+    print(f"  precision@N={capacity}: "
+          f"baseline {scored['baseline_precision']:.3f} -> "
+          f"triage {scored['triage_precision']:.3f}")
+
+    if args.smoke:
+        problems = []
+        if len(upstream) < 1:
+            problems.append("no upstream clusters found")
+        if recall is None or recall < 0.9:
+            rendered = "n/a" if recall is None else f"{recall:.0%}"
+            problems.append(f"upstream recall {rendered} below 90%")
+        if scored["triage_precision"] <= scored["baseline_precision"]:
+            problems.append(
+                "suppression did not improve precision-at-capacity"
+            )
+        if problems:
+            for problem in problems:
+                print(f"triage smoke FAILED: {problem}")
+            return 1
+        print(f"triage smoke ok: {len(upstream)} upstream cluster(s), "
+              f"recall {recall:.0%}, precision "
+              f"{scored['baseline_precision']:.3f} -> "
+              f"{scored['triage_precision']:.3f} at N={capacity}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "predict": _cmd_predict,
@@ -709,6 +839,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "obs": _cmd_obs,
     "lifecycle": _cmd_lifecycle,
+    "triage": _cmd_triage,
 }
 
 

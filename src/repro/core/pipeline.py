@@ -38,7 +38,8 @@ _STAGE_BUCKETS = (
     1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
 
-if TYPE_CHECKING:  # serve imports stay out of the core import path
+if TYPE_CHECKING:  # serve/fleet imports stay out of the core import path
+    from repro.fleet.aggregation import TriageConfig
     from repro.serve.registry import ModelRegistry
     from repro.serve.store import LineWeekStore
 
@@ -56,12 +57,16 @@ class PipelineConfig:
         fix_delay_days: days after the Saturday test when proactive
             dispatches land (2 = by Monday, the Fig-8 reference point).
         predictor: ticket-predictor configuration.
+        triage: plant-triage parameters (:mod:`repro.fleet`); None keeps
+            the loop purely per-line -- scoring, ranking and dispatch
+            stay bit-identical to a pipeline without the triage stage.
     """
 
     warmup_weeks: int = 16
     retrain_every: int = 0
     fix_delay_days: int = 2
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    triage: "TriageConfig | None" = None
 
 
 @dataclass
@@ -77,6 +82,13 @@ class WeeklyReport:
         mean_top_p: mean predicted P(ticket) of the submitted lines --
             compared against the realized precision this is the live
             calibration-drift signal (no second scoring pass needed).
+        clusters_found: upstream plant clusters the triage stage found
+            (0 when triage is disabled -- as are the fields below).
+        suppressed: per-line dispatches collapsed into group dispatches.
+        backfilled: freed top-N slots refilled from the ranked list.
+        group_problems_found: group dispatches that found a real shared
+            fault.
+        group_fixed: group dispatches that cleared the shared fault.
     """
 
     week: int
@@ -85,6 +97,11 @@ class WeeklyReport:
     fixed: int
     no_trouble_found: int
     mean_top_p: float = 0.0
+    clusters_found: int = 0
+    suppressed: int = 0
+    backfilled: int = 0
+    group_problems_found: int = 0
+    group_fixed: int = 0
 
     @property
     def precision(self) -> float:
@@ -153,6 +170,22 @@ class NevermindPipeline:
         self._drift_gauge = registry_m.gauge(
             "repro_pipeline_calibration_drift",
             "Mean predicted P of submitted lines minus realized precision",
+        )
+        self._clusters_total = registry_m.counter(
+            "repro_triage_clusters_total",
+            "Upstream plant clusters found by weekly triage",
+        )
+        self._suppressed_total = registry_m.counter(
+            "repro_triage_suppressed_total",
+            "Per-line dispatches suppressed into group dispatches",
+        )
+        self._backfilled_total = registry_m.counter(
+            "repro_triage_backfilled_total",
+            "Freed top-N slots refilled from the ranked list",
+        )
+        self._clusters_gauge = registry_m.gauge(
+            "repro_triage_clusters",
+            "Upstream clusters in the most recent weekly triage",
         )
 
     def _training_split(self, week: int) -> TemporalSplit:
@@ -308,6 +341,20 @@ class NevermindPipeline:
             # scores are kept so calibration drift needs no second pass.
             submitted = np.argsort(-scores, kind="stable")
             submitted = submitted[: self.config.predictor.capacity]
+        plan = None
+        if self.config.triage is not None:
+            from repro.fleet import find_clusters, plan_dispatches
+
+            with span("pipeline.triage", week=week), \
+                    self._stage_seconds.time(stage="triage"):
+                triage = find_clusters(
+                    scores, result.population.topology,
+                    self.config.predictor.capacity, self.config.triage,
+                )
+                plan = plan_dispatches(
+                    scores, self.config.predictor.capacity, triage, week=week
+                )
+                submitted = plan.line_ids
         with span("pipeline.dispatch", week=week), \
                 self._stage_seconds.time(stage="dispatch"):
             fix_day = (
@@ -315,6 +362,11 @@ class NevermindPipeline:
                 + self.config.fix_delay_days
             )
             records = self.simulator.apply_proactive_fixes(submitted, fix_day)
+            group_records = (
+                self.simulator.apply_group_fixes(plan.group_targets(), fix_day)
+                if plan is not None and plan.group_dispatches
+                else []
+            )
         real = sum(r.true_disposition >= 0 for r in records)
         fixed = sum(r.true_disposition >= 0 and r.fixed for r in records)
         mean_top_p = float(scores[submitted].mean()) if submitted.size else 0.0
@@ -325,8 +377,18 @@ class NevermindPipeline:
             fixed=fixed,
             no_trouble_found=sum(r.true_disposition < 0 for r in records),
             mean_top_p=mean_top_p,
+            clusters_found=len(plan.group_dispatches) if plan else 0,
+            suppressed=int(plan.suppressed_line_ids.size) if plan else 0,
+            backfilled=int(plan.backfilled_line_ids.size) if plan else 0,
+            group_problems_found=sum(r.found_fault for r in group_records),
+            group_fixed=sum(r.fixed for r in group_records),
         )
         self.reports.append(report)
+        if plan is not None:
+            self._clusters_total.inc(report.clusters_found)
+            self._suppressed_total.inc(report.suppressed)
+            self._backfilled_total.inc(report.backfilled)
+            self._clusters_gauge.set(report.clusters_found)
 
         drift = mean_top_p - report.precision
         self._weeks_total.inc()
@@ -367,10 +429,20 @@ class NevermindPipeline:
                     "precision": 0.0}
         submitted = sum(len(r.submitted) for r in self.reports)
         real = sum(r.real_problems for r in self.reports)
-        return {
+        summary = {
             "weeks": len(self.reports),
             "submitted": submitted,
             "real_problems": real,
             "fixed": sum(r.fixed for r in self.reports),
             "precision": real / submitted if submitted else 0.0,
         }
+        if self.config.triage is not None:
+            summary["clusters_found"] = sum(
+                r.clusters_found for r in self.reports
+            )
+            summary["suppressed"] = sum(r.suppressed for r in self.reports)
+            summary["backfilled"] = sum(r.backfilled for r in self.reports)
+            summary["group_problems_found"] = sum(
+                r.group_problems_found for r in self.reports
+            )
+        return summary

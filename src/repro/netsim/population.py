@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.netsim.physics import LoopConditions
 from repro.netsim.profiles import PROFILES
-from repro.netsim.topology import Bras, Dslam, Topology
+from repro.netsim.topology import Binder, Bras, Dslam, Topology
 
 __all__ = ["PopulationConfig", "Population", "build_population"]
 
@@ -37,6 +37,8 @@ class PopulationConfig:
         loop_shape, loop_scale_kft: gamma parameters of the loop-length
             distribution (shape 2.2, scale 2.6 gives a 5.7 kft mean with a
             long tail past 15 kft).
+        mean_lines_per_binder: average pairs per F1/F2 binder group (the
+            sub-DSLAM sheath bundles the plant-triage layer groups on).
         misprovision_rate: probability a customer keeps a tier their loop
             cannot support instead of being bumped down.
         ambient_noise_sigma_db: spread of the per-line environmental noise
@@ -50,6 +52,7 @@ class PopulationConfig:
     n_lines: int = 10_000
     mean_lines_per_dslam: int = 48
     dslams_per_bras: int = 60
+    mean_lines_per_binder: int = 12
     loop_shape: float = 2.2
     loop_scale_kft: float = 2.6
     misprovision_rate: float = 0.05
@@ -193,8 +196,32 @@ def _build_topology(n: int, config: PopulationConfig, rng: np.random.Generator) 
         for b in range(n_brases)
     ]
     line_bras = np.array([dslams[d].bras_id for d in line_dslam], dtype=int)
+
+    # Binder groups: partition each DSLAM's pairs into F1/F2 sheath
+    # bundles.  Drawn last so the per-line population arrays above are
+    # bit-identical to topologies built before binders existed.
+    binders: list[Binder] = []
+    line_binder = np.empty(n, dtype=int)
+    mean_binder = max(2, config.mean_lines_per_binder)
+    for dslam in dslams:
+        members = dslam.line_ids
+        cursor = 0
+        while cursor < members.size:
+            fill = int(np.clip(rng.normal(mean_binder, mean_binder * 0.25),
+                               2, None))
+            remaining = members.size - cursor
+            # Avoid leaving a sub-minimum tail bundle behind.
+            if remaining - fill < 2:
+                fill = remaining
+            bundle = members[cursor:cursor + fill]
+            cursor += fill
+            line_binder[bundle] = len(binders)
+            binders.append(Binder(binder_id=len(binders),
+                                  dslam_id=dslam.dslam_id, line_ids=bundle))
+
     topology = Topology(
-        brases=brases, dslams=dslams, line_dslam=line_dslam, line_bras=line_bras
+        brases=brases, dslams=dslams, line_dslam=line_dslam,
+        line_bras=line_bras, binders=binders, line_binder=line_binder,
     )
     topology.validate()
     return topology

@@ -10,11 +10,14 @@ instead of hand-tuning a dozen knobs:
 * ``rural``      -- long loops, many marginal basic-profile lines;
 * ``storm_season`` -- elevated outside-plant (F2/F1) fault pressure and
   outage rate, the weeks after severe weather;
-* ``outage_prone`` -- degrading DSLAM fleet, for Table-5-style analyses.
+* ``outage_prone`` -- degrading DSLAM fleet, for Table-5-style analyses;
+* ``correlated_faults`` -- shared DSLAM/binder degradations on top of the
+  usual per-line mix, the regime the plant-triage layer exists for.
 """
 
 from __future__ import annotations
 
+from repro.netsim.groupfaults import GroupFaultConfig
 from repro.netsim.population import PopulationConfig
 from repro.netsim.simulator import SimulationConfig
 from repro.tickets.customers import CustomerConfig
@@ -97,12 +100,37 @@ def _outage_prone(n_lines: int, n_weeks: int, seed: int) -> SimulationConfig:
     )
 
 
+def _correlated_faults(n_lines: int, n_weeks: int, seed: int) -> SimulationConfig:
+    """A plant with shared-infrastructure failures: a dying DSLAM line
+    card plus several water-logged binder splices degrade whole groups of
+    lines at once.  Per-line scoring burns top-N slots on every member;
+    this is the scenario the :mod:`repro.fleet` triage layer exists for.
+
+    Event counts scale with plant size so the cross-line signature stays
+    visible from smoke-test populations up to bench scale, with at least
+    one DSLAM and two binder events (the tickets-side outage schedule is
+    derived from the DSLAM events, keeping both views consistent).
+    """
+    return SimulationConfig(
+        n_weeks=n_weeks,
+        population=PopulationConfig(n_lines=n_lines, seed=seed),
+        fault_rate_scale=3.0,
+        group_faults=GroupFaultConfig(
+            n_dslam_events=max(1, n_lines // 5000),
+            n_binder_events=max(2, n_lines // 1500),
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
 SCENARIOS = {
     "suburban": _suburban,
     "urban": _urban,
     "rural": _rural,
     "storm_season": _storm_season,
     "outage_prone": _outage_prone,
+    "correlated_faults": _correlated_faults,
 }
 
 

@@ -32,10 +32,21 @@ import numpy as np
 from repro.measurement.linetest import LineTestConfig, LineTester
 from repro.measurement.records import MeasurementStore
 from repro.netsim.faults import FaultEffects, FaultModel, FaultState
+from repro.netsim.groupfaults import (
+    LEVEL_DSLAM,
+    GroupFaultConfig,
+    GroupFaultModel,
+    GroupFaultSchedule,
+)
 from repro.netsim.physics import LinePhysics
 from repro.netsim.population import Population, PopulationConfig, build_population
 from repro.tickets.customers import CustomerBehavior, CustomerConfig, build_customers
-from repro.tickets.dispatch import AtdsConfig, DispatchRecord, Dispatcher
+from repro.tickets.dispatch import (
+    AtdsConfig,
+    DispatchRecord,
+    Dispatcher,
+    GroupDispatchRecord,
+)
 from repro.tickets.outage import OutageConfig, OutageSchedule
 from repro.tickets.ticketing import (
     DAY_OF_WEEK_WEIGHTS,
@@ -69,6 +80,10 @@ class SimulationConfig:
             curves) or "dmt" (per-tone bit-loading model from
             :mod:`repro.netsim.dmt` -- slower to construct, physically
             derived).
+        group_faults: correlated shared-plant fault process (None keeps
+            the run bit-identical to pre-group-fault simulations).  When
+            set, the tickets-side outage schedule is *derived* from the
+            DSLAM-level group events instead of sampled independently.
         seed: master seed for the simulation's random stream.
     """
 
@@ -85,6 +100,7 @@ class SimulationConfig:
     notice_usage_floor: float = 0.35
     precursor_report_rate: float = 0.05
     physics_model: str = "reach"
+    group_faults: GroupFaultConfig | None = None
     seed: int = 101
 
 
@@ -123,6 +139,7 @@ class SimulationResult:
     dispatcher: Dispatcher
     traffic: "object"  # TrafficLog; typed loosely to avoid import cycles
     fault_events: list[FaultEvent]
+    group_faults: GroupFaultModel | None = None
 
     @property
     def n_lines(self) -> int:
@@ -167,9 +184,27 @@ class DslSimulator:
         self.measurements = MeasurementStore(n_lines=n, n_weeks=cfg.n_weeks)
         self.ticket_log = TicketLog()
         self.dispatcher = Dispatcher(cfg.atds)
-        self.outages = OutageSchedule.generate(
-            self.population.topology.n_dslams, cfg.n_weeks, cfg.outages
-        )
+        if cfg.group_faults is not None:
+            schedule = GroupFaultSchedule.generate(
+                self.population.topology, cfg.n_weeks, cfg.group_faults
+            )
+            self.group_faults = GroupFaultModel(schedule=schedule, n_lines=n)
+        else:
+            self.group_faults = None
+        if self.group_faults is not None and cfg.group_faults.escalate_to_outage:
+            # One consistent sample: the tickets-side outages are the
+            # escalations of the netsim DSLAM group events.
+            self.outages = OutageSchedule.from_group_faults(
+                self.group_faults.schedule.events,
+                self.population.topology.n_dslams,
+                cfg.n_weeks,
+                cfg.outages,
+                outage_days=cfg.group_faults.outage_days,
+            )
+        else:
+            self.outages = OutageSchedule.generate(
+                self.population.topology.n_dslams, cfg.n_weeks, cfg.outages
+            )
         self.fault_events: list[FaultEvent] = []
         self._event_of_line = np.full(n, -1, dtype=int)
         self.week = 0
@@ -228,15 +263,20 @@ class DslSimulator:
         # 3. Shared-infrastructure (pre-outage) degradation this week.
         precursor = self.outages.precursor_strength(w)
         line_precursor = precursor[self.population.dslam_idx]
+        group_strength = None
+        shared_strength = line_precursor
+        if self.group_faults is not None:
+            group_strength = self.group_faults.line_strength(saturday)
+            shared_strength = np.maximum(line_precursor, group_strength)
 
         # 4. Customer reporting.
         clear_after_saturday: list[tuple[int, int]] = []
         self._generate_edge_tickets(w, saturday, line_precursor, clear_after_saturday)
-        self._generate_precursor_calls(w, line_precursor)
+        self._generate_precursor_calls(w, shared_strength)
         self._generate_billing_tickets(w)
 
         # 5. Saturday line-test campaign.
-        effects = self._combined_effects(line_precursor)
+        effects = self._combined_effects(line_precursor, group_strength)
         dslam_down = self.outages.dslams_down_on(saturday)[self.population.dslam_idx]
         usage = self.customers.usage_intensity * self.customers.present(w)
         features = self.tester.run(self.conditions, effects, usage, dslam_down, rng)
@@ -275,6 +315,7 @@ class DslSimulator:
             dispatcher=self.dispatcher,
             traffic=self.traffic_model.finish(),
             fault_events=self.fault_events,
+            group_faults=self.group_faults,
         )
 
     # ----- proactive interface (used by the NEVERMIND pipeline) -------------
@@ -309,31 +350,86 @@ class DslSimulator:
             records.append(record)
         return records
 
+    def apply_group_fixes(
+        self, groups: list[tuple[str, int]], day: int
+    ) -> list[GroupDispatchRecord]:
+        """Send one consolidated crew per upstream plant cluster.
+
+        ``groups`` is a list of ``(level, group_id)`` pairs -- level
+        ``"dslam"`` or ``"binder"`` -- typically the upstream clusters the
+        fleet triage layer found.  If the shared plant really has an
+        active group fault, the crew clears it (with the usual failed-fix
+        risk); otherwise the visit closes as found-nothing.  A cleared
+        DSLAM event's scheduled escalation outage still occurs (the card
+        swap needs its maintenance window either way).
+        """
+        topo = self.population.topology
+        records: list[GroupDispatchRecord] = []
+        for level, group_id in groups:
+            level = str(level)
+            group_id = int(group_id)
+            line_ids = (
+                topo.lines_of_dslam(group_id)
+                if level == LEVEL_DSLAM
+                else topo.lines_of_binder(group_id)
+            )
+            event = (
+                self.group_faults.find_active(level, group_id, day)
+                if self.group_faults is not None
+                else None
+            )
+            record = self.dispatcher.resolve_group(
+                level, group_id, int(line_ids.size), day,
+                found_fault=event is not None, rng=self.rng,
+            )
+            if event is not None and record.fixed:
+                self.group_faults.clear_event(event, record.day)
+            records.append(record)
+        return records
+
     # ----- internals ---------------------------------------------------------
 
-    def _combined_effects(self, line_precursor: np.ndarray) -> FaultEffects:
-        """Line-fault effects plus the shared pre-outage degradation."""
+    def _combined_effects(
+        self,
+        line_precursor: np.ndarray,
+        group_strength: np.ndarray | None = None,
+    ) -> FaultEffects:
+        """Line-fault effects plus the shared-infrastructure degradations."""
         effects = self.fault_model.effects(self.state)
-        if not np.any(line_precursor):
+        has_group = group_strength is not None and np.any(group_strength)
+        if not np.any(line_precursor) and not has_group:
             return effects
         cfg = self.config.outages
         # Failing shared DSLAM equipment degrades the whole transceiver
         # path: a dying line card corrupts its receivers (upstream) as
         # much as its transmitters (downstream), so the precursor couples
         # into both directions.
+        noise = cfg.precursor_noise_db * line_precursor
+        cv = cfg.precursor_cv_rate * line_precursor
+        dropout = 0.1 * line_precursor
+        cells_drop = 0.15 * line_precursor
+        if has_group:
+            # Correlated group faults sit in the same shared path (line
+            # card or binder sheath), so they couple identically.
+            g = self.group_faults.config
+            noise = noise + g.noise_db * group_strength
+            cv = cv + g.cv_rate * group_strength
+            dropout = dropout + g.dropout * group_strength
+            cells_drop = np.clip(
+                cells_drop + g.cells_drop * group_strength, 0.0, 1.0
+            )
         return FaultEffects(
-            noise_db=effects.noise_db + cfg.precursor_noise_db * line_precursor,
-            noise_db_up=effects.noise_db_up
-            + cfg.precursor_noise_db * line_precursor,
+            noise_db=effects.noise_db + noise,
+            noise_db_up=effects.noise_db_up + noise,
             atten_db=effects.atten_db,
             atten_db_up=effects.atten_db_up,
             rate_factor=effects.rate_factor,
-            cv_rate=effects.cv_rate + cfg.precursor_cv_rate * line_precursor,
-            dropout=np.clip(effects.dropout + 0.1 * line_precursor, 0.0, 1.0),
+            cv_rate=effects.cv_rate + cv,
+            dropout=np.clip(effects.dropout + dropout, 0.0, 1.0),
             off_prob=effects.off_prob,
             bridge_tap=effects.bridge_tap,
             crosstalk=effects.crosstalk,
-            cells_factor=effects.cells_factor * (1.0 - 0.15 * line_precursor),
+            cells_factor=effects.cells_factor * (1.0 - cells_drop),
         )
 
     def _sample_report_days(self, week_start: int, count: int) -> np.ndarray:

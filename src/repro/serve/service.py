@@ -10,6 +10,9 @@ Endpoints (JSON unless noted):
                          flame-style report (requires ``REPRO_TRACE``)
 ``GET /score``           per-line P(ticket): ``?line=ID[&week=W]``
 ``GET /dispatch``        top-N dispatch list: ``?[week=W][&capacity=N]``
+``GET /triage``          plant-level triage of a week's scores:
+                         ``?[week=W][&capacity=N]`` -- upstream clusters
+                         and the suppressed + backfilled dispatch plan
 ``GET /locate``          disposition ranking: ``?line=ID[&week=W][&top=K]``
 ``GET /lifecycle``       continuous-training status: registry versions and
                          events, the signed decision log, chain validity
@@ -277,6 +280,33 @@ class ScoringService:
             raise _ServiceError(400, "capacity must be >= 0")
         return 200, engine.dispatch(week, capacity).to_dict()
 
+    def handle_triage(self, query) -> tuple[int, dict]:
+        # Imported lazily: the fleet layer (and its scipy dependency)
+        # stays off the serve import path until the route is used.
+        from repro.fleet import find_clusters, plan_dispatches
+
+        week = self._resolve_week(query)
+        scored = self._scored(week)
+        engine = self._require_engine()
+        capacity = (
+            _int_param(query, "capacity")
+            if "capacity" in query
+            else engine.bundle.predictor.config.capacity
+        )
+        if capacity <= 0:
+            raise _ServiceError(400, "capacity must be positive")
+        topology = self.world.population().topology
+        triage = find_clusters(scored.scores, topology, capacity)
+        plan = plan_dispatches(scored.scores, capacity, triage, week=week)
+        payload = triage.to_dict()
+        payload.update({
+            "week": week,
+            "day": scored.day,
+            "model_version": self.model_version,
+            "plan": plan.to_dict(),
+        })
+        return 200, payload
+
     def handle_locate(self, query) -> tuple[int, dict]:
         week = self._resolve_week(query)
         top = _int_param(query, "top") if "top" in query else 10
@@ -333,6 +363,7 @@ class ScoringService:
         "/trace": handle_trace,
         "/score": handle_score,
         "/dispatch": handle_dispatch,
+        "/triage": handle_triage,
         "/locate": handle_locate,
         "/lifecycle": handle_lifecycle,
     }

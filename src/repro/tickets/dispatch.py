@@ -27,6 +27,7 @@ from repro.netsim.components import DISPOSITIONS, disposition_arrays
 __all__ = [
     "AtdsConfig",
     "DispatchRecord",
+    "GroupDispatchRecord",
     "Dispatcher",
     "DispatchList",
     "build_dispatch_list",
@@ -86,12 +87,41 @@ class DispatchRecord:
     fixed: bool
 
 
+@dataclass(frozen=True)
+class GroupDispatchRecord:
+    """Outcome of one consolidated plant dispatch (fleet triage).
+
+    Instead of rolling a truck per predicted line, the triage layer sends
+    *one* crew to the shared plant element -- the DSLAM's central office
+    or the binder's splice case -- covering every line behind it.
+
+    Attributes:
+        group_kind: ``"dslam"`` or ``"binder"``.
+        group_id: index of the plant element, per ``group_kind``.
+        n_lines: lines served by the element (the dispatches this one
+            truck roll replaces).
+        day: resolution day (absolute).
+        truck_roll: always True -- shared plant cannot be fixed remotely.
+        found_fault: whether the crew found a real shared-plant problem.
+        fixed: whether the shared fault was actually cleared.
+    """
+
+    group_kind: str
+    group_id: int
+    n_lines: int
+    day: int
+    truck_roll: bool
+    found_fault: bool
+    fixed: bool
+
+
 @dataclass
 class Dispatcher:
     """Resolves tickets into dispatch records with noisy dispositions."""
 
     config: AtdsConfig = field(default_factory=AtdsConfig)
     records: list[DispatchRecord] = field(default_factory=list)
+    group_records: list[GroupDispatchRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         arrays = disposition_arrays()
@@ -165,6 +195,37 @@ class Dispatcher:
         self.records.append(record)
         return record
 
+    def resolve_group(
+        self,
+        group_kind: str,
+        group_id: int,
+        n_lines: int,
+        report_day: int,
+        found_fault: bool,
+        rng: np.random.Generator,
+    ) -> GroupDispatchRecord:
+        """Send one crew to a shared plant element; append the record.
+
+        Shared plant always needs a field visit (no remote fixes), with
+        the same resolution delay and failed-fix risk as per-line truck
+        rolls.  Callers clear the group fault when ``record.fixed``.
+        """
+        delay = int(
+            rng.integers(self.config.min_delay_days, self.config.max_delay_days + 1)
+        )
+        fixed = found_fault and rng.random() >= self.config.failed_fix_rate
+        record = GroupDispatchRecord(
+            group_kind=group_kind,
+            group_id=int(group_id),
+            n_lines=int(n_lines),
+            day=report_day + delay,
+            truck_roll=True,
+            found_fault=found_fault,
+            fixed=fixed,
+        )
+        self.group_records.append(record)
+        return record
+
     # ----- analysis views -------------------------------------------------
 
     def disposition_counts(self) -> np.ndarray:
@@ -187,16 +248,23 @@ class Dispatcher:
         """Aggregate dispatch statistics."""
         n = len(self.records)
         if n == 0:
-            return {"dispatches": 0, "truck_rolls": 0, "no_trouble_found": 0,
-                    "failed_fixes": 0}
-        return {
-            "dispatches": n,
-            "truck_rolls": sum(r.truck_roll for r in self.records),
-            "no_trouble_found": sum(
-                r.true_disposition < 0 for r in self.records
-            ),
-            "failed_fixes": sum(not r.fixed for r in self.records),
-        }
+            summary = {"dispatches": 0, "truck_rolls": 0,
+                       "no_trouble_found": 0, "failed_fixes": 0}
+        else:
+            summary = {
+                "dispatches": n,
+                "truck_rolls": sum(r.truck_roll for r in self.records),
+                "no_trouble_found": sum(
+                    r.true_disposition < 0 for r in self.records
+                ),
+                "failed_fixes": sum(not r.fixed for r in self.records),
+            }
+        if self.group_records:
+            summary["group_dispatches"] = len(self.group_records)
+            summary["group_lines_covered"] = sum(
+                r.n_lines for r in self.group_records
+            )
+        return summary
 
     @staticmethod
     def disposition_name(index: int) -> str:

@@ -21,7 +21,7 @@ window can precede the event deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -114,6 +114,49 @@ class OutageSchedule:
                 OutageEvent(int(dslam), start, start + length - 1)
             )
         return cls(config=config, n_dslams=n_dslams, n_weeks=n_weeks, events=events)
+
+    @classmethod
+    def from_group_faults(
+        cls,
+        group_events: list,
+        n_dslams: int,
+        n_weeks: int,
+        config: OutageConfig | None = None,
+        outage_days: int = 2,
+    ) -> "OutageSchedule":
+        """Derive the tickets-side schedule from netsim group-fault events.
+
+        Each DSLAM-level correlated degradation escalates into a real
+        outage right after its window: the failing card finally dies and
+        is replaced, taking the DSLAM down for ``outage_days``.  Using
+        the *same* events on both sides keeps the netsim and tickets
+        views of a correlated scenario one consistent sample instead of
+        two independent draws (binder-level events stay below the DSLAM,
+        so they never cut the shared path and derive no outage).
+
+        The derived config zeroes ``precursor_weeks``: the group-fault
+        degradation *is* the precursor, so the schedule's own ramp would
+        double-count it.
+        """
+        config = config or OutageConfig()
+        if n_dslams <= 0 or n_weeks <= 0:
+            raise ValueError("n_dslams and n_weeks must be positive")
+        if outage_days < 1:
+            raise ValueError("outage_days must be positive")
+        derived = replace(config, precursor_weeks=0)
+        horizon = n_weeks * 7
+        events: list[OutageEvent] = []
+        for source in group_events:
+            if getattr(source, "level", None) != "dslam":
+                continue
+            start = int(source.end_day) + 1
+            if start >= horizon:
+                continue
+            events.append(
+                OutageEvent(int(source.group_id), start, start + outage_days - 1)
+            )
+        return cls(config=derived, n_dslams=n_dslams, n_weeks=n_weeks,
+                   events=events)
 
     def dslams_down_on(self, day: int) -> np.ndarray:
         """Boolean mask over DSLAMs that are in outage on ``day``."""

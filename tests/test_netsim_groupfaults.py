@@ -1,0 +1,197 @@
+"""Correlated group-fault scheduling, strengths, and the outage bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.groupfaults import (
+    LEVEL_BINDER,
+    LEVEL_DSLAM,
+    GroupFaultConfig,
+    GroupFaultModel,
+    GroupFaultSchedule,
+)
+from repro.netsim.population import PopulationConfig, build_population
+from repro.tickets.outage import OutageConfig, OutageSchedule
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return build_population(PopulationConfig(n_lines=1200, seed=3))
+
+
+@pytest.fixture(scope="module")
+def schedule(plant):
+    config = GroupFaultConfig(n_dslam_events=1, n_binder_events=2, seed=11)
+    return GroupFaultSchedule.generate(plant.topology, 20, config)
+
+
+class TestSchedule:
+    def test_event_counts(self, schedule):
+        counts = schedule.event_counts()
+        assert counts[LEVEL_DSLAM] == 1
+        assert counts[LEVEL_BINDER] == 2
+
+    def test_deterministic_under_fixed_seed(self, plant, schedule):
+        config = GroupFaultConfig(n_dslam_events=1, n_binder_events=2, seed=11)
+        again = GroupFaultSchedule.generate(plant.topology, 20, config)
+        assert len(again.events) == len(schedule.events)
+        for a, b in zip(again.events, schedule.events):
+            assert (a.level, a.group_id, a.start_day, a.end_day) == \
+                (b.level, b.group_id, b.start_day, b.end_day)
+            np.testing.assert_array_equal(a.line_ids, b.line_ids)
+            np.testing.assert_array_equal(a.onset_lags, b.onset_lags)
+
+    def test_seed_changes_schedule(self, plant, schedule):
+        config = GroupFaultConfig(n_dslam_events=1, n_binder_events=2, seed=12)
+        other = GroupFaultSchedule.generate(plant.topology, 20, config)
+        keys = {(e.level, e.group_id, e.start_day) for e in schedule.events}
+        other_keys = {(e.level, e.group_id, e.start_day) for e in other.events}
+        assert keys != other_keys
+
+    def test_events_start_in_window(self, schedule):
+        lo, hi = schedule.config.event_window
+        for event in schedule.events:
+            assert int(20 * lo) * 7 <= event.start_day < int(20 * hi) * 7 + 7
+            weeks = (event.end_day - event.start_day + 1) / 7
+            assert schedule.config.min_duration_weeks <= weeks \
+                <= schedule.config.max_duration_weeks
+
+    def test_binder_events_avoid_chosen_dslams(self, plant, schedule):
+        topology = plant.topology
+        dslam_ids = {e.group_id for e in schedule.dslam_events()}
+        for event in schedule.events:
+            if event.level == LEVEL_BINDER:
+                assert topology.dslam_of_binder(event.group_id) not in dslam_ids
+
+    def test_lags_bounded(self, schedule):
+        for event in schedule.events:
+            assert event.onset_lags.size == event.line_ids.size
+            assert event.onset_lags.min() >= 0
+            assert event.onset_lags.max() <= schedule.config.onset_lag_max_days
+
+    def test_binder_events_need_binder_topology(self, plant):
+        from dataclasses import replace
+
+        topology = plant.topology
+        bare = type(topology)(
+            brases=topology.brases, dslams=topology.dslams,
+            line_dslam=topology.line_dslam, line_bras=topology.line_bras,
+        )
+        config = GroupFaultConfig(n_binder_events=1)
+        with pytest.raises(ValueError):
+            GroupFaultSchedule.generate(bare, 20, config)
+        # DSLAM-only events still work without binders.
+        GroupFaultSchedule.generate(
+            bare, 20, replace(config, n_binder_events=0)
+        )
+
+
+class TestModel:
+    def test_strength_ramps_from_lagged_onset(self, plant, schedule):
+        model = GroupFaultModel(schedule, plant.topology.n_lines)
+        event = schedule.events[0]
+        ramp = schedule.config.ramp_days
+        before = model.line_strength(event.start_day - 1)
+        assert not np.any(before[event.line_ids] > 0)
+        # A zero-lag member is at 1/ramp on the start day and saturates.
+        zero_lag = event.line_ids[event.onset_lags == 0]
+        if zero_lag.size:
+            day0 = model.line_strength(event.start_day)
+            assert day0[zero_lag[0]] == pytest.approx(1.0 / ramp)
+        full_day = event.start_day + schedule.config.onset_lag_max_days + ramp
+        if full_day <= event.end_day:
+            full = model.line_strength(full_day)
+            assert np.all(full[event.line_ids] == 1.0)
+
+    def test_strength_zero_for_nonmembers_and_after_end(self, plant, schedule):
+        model = GroupFaultModel(schedule, plant.topology.n_lines)
+        event = schedule.events[0]
+        mid = (event.start_day + event.end_day) // 2
+        members = set()
+        for active in schedule.active_on(mid):
+            members.update(int(i) for i in active.line_ids)
+        strength = model.line_strength(mid)
+        outside = np.setdiff1d(
+            np.arange(model.n_lines), np.array(sorted(members), dtype=int)
+        )
+        assert not np.any(strength[outside] > 0)
+        horizon = max(e.end_day for e in schedule.events)
+        assert not np.any(model.line_strength(horizon + 1) > 0)
+
+    def test_clear_event_stops_degradation(self, plant, schedule):
+        config = GroupFaultConfig(n_dslam_events=1, n_binder_events=2, seed=11)
+        fresh = GroupFaultSchedule.generate(plant.topology, 20, config)
+        model = GroupFaultModel(fresh, plant.topology.n_lines)
+        event = fresh.events[0]
+        mid = (event.start_day + event.end_day) // 2
+        assert event.active_on(mid)
+        found = model.find_active(event.level, event.group_id, mid)
+        assert found is event
+        model.clear_event(event, mid)
+        assert event.cleared_day == mid
+        assert event.clear_cause == "group-dispatch"
+        assert not event.active_on(mid)          # cleared from that day on
+        assert event.active_on(mid - 1)
+        assert model.find_active(event.level, event.group_id, mid) is None
+
+
+class TestOutageBridge:
+    def test_dslam_events_become_outages(self, plant, schedule):
+        bridged = OutageSchedule.from_group_faults(
+            schedule.dslam_events(), plant.topology.n_dslams, 20,
+            outage_days=2,
+        )
+        dslam_events = schedule.dslam_events()
+        assert len(bridged.events) == len(dslam_events)
+        for outage, source in zip(bridged.events, dslam_events):
+            assert outage.dslam_id == source.group_id
+            assert outage.start_day == source.end_day + 1
+            assert outage.end_day == outage.start_day + 1
+
+    def test_bridge_disables_independent_precursor(self, plant, schedule):
+        bridged = OutageSchedule.from_group_faults(
+            schedule.dslam_events(), plant.topology.n_dslams, 20,
+            config=OutageConfig(precursor_weeks=2),
+        )
+        # The group degradation IS the precursor; a second, independent
+        # precursor ramp would double-count the signal.
+        assert bridged.config.precursor_weeks == 0
+        assert not np.any(bridged.precursor_strength(10) > 0)
+
+    def test_bridge_skips_binder_events_and_late_events(self, plant, schedule):
+        binder_only = [e for e in schedule.events if e.level == LEVEL_BINDER]
+        bridged = OutageSchedule.from_group_faults(
+            binder_only, plant.topology.n_dslams, 20
+        )
+        assert bridged.events == []
+        # An event ending on the last day cannot escalate inside the run.
+        late = schedule.dslam_events()[0]
+        late.end_day = 20 * 7 - 1
+        bridged = OutageSchedule.from_group_faults(
+            [late], plant.topology.n_dslams, 20
+        )
+        assert bridged.events == []
+
+
+class TestOutageGenerateDeterminism:
+    def test_generate_deterministic_under_fixed_seed(self):
+        config = OutageConfig(weekly_rate=0.05, seed=7)
+        first = OutageSchedule.generate(40, 20, config)
+        second = OutageSchedule.generate(40, 20, config)
+        assert len(first.events) > 0
+        assert [
+            (e.dslam_id, e.start_day, e.end_day) for e in first.events
+        ] == [
+            (e.dslam_id, e.start_day, e.end_day) for e in second.events
+        ]
+
+    def test_generate_seed_changes_events(self):
+        base = OutageSchedule.generate(40, 20, OutageConfig(weekly_rate=0.05, seed=7))
+        other = OutageSchedule.generate(40, 20, OutageConfig(weekly_rate=0.05, seed=8))
+        assert [
+            (e.dslam_id, e.start_day) for e in base.events
+        ] != [
+            (e.dslam_id, e.start_day) for e in other.events
+        ]

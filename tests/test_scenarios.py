@@ -11,6 +11,7 @@ class TestCatalog:
     def test_names(self):
         assert set(scenario_names()) == {
             "suburban", "urban", "rural", "storm_season", "outage_prone",
+            "correlated_faults",
         }
 
     def test_unknown_rejected(self):
@@ -52,3 +53,20 @@ class TestScenarioCharacter:
         n_dslams = world.population.topology.n_dslams
         # ~5%/week/DSLAM over 8 weeks.
         assert len(world.outages.events) > 0.2 * n_dslams
+
+    def test_correlated_faults_schedules_group_events(self):
+        world = DslSimulator(
+            scenario("correlated_faults", n_lines=1500, n_weeks=12)
+        ).run()
+        counts = world.group_faults.schedule.event_counts()
+        assert counts["dslam"] >= 1
+        assert counts["binder"] >= 2
+        # Escalation: every DSLAM event that ends inside the horizon
+        # becomes a tickets-side outage on the same DSLAM.
+        dslam_events = [
+            e for e in world.group_faults.schedule.dslam_events()
+            if e.end_day + 1 < 12 * 7
+        ]
+        assert {o.dslam_id for o in world.outages.events} == {
+            e.group_id for e in dslam_events
+        }
