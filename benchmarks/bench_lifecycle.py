@@ -40,6 +40,7 @@ import numpy as np
 from bench_serve import _synthetic_bundle, _synthetic_weeks
 from repro.features.encoding import EncoderConfig, LineFeatureEncoder
 from repro.netsim.population import PopulationConfig
+from repro.obs.profile import resource_section
 from repro.parallel import worker_count
 from repro.serve import (
     LineWeekStore,
@@ -170,6 +171,7 @@ def main() -> None:
             n_lines, n_weeks, n_rounds, shard, args.workers
         ),
     }
+    report["resources"] = resource_section()
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     shadow = report["shadow"]

@@ -19,6 +19,9 @@ path at deployment-like scale and writes the numbers to
   multi-head locator scorer: one-at-a-time ``locate`` calls vs a single
   ``locate_batch`` pass over the same lines, with rankings asserted
   identical.
+* **routes** -- per-route request latency (p50/p95/p99) through the real
+  :meth:`ScoringService.dispatch_request` routing layer (socket-free),
+  plus the SLO monitor's burn-rate verdict over the driven traffic.
 
 The scored margins are asserted bit-identical to an unsharded in-memory
 pass over the same assembled matrix, so the speed being measured is the
@@ -59,11 +62,13 @@ from repro.ml.boostexter import BStump, BStumpConfig, WeakLearner
 from repro.ml.calibration import PlattCalibrator
 from repro.ml.stumps import Stump
 from repro.netsim.population import PopulationConfig
+from repro.obs.profile import resource_section
 from repro.parallel import worker_count
 from repro.serve import (
     LineWeekStore,
     ModelBundle,
     ScoringEngine,
+    ScoringService,
     StoredWorld,
 )
 
@@ -287,6 +292,95 @@ def bench_serve(n_lines: int, n_weeks: int, n_rounds: int, shard_size: int,
     }
 
 
+def _latency_ms(samples: list[float]) -> dict:
+    """Exact p50/p95/p99 (ms) from raw per-request latencies."""
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def pct(q: float) -> float:
+        if n == 1:
+            return ordered[0] * 1e3
+        pos = q * (n - 1)
+        lo = int(pos)
+        frac = pos - lo
+        hi = min(lo + 1, n - 1)
+        return (ordered[lo] + (ordered[hi] - ordered[lo]) * frac) * 1e3
+
+    return {
+        "n_requests": n,
+        "p50_ms": pct(0.50),
+        "p95_ms": pct(0.95),
+        "p99_ms": pct(0.99),
+    }
+
+
+def bench_routes(n_lines: int, n_weeks: int, n_rounds: int, shard_size: int,
+                 workers: int | None):
+    """Per-route latency through the real service routing layer.
+
+    Drives :meth:`ScoringService.dispatch_request` directly (no sockets,
+    so the numbers are the service's own cost, not the kernel's) over a
+    store of synthetic weeks and an injected synthetic engine.  The
+    service's SLO monitor watches the same traffic; its status -- burn
+    rates, attainment, any alerts -- is the report's ``slo`` section.
+    """
+    rng = np.random.default_rng(20100803)
+    weeks = _synthetic_weeks(rng, n_lines, n_weeks)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = LineWeekStore.create(
+            Path(tmp) / "store",
+            n_lines=n_lines,
+            population=PopulationConfig(n_lines=n_lines, seed=11),
+        )
+        for week, day, matrix, last_ticket in weeks:
+            store.append_week(week, day, matrix, last_ticket)
+
+        service = ScoringService(
+            store.root, Path(tmp) / "registry", shard_size=shard_size,
+            workers=workers, require_model=False,
+        )
+        bundle = _synthetic_bundle(
+            rng, LineFeatureEncoder(EncoderConfig()), n_rounds,
+            capacity=max(50, n_lines // 50),
+        )
+        bundle.predictor.model.compiled()
+        service.engine = ScoringEngine(
+            bundle, service.world, shard_size=shard_size, workers=workers,
+            model_version="bench-synthetic",
+        )
+
+        target = store.latest_week
+        status, _ = service.dispatch_request("GET", f"/dispatch?week={target}")
+        assert status == 200, f"warm dispatch failed with {status}"
+
+        plan = [
+            ("/score", 400, lambda: "/score?line="
+             f"{int(rng.integers(n_lines))}&week={target}"),
+            ("/dispatch", 60, lambda: f"/dispatch?week={target}"),
+            ("/healthz", 100, lambda: "/healthz"),
+            ("/health", 100, lambda: "/health"),
+        ]
+        routes = {}
+        for route, n_requests, make_target in plan:
+            samples = []
+            for _ in range(n_requests):
+                t0 = time.perf_counter()
+                status, _ = service.dispatch_request("GET", make_target())
+                samples.append(time.perf_counter() - t0)
+                assert status == 200, f"{route} answered {status}"
+            routes[route] = _latency_ms(samples)
+        service.slo_monitor.tick()
+
+    return {
+        "n_lines": n_lines,
+        "n_rounds": n_rounds,
+        "workers": worker_count(workers),
+        "routes": routes,
+        "slo": service.slo_monitor.status(),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--lines", type=int, default=120_000,
@@ -332,6 +426,10 @@ def main() -> None:
         report["serve_single_worker"] = bench_serve(
             n_lines, n_weeks, n_rounds, shard, 1
         )
+    report["serve_routes"] = bench_routes(
+        n_lines, n_weeks, n_rounds, shard, workers
+    )
+    report["resources"] = resource_section()
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     serve = report["serve"]
@@ -356,6 +454,13 @@ def main() -> None:
         speedup = serve["lines_per_sec"] / max(single["lines_per_sec"], 1e-9)
         print(f"single-worker comparison: {single['lines_per_sec']:.0f} "
               f"lines/s ({serve['workers']} workers = {speedup:.2f}x)")
+    route_report = report["serve_routes"]
+    for route, stats in route_report["routes"].items():
+        print(f"route {route}: p50 {stats['p50_ms']:.3f} ms, "
+              f"p95 {stats['p95_ms']:.3f} ms, p99 {stats['p99_ms']:.3f} ms "
+              f"over {stats['n_requests']} requests")
+    print(f"slo:      {route_report['slo']['status']} "
+          f"({len(route_report['slo'].get('objectives', []))} objectives)")
     print(f"wrote {args.output}")
 
 

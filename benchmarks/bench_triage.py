@@ -48,6 +48,7 @@ from repro import (
 )
 from repro.netsim.population import PopulationConfig
 from repro.netsim.simulator import SATURDAY_OFFSET, DslSimulator
+from repro.obs.profile import resource_section
 
 
 def _timed(fn, repeats: int = 1):
@@ -263,6 +264,7 @@ def main() -> None:
     )
     report["scenario"] = scenario_report
     report["table5_feed"] = bench_table5_feed(result, predictor)
+    report["resources"] = resource_section()
 
     out = Path(args.out) if args.out else (
         Path(__file__).resolve().parent.parent / "BENCH_triage.json"

@@ -128,9 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs = sub.add_parser(
         "obs", parents=[common],
         help="observability tooling over the metrics registry and tracer")
-    obs.add_argument("action", choices=["report"],
+    obs.add_argument("action", choices=["report", "dashboard"],
                      help="report: run an instrumented proactive loop "
-                          "(or render --input) as a telemetry summary")
+                          "(or render --input) as a telemetry summary; "
+                          "dashboard: render sparkline trends and the "
+                          "health verdict from a flight-recorder history")
     obs.add_argument("--input", default=None,
                      help="render a previously saved telemetry JSON "
                           "instead of running the demo loop")
@@ -141,6 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--no-trace", action="store_true",
                      help="leave span tracing off for the demo loop "
                           "(metrics only)")
+    obs.add_argument("--history", default=None,
+                     help="flight-recorder JSONL path: report appends the "
+                          "demo loop's weekly snapshots there, dashboard "
+                          "reads trends from it")
 
     lifecycle = sub.add_parser(
         "lifecycle", parents=[common],
@@ -397,12 +403,22 @@ def _serve_smoke(args: argparse.Namespace) -> int:
             with urllib.request.urlopen(base + path, timeout=30) as response:
                 return response.read().decode()
 
+        def get_with_headers(path: str) -> tuple[bytes, dict]:
+            with urllib.request.urlopen(base + path, timeout=30) as response:
+                headers = {k.lower(): v for k, v in response.headers.items()}
+                return response.read(), headers
+
         try:
             health = get("/healthz")
             week = health["latest_week"]
             served = get(f"/dispatch?week={week}")
             metrics = get("/metrics")
-            prometheus = get_text("/metrics?format=prometheus")
+            body, slo_headers = get_with_headers("/health")
+            slo_health = json.loads(body)
+            prom_bytes, prom_headers = get_with_headers(
+                "/metrics?format=prometheus"
+            )
+            prometheus = prom_bytes.decode("utf-8")
             trace = get("/trace")
         finally:
             server.shutdown()
@@ -410,6 +426,23 @@ def _serve_smoke(args: argparse.Namespace) -> int:
 
     if health.get("status") != "ok":
         print(f"smoke FAILED: /healthz returned {health}")
+        return 1
+    if slo_health.get("status") != "ok":
+        print(f"smoke FAILED: /health returned {slo_health}")
+        return 1
+    for name, headers in (("/health", slo_headers),
+                          ("/metrics?format=prometheus", prom_headers)):
+        if headers.get("cache-control") != "no-store":
+            print(f"smoke FAILED: {name} response is missing "
+                  "Cache-Control: no-store")
+            return 1
+        if "charset=utf-8" not in headers.get("content-type", ""):
+            print(f"smoke FAILED: {name} content type "
+                  f"{headers.get('content-type')!r} declares no charset")
+            return 1
+    if not slo_headers.get("content-type", "").startswith("application/json"):
+        print(f"smoke FAILED: /health content type is "
+              f"{slo_headers.get('content-type')!r}, expected JSON")
         return 1
     expected = [int(i) for i in predictor.predict_top(result, week)]
     if served["line_ids"] != expected:
@@ -438,7 +471,8 @@ def _serve_smoke(args: argparse.Namespace) -> int:
     print(f"smoke ok: model {health['model_version']}, week {week}, "
           f"top-{len(served['line_ids'])} dispatch list matches the batch "
           f"predictor ({metrics['mean_lines_per_sec']:.0f} lines/sec, "
-          f"prometheus text valid{span_note})")
+          f"prometheus text valid, /health {slo_health['status']}"
+          f"{span_note})")
     return 0
 
 
@@ -467,11 +501,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    """``repro obs report``: render a run's telemetry as a summary table."""
+    """``repro obs report|dashboard``: telemetry summary / trend view."""
     import json
     from pathlib import Path
 
-    from repro.obs import collect_telemetry, render_report, set_tracing
+    from repro.obs import (
+        HealthDetector,
+        HistoryStore,
+        collect_telemetry,
+        render_dashboard,
+        render_report,
+        set_tracing,
+    )
+
+    if args.action == "dashboard":
+        path = args.history or "history.jsonl"
+        history = HistoryStore(path)
+        if len(history) == 0:
+            print(f"no flight-recorder records at {history.path} -- run "
+                  "`repro obs report --history <path>` (or a pipeline with "
+                  "a history store attached) first")
+            return 1
+        print(render_dashboard(history))
+        summary = HealthDetector(history).summary()
+        return 1 if summary["status"] == "alert" else 0
 
     if args.input is not None:
         telemetry = json.loads(Path(args.input).read_text())
@@ -500,6 +553,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 predictor=PredictorConfig(
                     capacity=capacity, train_rounds=args.rounds
                 )
+            ),
+            history=(
+                HistoryStore(args.history) if args.history is not None
+                else None
             ),
         )
         pipeline.run()

@@ -25,8 +25,10 @@ import numpy as np
 from repro.core.predictor import PredictorConfig, TicketPredictor
 from repro.data.splits import TemporalSplit, paper_style_split
 from repro.netsim.simulator import DslSimulator, SimulationConfig
+from repro.obs.history import HistoryStore
 from repro.obs.log import get_logger, kv
 from repro.obs.metrics import get_registry
+from repro.obs.profile import current_rss_kb, peak_rss_kb, stage_profile
 from repro.obs.tracing import span
 
 LOG = get_logger("pipeline")
@@ -119,6 +121,7 @@ class NevermindPipeline:
         store: "LineWeekStore | None" = None,
         registry: "ModelRegistry | None" = None,
         on_week_end=None,
+        history: HistoryStore | None = None,
     ):
         """Args:
             simulation: plant configuration (defaults as in DslSimulator).
@@ -134,6 +137,12 @@ class NevermindPipeline:
                 scheduler off this hook instead of duplicating the
                 weekly cadence; it may also be assigned after
                 construction via the ``on_week_end`` attribute.
+            history: optional flight recorder
+                (:class:`repro.obs.history.HistoryStore`); every live
+                week appends one ``pipeline_week`` record with the
+                quality gauges and per-stage resource costs, so trends
+                survive the process and the health detector can read
+                them back.
         """
         self.config = config or PipelineConfig()
         self.simulator = DslSimulator(simulation)
@@ -141,6 +150,7 @@ class NevermindPipeline:
         self.store = store
         self.registry = registry
         self.on_week_end = on_week_end
+        self.history = history
         self.reports: list[WeeklyReport] = []
         self._trained_at: int | None = None
         registry_m = get_registry()
@@ -223,7 +233,9 @@ class NevermindPipeline:
         publishes and activates the new version.
         """
         split = self._training_split(week)
-        with span("pipeline.train", week=week), self._stage_seconds.time(stage="train"):
+        with span("pipeline.train", week=week), \
+                self._stage_seconds.time(stage="train"), \
+                stage_profile("pipeline.train"):
             self.predictor.fit(self.simulator.result(), split)
         self._trained_at = week
         LOG.info(kv(
@@ -281,7 +293,8 @@ class NevermindPipeline:
         split = self._training_split(week)
         with span("pipeline.train_challenger", week=week,
                   backend=predictor_config.backend), \
-                self._stage_seconds.time(stage="train_challenger"):
+                self._stage_seconds.time(stage="train_challenger"), \
+                stage_profile("pipeline.train_challenger"):
             challenger.fit(self.simulator.result(), split)
         LOG.info(kv(
             "pipeline.train_challenger",
@@ -309,7 +322,8 @@ class NevermindPipeline:
         if self.store is None or week in self.store.weeks:
             return
         with span("pipeline.persist", week=week), \
-                self._stage_seconds.time(stage="persist"):
+                self._stage_seconds.time(stage="persist"), \
+                stage_profile("pipeline.persist"):
             result = self.simulator.result()
             day = int(result.measurements.saturday_day[week])
             self.store.append_week(
@@ -334,19 +348,23 @@ class NevermindPipeline:
             return None
 
         result = self.simulator.result()
+        stage_costs: dict[str, "StageProfile"] = {}
         with span("pipeline.score", week=week), \
-                self._stage_seconds.time(stage="score"):
+                self._stage_seconds.time(stage="score"), \
+                stage_profile("pipeline.score") as score_prof:
             scores = self.predictor.score_week(result, week)
             # Stable descending sort: identical ids to predict_top, but the
             # scores are kept so calibration drift needs no second pass.
             submitted = np.argsort(-scores, kind="stable")
             submitted = submitted[: self.config.predictor.capacity]
+        stage_costs["score"] = score_prof.profile
         plan = None
         if self.config.triage is not None:
             from repro.fleet import find_clusters, plan_dispatches
 
             with span("pipeline.triage", week=week), \
-                    self._stage_seconds.time(stage="triage"):
+                    self._stage_seconds.time(stage="triage"), \
+                    stage_profile("pipeline.triage") as triage_prof:
                 triage = find_clusters(
                     scores, result.population.topology,
                     self.config.predictor.capacity, self.config.triage,
@@ -355,8 +373,10 @@ class NevermindPipeline:
                     scores, self.config.predictor.capacity, triage, week=week
                 )
                 submitted = plan.line_ids
+            stage_costs["triage"] = triage_prof.profile
         with span("pipeline.dispatch", week=week), \
-                self._stage_seconds.time(stage="dispatch"):
+                self._stage_seconds.time(stage="dispatch"), \
+                stage_profile("pipeline.dispatch") as dispatch_prof:
             fix_day = (
                 int(result.measurements.saturday_day[week])
                 + self.config.fix_delay_days
@@ -367,6 +387,7 @@ class NevermindPipeline:
                 if plan is not None and plan.group_dispatches
                 else []
             )
+        stage_costs["dispatch"] = dispatch_prof.profile
         real = sum(r.true_disposition >= 0 for r in records)
         fixed = sum(r.true_disposition >= 0 and r.fixed for r in records)
         mean_top_p = float(scores[submitted].mean()) if submitted.size else 0.0
@@ -397,6 +418,21 @@ class NevermindPipeline:
         self._fixed_total.inc(fixed)
         self._precision_gauge.set(report.precision)
         self._drift_gauge.set(drift)
+        if self.history is not None:
+            values = {
+                "precision": report.precision,
+                "mean_top_p": mean_top_p,
+                "calibration_drift": drift,
+                "submitted": float(len(submitted)),
+                "real_problems": float(real),
+                "fixed": float(fixed),
+                "rss_kb": current_rss_kb(),
+                "peak_rss_kb": peak_rss_kb(),
+            }
+            for stage, prof in stage_costs.items():
+                values[f"wall_seconds.{stage}"] = prof.wall_seconds
+                values[f"cpu_seconds.{stage}"] = prof.cpu_seconds
+            self.history.append("pipeline_week", values, week=week)
         LOG.info(kv(
             "pipeline.week",
             week=week,

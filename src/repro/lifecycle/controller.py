@@ -59,6 +59,7 @@ class LifecycleController:
         decision_log: str | Path | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         workers: int | None = None,
+        history=None,
     ):
         """Args:
             pipeline: a proactive loop with both a line-week ``store``
@@ -69,6 +70,12 @@ class LifecycleController:
                 ``LIFECYCLE.jsonl`` inside the registry root.
             shard_size / workers: shadow scoring fan-out (same semantics
                 as the serving engine).
+            history: optional flight recorder
+                (:class:`repro.obs.history.HistoryStore`); every
+                lifecycle decision appends a ``lifecycle_decision``
+                record next to the signed log entry.  Defaults to the
+                pipeline's own recorder so one store carries both the
+                weekly and the decision series.
         """
         if pipeline.store is None or pipeline.registry is None:
             raise ValueError(
@@ -86,6 +93,7 @@ class LifecycleController:
         self.world = StoredWorld(pipeline.store)
         self.shard_size = shard_size
         self.workers = workers
+        self.history = history if history is not None else pipeline.history
         self.gate = PromotionGate(self.config)
         self.scheduler: RetrainScheduler | None = None
         self.watchdog: PromotionWatchdog | None = None
@@ -134,6 +142,17 @@ class LifecycleController:
         )
 
         pipeline.on_week_end = self._on_week_end
+
+    def _record(self, action: str, week: int, **values) -> None:
+        """Mirror a decision into the flight recorder (when attached)."""
+        if self.history is None:
+            return
+        self.history.append(
+            "lifecycle_decision",
+            {k: float(v) for k, v in values.items() if v is not None},
+            week=week,
+            meta={"action": action},
+        )
 
     # ----- driving --------------------------------------------------------
 
@@ -192,6 +211,7 @@ class LifecycleController:
             trained_week=trained_at,
             config=self.config.to_dict(),
         )
+        self._record("bootstrap", week, version=_version_number(version))
         LOG.info(kv("lifecycle.bootstrap", week=week, version=version))
 
     # ----- retrain -> shadow -> gate --------------------------------------
@@ -230,6 +250,7 @@ class LifecycleController:
             backend=backend,
             n_bins=n_bins,
         )
+        self._record("retrain", week, challenger=_version_number(version))
         LOG.info(kv(
             "lifecycle.retrain", week=week, reason=decision.reason,
             challenger=version, backend=backend,
@@ -244,6 +265,7 @@ class LifecycleController:
                 reason="no_eval_weeks",
                 detail="no stored week has a complete label horizon yet",
             )
+            self._record("hold", week, challenger=_version_number(version))
             return
         self._delta_gauge.set(shadow.precision_delta)
         self._ci_low_gauge.set(shadow.delta_ci_low)
@@ -269,6 +291,12 @@ class LifecycleController:
                 reason=reason,
                 detail=detail,
                 shadow=shadow.to_dict(),
+            )
+            self._record(
+                "hold", week,
+                challenger=_version_number(version),
+                shadow_delta=shadow.precision_delta,
+                ci_low=shadow.delta_ci_low,
             )
             LOG.info(kv(
                 "lifecycle.hold", week=week, challenger=version, reason=reason,
@@ -332,6 +360,12 @@ class LifecycleController:
             shadow=shadow.to_dict(),
             watchdog=self.watchdog.state(),
         )
+        self._record(
+            "promote", week,
+            version=_version_number(version),
+            shadow_delta=shadow.precision_delta,
+            ci_low=shadow.delta_ci_low,
+        )
         LOG.info(kv(
             "lifecycle.promote", week=week, version=version,
             delta=round(shadow.precision_delta, 4), reason=reason,
@@ -365,6 +399,12 @@ class LifecycleController:
             live_precision=verdict.precision,
             floor=verdict.floor,
             registry_event=registry_event,
+        )
+        self._record(
+            "rollback", week,
+            restored=_version_number(restored),
+            live_precision=verdict.precision,
+            floor=verdict.floor,
         )
         LOG.warning(kv(
             "lifecycle.rollback", week=week, rolled_back=failed,

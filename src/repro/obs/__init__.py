@@ -13,10 +13,31 @@ Three pillars, all stdlib-only:
 
 :mod:`repro.obs.report` renders a run's telemetry (``repro obs report``)
 and :mod:`repro.obs.promcheck` validates exposition text in CI.
+
+The *flight recorder* layer persists telemetry across runs:
+
+* :mod:`repro.obs.history` -- append-only JSONL snapshot store with
+  schema versioning, retention, and a ``query(name, window)`` API;
+* :mod:`repro.obs.profile` -- ``with stage_profile("score_week"):``
+  wall/CPU/RSS profiling, ``REPRO_PROFILE=mem`` for allocation sites;
+* :mod:`repro.obs.slo` -- declared serve objectives with multi-window
+  burn-rate alerting feeding the history store and ``GET /health``;
+* :mod:`repro.obs.health` -- EWMA trending over history series, the
+  ``repro obs dashboard`` sparkline view.
 """
 
+from repro.obs.health import (
+    DEFAULT_CHECKS,
+    HealthCheck,
+    HealthDetector,
+    HealthFinding,
+    render_dashboard,
+    sparkline,
+)
+from repro.obs.history import HistoryRecord, HistoryStore
 from repro.obs.log import (
     LOG_LEVEL_ENV_VAR,
+    RateLimitedLogger,
     configure_logging,
     get_logger,
     kv,
@@ -30,6 +51,15 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.profile import (
+    PROFILE_ENV_VAR,
+    StageProfile,
+    profile_snapshot,
+    reset_profiles,
+    resource_section,
+    stage_profile,
+)
+from repro.obs.slo import DEFAULT_SLOS, SLO, SLOMonitor
 from repro.obs.promcheck import check_prometheus_text, parse_samples
 from repro.obs.report import collect_telemetry, render_report
 from repro.obs.tracing import (
@@ -49,10 +79,28 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "DEFAULT_CHECKS",
+    "HealthCheck",
+    "HealthDetector",
+    "HealthFinding",
+    "render_dashboard",
+    "sparkline",
+    "HistoryRecord",
+    "HistoryStore",
     "LOG_LEVEL_ENV_VAR",
+    "RateLimitedLogger",
     "configure_logging",
     "get_logger",
     "kv",
+    "PROFILE_ENV_VAR",
+    "StageProfile",
+    "profile_snapshot",
+    "reset_profiles",
+    "resource_section",
+    "stage_profile",
+    "DEFAULT_SLOS",
+    "SLO",
+    "SLOMonitor",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",

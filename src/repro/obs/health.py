@@ -1,0 +1,298 @@
+"""The self-monitoring health detector: NEVERMIND's idea turned inward.
+
+The paper watches per-line time series and flags degradation before the
+customer calls; this module watches the *pipeline's own* series from the
+flight recorder (:mod:`repro.obs.history`) -- realized precision,
+calibration drift, per-stage wall time, peak RSS, serve p99 latency --
+and flags the run itself degrading before an operator has to diff
+benchmark JSONs by hand.
+
+The detector is deliberately the same shape as the repo's drift
+machinery: an EWMA baseline over the older part of the window compared
+against the mean of the most recent points, with a *triple* guard before
+flagging -- the deviation must exceed an absolute floor, a relative
+fraction of the baseline, *and* a multiple of the baseline noise
+(standard deviation).  Any single guard alone pages on stationary noise;
+all three together stay quiet on a clean run and still catch an injected
+step (both behaviours are pinned by tests).
+
+``repro obs dashboard`` renders each watched series as a sparkline with
+its verdict; ``repro obs report`` appends the same summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.history import HistoryStore
+
+__all__ = [
+    "HealthCheck",
+    "HealthFinding",
+    "HealthDetector",
+    "DEFAULT_CHECKS",
+    "ewma",
+    "sparkline",
+    "render_dashboard",
+]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """Render a series as a fixed-width unicode sparkline.
+
+    Longer series are tail-sampled to ``width`` points (the recent end
+    matters most); a constant series renders flat at mid-height.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        values = values[-width:]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0 or not math.isfinite(span):
+        return _SPARK_CHARS[3] * len(values)
+    return "".join(
+        _SPARK_CHARS[
+            min(len(_SPARK_CHARS) - 1,
+                int((v - lo) / span * len(_SPARK_CHARS)))
+        ]
+        for v in values
+    )
+
+
+def ewma(values: list[float], alpha: float = 0.3) -> float:
+    """Exponentially weighted moving average (newest weighted highest)."""
+    if not values:
+        return 0.0
+    acc = values[0]
+    for v in values[1:]:
+        acc = alpha * v + (1.0 - alpha) * acc
+    return acc
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One watched series and its alerting policy.
+
+    Attributes:
+        name: stable check identifier.
+        series: value name inside history records.
+        kind: record kind the series lives in.
+        direction: ``"high_is_bad"`` (latency, RSS, drift magnitude) or
+            ``"low_is_bad"`` (precision).
+        window: how many history points to load.
+        recent: how many newest points form the "now" estimate.
+        min_points: below this many points the check reports ``no_data``.
+        rel_threshold: flag only when the deviation exceeds this fraction
+            of the baseline magnitude...
+        abs_floor: ...and this absolute amount...
+        noise_sigmas: ...and this many baseline standard deviations.
+    """
+
+    name: str
+    series: str
+    kind: str
+    direction: str = "high_is_bad"
+    window: int = 60
+    recent: int = 3
+    min_points: int = 8
+    rel_threshold: float = 0.3
+    abs_floor: float = 0.0
+    noise_sigmas: float = 3.0
+
+    def __post_init__(self):
+        if self.direction not in ("high_is_bad", "low_is_bad"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.recent < 1 or self.min_points <= self.recent:
+            raise ValueError(
+                "need min_points > recent >= 1 so the baseline segment "
+                "is never empty"
+            )
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One check's verdict over the current history."""
+
+    check: HealthCheck
+    status: str  # "ok" | "alert" | "no_data"
+    n_points: int = 0
+    baseline: float = 0.0
+    recent_mean: float = 0.0
+    deviation: float = 0.0
+    threshold: float = 0.0
+    trend: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.check.name,
+            "series": self.check.series,
+            "kind": self.check.kind,
+            "direction": self.check.direction,
+            "status": self.status,
+            "n_points": self.n_points,
+            "baseline": self.baseline,
+            "recent_mean": self.recent_mean,
+            "deviation": self.deviation,
+            "threshold": self.threshold,
+            "trend": self.trend,
+        }
+
+
+#: What the detector watches out of the box.  Pipeline-side series come
+#: from the weekly ``pipeline_week`` records, serve-side from the SLO
+#: monitor's ``serve_tick`` records.
+DEFAULT_CHECKS = (
+    HealthCheck(
+        name="precision", series="precision", kind="pipeline_week",
+        direction="low_is_bad", rel_threshold=0.3, abs_floor=0.08,
+    ),
+    HealthCheck(
+        name="calibration_drift", series="calibration_drift",
+        kind="pipeline_week", direction="high_is_bad",
+        rel_threshold=0.5, abs_floor=0.10,
+    ),
+    HealthCheck(
+        name="score_stage_wall", series="wall_seconds.score",
+        kind="pipeline_week", direction="high_is_bad",
+        rel_threshold=0.5, abs_floor=0.005,
+    ),
+    HealthCheck(
+        name="peak_rss", series="peak_rss_kb", kind="pipeline_week",
+        direction="high_is_bad", rel_threshold=0.2, abs_floor=8192.0,
+    ),
+    HealthCheck(
+        name="score_p99_latency", series="latency_p99./score",
+        kind="serve_tick", direction="high_is_bad",
+        rel_threshold=0.5, abs_floor=0.001,
+    ),
+)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _std(values: list[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def evaluate_check(check: HealthCheck, series: list[float]) -> HealthFinding:
+    """Run one check over its raw series (pure -- pinned by unit tests)."""
+    n = len(series)
+    trend = sparkline(series)
+    if n < check.min_points:
+        return HealthFinding(check=check, status="no_data", n_points=n,
+                             trend=trend)
+    baseline_segment = series[:-check.recent]
+    recent_segment = series[-check.recent:]
+    baseline = ewma(baseline_segment)
+    recent_mean = _mean(recent_segment)
+    noise = _std(baseline_segment)
+    if check.direction == "high_is_bad":
+        deviation = recent_mean - baseline
+    else:
+        deviation = baseline - recent_mean
+    threshold = max(
+        check.abs_floor,
+        check.rel_threshold * abs(baseline),
+        check.noise_sigmas * noise,
+    )
+    status = "alert" if deviation > threshold else "ok"
+    return HealthFinding(
+        check=check,
+        status=status,
+        n_points=n,
+        baseline=baseline,
+        recent_mean=recent_mean,
+        deviation=deviation,
+        threshold=threshold,
+        trend=trend,
+    )
+
+
+class HealthDetector:
+    """Runs the checks against a flight recorder's history."""
+
+    def __init__(
+        self,
+        history: HistoryStore,
+        checks: tuple[HealthCheck, ...] = DEFAULT_CHECKS,
+    ):
+        self.history = history
+        self.checks = tuple(checks)
+
+    def evaluate(self) -> list[HealthFinding]:
+        return [
+            evaluate_check(
+                check,
+                self.history.query(
+                    check.series, window=check.window, kind=check.kind
+                ),
+            )
+            for check in self.checks
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        findings = self.evaluate()
+        alerting = [f for f in findings if f.status == "alert"]
+        evaluated = [f for f in findings if f.status != "no_data"]
+        if alerting:
+            status = "alert"
+        elif evaluated:
+            status = "ok"
+        else:
+            status = "no_data"
+        return {
+            "status": status,
+            "alerts": [f.check.name for f in alerting],
+            "checks": [f.to_dict() for f in findings],
+            "history_records": len(self.history),
+        }
+
+
+def render_dashboard(
+    history: HistoryStore,
+    checks: tuple[HealthCheck, ...] = DEFAULT_CHECKS,
+    width: int = 24,
+) -> str:
+    """The ``repro obs dashboard`` text view: trends + verdicts."""
+    detector = HealthDetector(history, checks)
+    findings = detector.evaluate()
+    kinds = history.kinds()
+    lines = [
+        "flight recorder dashboard",
+        f"  history: {history.path} "
+        f"({sum(kinds.values())} records: "
+        + (", ".join(f"{k}={v}" for k, v in sorted(kinds.items())) or "empty")
+        + ")",
+        "",
+        f"  {'check':<22} {'trend':<{width}}  "
+        f"{'baseline':>10} {'recent':>10}  status",
+    ]
+    for f in findings:
+        trend = f.trend[-width:] if f.trend else ""
+        if f.status == "no_data":
+            verdict = f"no_data ({f.n_points}/{f.check.min_points} points)"
+            stats = f"{'-':>10} {'-':>10}"
+        else:
+            arrow = "!" if f.status == "alert" else " "
+            verdict = f"{f.status}{arrow}"
+            stats = f"{f.baseline:>10.4g} {f.recent_mean:>10.4g}"
+        lines.append(
+            f"  {f.check.name:<22} {trend:<{width}}  {stats}  {verdict}"
+        )
+    alerting = [f.check.name for f in findings if f.status == "alert"]
+    lines.append("")
+    if alerting:
+        lines.append("  DEGRADATION: " + ", ".join(alerting))
+    else:
+        lines.append("  no degradation detected")
+    return "\n".join(lines)

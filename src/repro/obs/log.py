@@ -18,9 +18,16 @@ from __future__ import annotations
 import logging
 import os
 import re
+import threading
 from typing import Any
 
-__all__ = ["LOG_LEVEL_ENV_VAR", "configure_logging", "get_logger", "kv"]
+__all__ = [
+    "LOG_LEVEL_ENV_VAR",
+    "RateLimitedLogger",
+    "configure_logging",
+    "get_logger",
+    "kv",
+]
 
 LOG_LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
 
@@ -46,6 +53,66 @@ def kv(event: str, **fields) -> str:
     parts = [f"event={_format_value(event)}"]
     parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
     return " ".join(parts)
+
+
+class RateLimitedLogger:
+    """Sampled structured logging for per-item hot loops.
+
+    Wraps a stdlib logger and emits every Nth occurrence of each event
+    (the first always goes through, so a rare event is never silent).
+    Emitted lines carry ``sampled_1_in=N skipped=K`` so a reader knows
+    the line stands for K suppressed siblings.  Counters are per event
+    name and thread-safe -- scoring shards log concurrently.
+
+    Usage::
+
+        SHARD_LOG = RateLimitedLogger(get_logger("serve.scoring"),
+                                      sample_every=50)
+        SHARD_LOG.debug("serve.shard", shard=i, rows=n)
+    """
+
+    def __init__(self, logger: logging.Logger, sample_every: int = 100):
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.logger = logger
+        self.sample_every = sample_every
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._skipped: dict[str, int] = {}
+
+    def _admit(self, event: str) -> int | None:
+        """The skipped-since-last-emit count, or None to suppress."""
+        with self._lock:
+            count = self._counts.get(event, 0)
+            self._counts[event] = count + 1
+            if count % self.sample_every == 0:
+                skipped = self._skipped.get(event, 0)
+                self._skipped[event] = 0
+                return skipped
+            self._skipped[event] = self._skipped.get(event, 0) + 1
+            return None
+
+    def log(self, level: int, event: str, **fields) -> None:
+        if not self.logger.isEnabledFor(level):
+            return  # free when the level is off: no lock, no counting
+        skipped = self._admit(event)
+        if skipped is None:
+            return
+        self.logger.log(level, kv(
+            event, **fields,
+            sampled_1_in=self.sample_every, skipped=skipped,
+        ))
+
+    def debug(self, event: str, **fields) -> None:
+        self.log(logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log(logging.INFO, event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log(logging.WARNING, event, **fields)
 
 
 class KeyValueFormatter(logging.Formatter):

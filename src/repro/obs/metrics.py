@@ -44,6 +44,17 @@ __all__ = [
     "set_registry",
 ]
 
+
+def _validate_buckets(buckets) -> tuple[float, ...]:
+    bounds = tuple(float(b) for b in buckets)
+    if not bounds:
+        raise ValueError("histogram needs at least one bucket boundary")
+    if any(not math.isfinite(b) for b in bounds):
+        raise ValueError("bucket boundaries must be finite (+Inf is implicit)")
+    if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        raise ValueError("bucket boundaries must be strictly increasing")
+    return bounds
+
 #: Default latency buckets in seconds: sub-millisecond shard scores up to
 #: multi-second training runs, with an implicit +Inf overflow bucket.
 DEFAULT_BUCKETS = (
@@ -153,14 +164,7 @@ class Histogram(_Metric):
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ):
         super().__init__(name, help, lock)
-        bounds = tuple(float(b) for b in buckets)
-        if not bounds:
-            raise ValueError("histogram needs at least one bucket boundary")
-        if any(not math.isfinite(b) for b in bounds):
-            raise ValueError("bucket boundaries must be finite (+Inf is implicit)")
-        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
-            raise ValueError("bucket boundaries must be strictly increasing")
-        self.buckets = bounds
+        self.buckets = _validate_buckets(buckets)
         self._series: dict[_LabelKey, _HistogramSeries] = {}
 
     def observe(self, value: float, **labels) -> None:
@@ -224,6 +228,7 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._metrics: dict[str, _Metric] = {}
+        self._bucket_overrides: dict[str, tuple[float, ...]] = {}
 
     # ----- registration ---------------------------------------------------
 
@@ -249,14 +254,59 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create(Gauge, name, help)
 
+    def configure_buckets(
+        self, name: str, buckets: tuple[float, ...]
+    ) -> None:
+        """Override the bucket boundaries a named histogram will get.
+
+        Operators retune a metric's resolution (e.g. sub-millisecond
+        serve latencies) without touching call sites: the override wins
+        over both the instrumenting code's explicit ``buckets=`` and the
+        default.  Must run before the metric's first registration --
+        recorded observations cannot be rebinned.
+        """
+        bounds = _validate_buckets(buckets)
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (
+                    isinstance(existing, Histogram)
+                    and existing.buckets == bounds
+                ):
+                    self._bucket_overrides[name] = bounds
+                    return  # a no-op re-configuration is fine
+                raise ValueError(
+                    f"histogram {name!r} is already registered; configure "
+                    "buckets before the metric's first use"
+                )
+            self._bucket_overrides[name] = bounds
+
     def histogram(
         self,
         name: str,
         help: str = "",
-        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        buckets: tuple[float, ...] | None = None,
     ) -> Histogram:
-        metric = self._get_or_create(Histogram, name, help, buckets=buckets)
-        if metric.buckets != tuple(float(b) for b in buckets):
+        """Get or create a histogram.
+
+        Bucket resolution order: a :meth:`configure_buckets` override,
+        then the caller's explicit ``buckets=``, then
+        :data:`DEFAULT_BUCKETS`.  A get with boundaries different from
+        the registered ones raises -- two call sites silently observing
+        into differently-binned series is the bug this guards against.
+        """
+        with self._lock:
+            override = self._bucket_overrides.get(name)
+        if override is not None:
+            resolved = override
+        elif buckets is not None:
+            resolved = _validate_buckets(buckets)
+        else:
+            resolved = DEFAULT_BUCKETS
+        metric = self._get_or_create(Histogram, name, help, buckets=resolved)
+        if metric.buckets != resolved:
             raise ValueError(
                 f"histogram {name!r} is already registered with different "
                 "bucket boundaries"

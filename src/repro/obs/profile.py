@@ -1,0 +1,407 @@
+"""Per-stage resource profiling: wall time, CPU time, RSS deltas.
+
+``with stage_profile("pipeline.score"):`` records what a stage *cost*,
+not just how long it took -- CPU seconds (``resource.getrusage``, so
+thread-pool fan-out shows up as cpu > wall) and resident-set-size
+before/after/peak (``/proc/self/status`` on Linux, ``ru_maxrss``
+elsewhere).  Every pipeline stage, the parallel fabric's fan-outs, and
+all four benchmark harnesses run under one, so ``BENCH_*.json`` carry
+resource sections and the flight recorder (:mod:`repro.obs.history`)
+gets ``wall_seconds.<stage>`` / ``peak_rss_kb`` series to trend.
+
+Two sinks, both cheap:
+
+* the metrics registry -- ``repro_stage_wall_seconds{stage=...}``
+  (histogram), ``repro_stage_cpu_seconds_total{stage=...}`` (counter),
+  ``repro_stage_rss_delta_kb`` / ``repro_stage_peak_rss_kb`` (gauges);
+* a process-local accumulation table (:func:`profile_snapshot`) that
+  the benchmarks fold into their JSON reports via
+  :func:`resource_section`.
+
+Memory attribution is opt-in: ``REPRO_PROFILE=mem`` turns on
+``tracemalloc`` around each profiled stage, reads true current RSS from
+``/proc/self/status``, and records the top-N allocation sites.  It is
+*off* by default because those probes cost real time -- the <3%
+instrumentation-overhead bench guard runs with the default level, where
+a stage profile is one ``getrusage`` call on each side of the block
+(RSS figures then track the high-water mark, which is what capacity
+planning reads anyway) and registry metrics are flushed from the
+accumulation table every ``_FLUSH_EVERY`` calls per stage: wall/CPU
+sums stay exact, histogram counts are batch-sampled, gauges lag by at
+most a few calls.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "StageProfile",
+    "stage_profile",
+    "profile_snapshot",
+    "reset_profiles",
+    "resource_section",
+    "current_rss_kb",
+    "peak_rss_kb",
+    "cpu_seconds",
+    "mem_profiling_enabled",
+]
+
+#: ``REPRO_PROFILE=mem`` turns on tracemalloc top-allocator capture.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+#: Stage wall times: sub-ms fabric fan-outs up to minutes-long trainings.
+_STAGE_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+_TOP_ALLOCATORS = 5
+
+
+def mem_profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE=mem`` asks for allocation attribution."""
+    return os.environ.get(PROFILE_ENV_VAR, "").strip().lower() == "mem"
+
+
+# The profiling level is sampled once and cached: an environment read on
+# every profiled block is measurable on the hot path.  Changing
+# ``REPRO_PROFILE`` mid-process takes effect after
+# :func:`reset_profiles` (which tests and benchmark sections call).
+_MEM_MODE: bool | None = None
+
+
+def _mem_mode() -> bool:
+    global _MEM_MODE
+    if _MEM_MODE is None:
+        _MEM_MODE = mem_profiling_enabled()
+    return _MEM_MODE
+
+
+# ----- raw process readings -----------------------------------------------
+
+def _maxrss_kb() -> float:
+    """``ru_maxrss`` normalised to kB (Linux reports kB, macOS bytes)."""
+    value = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return value / 1024.0
+    return float(value)
+
+
+# /proc/self/status is re-read with pread on one cached descriptor:
+# pread does not move the offset, so concurrent profiled blocks share it
+# safely, and the hot path pays one syscall instead of open/read/close.
+_PROC_STATUS_FD: int | None = None
+try:
+    _PROC_STATUS_FD = os.open("/proc/self/status", os.O_RDONLY)
+except OSError:
+    _PROC_STATUS_FD = None
+
+
+def _proc_status_kb(field_name: bytes) -> float | None:
+    """A ``VmRSS``/``VmHWM`` line from /proc/self/status, in kB."""
+    if _PROC_STATUS_FD is None:
+        return None
+    try:
+        raw = os.pread(_PROC_STATUS_FD, 8192, 0)
+    except OSError:
+        return None
+    start = raw.find(field_name)
+    if start < 0:
+        return None
+    end = raw.find(b"\n", start)
+    return float(raw[start:end].split()[1])
+
+
+def current_rss_kb() -> float:
+    """Resident set size right now, in kB (falls back to the peak when
+    the platform cannot report a current value)."""
+    rss = _proc_status_kb(b"VmRSS:")
+    return rss if rss is not None else _maxrss_kb()
+
+
+def peak_rss_kb() -> float:
+    """Peak resident set size of this process so far, in kB.
+
+    ``ru_maxrss`` *is* the high-water mark on Linux and macOS -- one
+    cheap syscall, no /proc parsing on the hot path.
+    """
+    return _maxrss_kb()
+
+
+def cpu_seconds() -> float:
+    """User + system CPU seconds consumed by this process so far."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_utime + usage.ru_stime
+
+
+def _rusage_readings() -> tuple[float, float]:
+    """(cpu seconds, peak RSS kB) from a single ``getrusage`` syscall."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    maxrss = usage.ru_maxrss
+    if sys.platform == "darwin":
+        maxrss /= 1024.0
+    return usage.ru_utime + usage.ru_stime, float(maxrss)
+
+
+# ----- the profile record --------------------------------------------------
+
+@dataclass
+class StageProfile:
+    """What one profiled block cost."""
+
+    stage: str
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    rss_before_kb: float = 0.0
+    rss_after_kb: float = 0.0
+    rss_delta_kb: float = 0.0
+    peak_rss_kb: float = 0.0
+    calls: int = 1
+    allocators: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        out = {
+            "stage": self.stage,
+            "calls": self.calls,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "rss_delta_kb": self.rss_delta_kb,
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+        if self.allocators:
+            out["allocators"] = self.allocators
+        return out
+
+
+# Process-local accumulation, keyed by stage name.  Guarded by its own
+# lock (not the metrics registry's): fabric workers profile concurrently.
+_TABLE_LOCK = threading.Lock()
+_TABLE: dict[str, StageProfile] = {}
+
+#: Sampled-metric cadence: registry metrics are flushed on the first
+#: call and every Nth thereafter, per stage.  Sums stay exact (each
+#: flush covers everything since the last); the wall histogram sees
+#: batched observations and gauges lag by at most N-1 calls, which
+#: coarse trends tolerate -- exact per-call percentiles come from the
+#: flight recorder's raw series, not this histogram.
+_FLUSH_EVERY = 16
+
+# Wall/CPU seconds already flushed to the registry, per stage.
+_EMITTED_CPU: dict[str, float] = {}
+_EMITTED_WALL: dict[str, float] = {}
+
+
+def _accumulate(
+    stage: str,
+    wall: float,
+    cpu: float,
+    rss_before: float,
+    rss_after: float,
+    peak: float,
+    allocators: list[dict] | None = None,
+) -> tuple[float, float] | None:
+    """Fold one block's raw readings into the table.
+
+    Takes plain floats (not a :class:`StageProfile`) so the hot path
+    never pays a dataclass construction for a block nobody inspects.
+    Returns ``(wall, cpu)`` seconds to flush to the registry when this
+    call falls on the sampling cadence, else ``None`` (emit nothing).
+    """
+    with _TABLE_LOCK:
+        total = _TABLE.get(stage)
+        if total is None:
+            total = StageProfile(
+                stage=stage,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                rss_before_kb=rss_before,
+                rss_after_kb=rss_after,
+                rss_delta_kb=rss_after - rss_before,
+                peak_rss_kb=peak,
+                allocators=list(allocators) if allocators else [],
+            )
+            _TABLE[stage] = total
+        else:
+            total.calls += 1
+            total.wall_seconds += wall
+            total.cpu_seconds += cpu
+            total.rss_after_kb = rss_after
+            total.rss_delta_kb += rss_after - rss_before
+            total.peak_rss_kb = max(total.peak_rss_kb, peak)
+            if allocators:
+                total.allocators = allocators
+        if total.calls == 1 or total.calls % _FLUSH_EVERY == 0:
+            flush_wall = total.wall_seconds - _EMITTED_WALL.get(stage, 0.0)
+            flush_cpu = total.cpu_seconds - _EMITTED_CPU.get(stage, 0.0)
+            _EMITTED_WALL[stage] = total.wall_seconds
+            _EMITTED_CPU[stage] = total.cpu_seconds
+            return flush_wall, flush_cpu
+        return None
+
+
+def profile_snapshot() -> dict[str, dict]:
+    """Accumulated per-stage totals since the last :func:`reset_profiles`."""
+    with _TABLE_LOCK:
+        return {name: p.to_dict() for name, p in sorted(_TABLE.items())}
+
+
+def reset_profiles() -> None:
+    """Clear the accumulation table (tests, benchmark section boundaries)."""
+    global _MEM_MODE
+    with _TABLE_LOCK:
+        _TABLE.clear()
+        _EMITTED_CPU.clear()
+        _EMITTED_WALL.clear()
+    _MEM_MODE = None  # re-read REPRO_PROFILE on the next profiled block
+
+
+def resource_section() -> dict:
+    """Process + per-stage resource summary for a ``BENCH_*.json`` report."""
+    return {
+        "peak_rss_kb": peak_rss_kb(),
+        "current_rss_kb": current_rss_kb(),
+        "cpu_seconds": cpu_seconds(),
+        "mem_profiling": mem_profiling_enabled(),
+        "stages": profile_snapshot(),
+    }
+
+
+# ----- the context manager -------------------------------------------------
+
+# Metric handles are cached per registry object so a profiled block in a
+# hot loop pays dict-lookup-and-compare once, not four get-or-creates.
+# The benign race (two threads computing the same tuple) is harmless.
+_METRIC_CACHE: tuple | None = None
+
+
+def _stage_metrics(registry):
+    global _METRIC_CACHE
+    cached = _METRIC_CACHE
+    if cached is not None and cached[0] is registry:
+        return cached[1:]
+    handles = (
+        registry.histogram(
+            "repro_stage_wall_seconds",
+            "Wall time per profiled stage",
+            buckets=_STAGE_BUCKETS,
+        ),
+        registry.counter(
+            "repro_stage_cpu_seconds_total",
+            "CPU (user+system) seconds per profiled stage",
+        ),
+        registry.gauge(
+            "repro_stage_rss_delta_kb",
+            "RSS change across the last run of each profiled stage",
+        ),
+        registry.gauge(
+            "repro_stage_peak_rss_kb",
+            "Process peak RSS at the end of each profiled stage",
+        ),
+    )
+    _METRIC_CACHE = (registry, *handles)
+    return handles
+
+class stage_profile:
+    """Profile one block: ``with stage_profile("score_week") as sp: ...``.
+
+    On exit the measured :class:`StageProfile` is available as
+    ``sp.profile``, folded into the process-local table, and emitted to
+    the metrics registry.  CPU time is process-wide (getrusage), so
+    concurrent profiled blocks each see the shared total -- fine for the
+    pipeline's serialized stages and the fabric's one-fan-out-at-a-time
+    usage, and documented rather than papered over.
+
+    The exit path stores raw readings only; ``sp.profile`` materialises
+    the :class:`StageProfile` on first access, so hot loops that never
+    inspect it skip the construction entirely.
+    """
+
+    def __init__(self, stage: str, registry=None):
+        self.stage = stage
+        self._registry = registry
+        self._profile: StageProfile | None = None
+        self._done = False
+        self._tracemalloc = None
+        self._allocators: list[dict] = []
+
+    @property
+    def profile(self) -> StageProfile | None:
+        """The measured block cost (None until the block exits)."""
+        if not self._done:
+            return None
+        if self._profile is None:
+            self._profile = StageProfile(
+                stage=self.stage,
+                wall_seconds=self._wall,
+                cpu_seconds=self._cpu,
+                rss_before_kb=self._rss_before,
+                rss_after_kb=self._rss_after,
+                rss_delta_kb=self._rss_after - self._rss_before,
+                peak_rss_kb=self._peak,
+                allocators=self._allocators,
+            )
+        return self._profile
+
+    def __enter__(self) -> "stage_profile":
+        self._mem = _mem_mode()
+        if self._mem:
+            import tracemalloc
+
+            self._tracemalloc = tracemalloc
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+            else:
+                self._tracemalloc = None  # someone else owns the tracer
+        # Default level: one getrusage syscall -- RSS-before is the
+        # high-water mark, so rss_delta measures peak *growth*.  Mem
+        # mode pays the /proc read for a true current-RSS delta.
+        self._cpu_before, maxrss = _rusage_readings()
+        self._rss_before = current_rss_kb() if self._mem else maxrss
+        self._wall_before = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        wall = perf_counter() - self._wall_before
+        cpu_after, peak = _rusage_readings()
+        cpu = cpu_after - self._cpu_before
+        rss_after = current_rss_kb() if self._mem else peak
+        if self._tracemalloc is not None:
+            snapshot = self._tracemalloc.take_snapshot()
+            self._tracemalloc.stop()
+            for stat in snapshot.statistics("lineno")[:_TOP_ALLOCATORS]:
+                frame = stat.traceback[0]
+                self._allocators.append({
+                    "site": f"{frame.filename}:{frame.lineno}",
+                    "size_kb": stat.size / 1024.0,
+                    "count": stat.count,
+                })
+        self._wall = wall
+        self._cpu = cpu
+        self._rss_after = rss_after
+        self._peak = peak
+        self._done = True
+        flushes = _accumulate(
+            self.stage, wall, cpu, self._rss_before, rss_after, peak,
+            self._allocators or None,
+        )
+        if flushes is not None:
+            flush_wall, flush_cpu = flushes
+            registry = (
+                self._registry if self._registry is not None
+                else get_registry()
+            )
+            wall_hist, cpu_total, rss_delta, rss_peak = _stage_metrics(registry)
+            wall_hist.observe(flush_wall, stage=self.stage)
+            cpu_total.inc(max(flush_cpu, 0.0), stage=self.stage)
+            rss_delta.set(rss_after - self._rss_before, stage=self.stage)
+            rss_peak.set(peak, stage=self.stage)
+        return False

@@ -1,0 +1,346 @@
+"""Serve SLOs: declared objectives + multi-window burn-rate alerting.
+
+An :class:`SLO` declares what "good" means for a route -- a latency
+objective (``p99 /score < 50ms`` is expressed as "99% of requests finish
+under 50ms") or plain availability (non-5xx).  The
+:class:`SLOMonitor` sits inside the scoring service's dispatch path,
+counts good/total per objective, and evaluates **burn rate** the way
+SRE practice does: with an error budget of ``1 - target``, the burn rate
+is ``error_rate / budget`` -- burn 1.0 spends the budget exactly on
+schedule, burn 2.0 spends it twice as fast.  Alerting requires *both* a
+fast window (default 5 ticks, catches a cliff) and a slow window
+(default 60 ticks, rejects a blip) to burn above threshold -- the
+standard multi-window construction that keeps pages rare and real.
+
+Observations accumulate into *ticks* (one tick per ``tick_every``
+requests, or on an explicit :meth:`SLOMonitor.tick`).  Each tick writes
+one ``serve_tick`` record to the flight recorder with exact per-route
+latency percentiles (p50/p95/p99 over the tick's raw samples -- the
+tick is a bounded window, so no histogram estimation error) plus per-SLO
+attainment and burn rates; threshold crossings additionally write
+``slo_alert`` records.  ``GET /health`` renders :meth:`SLOMonitor.status`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.history import HistoryStore
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import get_registry
+
+__all__ = ["SLO", "SLOMonitor", "DEFAULT_SLOS"]
+
+LOG = get_logger("obs.slo")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declared objective.
+
+    Attributes:
+        name: stable identifier (metric label, history series name).
+        route: the route it covers, or ``"*"`` for every route.
+        kind: ``"latency"`` (good = fast enough and not a server error)
+            or ``"availability"`` (good = not a server error).
+        threshold_seconds: the latency bound (latency kind only).
+        target: fraction of requests that must be good (e.g. 0.99);
+            the error budget is ``1 - target``.
+    """
+
+    name: str
+    route: str
+    kind: str = "latency"
+    threshold_seconds: float | None = None
+    target: float = 0.99
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and self.threshold_seconds is None:
+            raise ValueError(f"latency SLO {self.name!r} needs a threshold")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {self.target}")
+
+    def covers(self, route: str) -> bool:
+        return self.route == "*" or self.route == route
+
+    def is_good(self, seconds: float, status: int) -> bool:
+        if status >= 500:
+            return False
+        if self.kind == "latency":
+            return seconds <= self.threshold_seconds
+        return True
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "route": self.route,
+            "kind": self.kind,
+            "threshold_seconds": self.threshold_seconds,
+            "target": self.target,
+        }
+
+
+#: The serving layer's declared objectives.  Cached reads answer in tens
+#: of microseconds, so 50ms@99% for /score leaves two orders of
+#: magnitude of headroom before a page -- a *page-worthy* bound, not a
+#: wish; /dispatch cuts a full top-N list, so it gets 250ms@95%.
+DEFAULT_SLOS = (
+    SLO(name="score_latency", route="/score", kind="latency",
+        threshold_seconds=0.050, target=0.99),
+    SLO(name="dispatch_latency", route="/dispatch", kind="latency",
+        threshold_seconds=0.250, target=0.95),
+    SLO(name="availability", route="*", kind="availability", target=0.999),
+)
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class _WindowCounts:
+    """Per-SLO (good, total) pairs over the last ``maxlen`` ticks."""
+
+    def __init__(self, maxlen: int):
+        self.ticks: deque[tuple[int, int]] = deque(maxlen=maxlen)
+
+    def push(self, good: int, total: int) -> None:
+        self.ticks.append((good, total))
+
+    def error_rate(self, window: int) -> float | None:
+        recent = list(self.ticks)[-window:]
+        total = sum(t for _, t in recent)
+        if total == 0:
+            return None
+        good = sum(g for g, _ in recent)
+        return 1.0 - good / total
+
+
+class SLOMonitor:
+    """Accumulates request outcomes, ticks windows, emits alerts.
+
+    Args:
+        slos: the declared objectives (default :data:`DEFAULT_SLOS`).
+        history: optional flight recorder; each tick appends a
+            ``serve_tick`` record, each threshold crossing an
+            ``slo_alert`` record.
+        fast_window / slow_window: burn-rate windows in *ticks*.
+        burn_threshold: both windows must burn at or above this to alert.
+        tick_every: auto-tick after this many observations (an explicit
+            :meth:`tick` call also works, e.g. from a timer).
+    """
+
+    def __init__(
+        self,
+        slos: tuple[SLO, ...] = DEFAULT_SLOS,
+        history: HistoryStore | None = None,
+        fast_window: int = 5,
+        slow_window: int = 60,
+        burn_threshold: float = 2.0,
+        tick_every: int = 64,
+    ):
+        if fast_window < 1 or slow_window < fast_window:
+            raise ValueError(
+                "windows must satisfy 1 <= fast_window <= slow_window"
+            )
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.slos = tuple(slos)
+        self.history = history
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.burn_threshold = burn_threshold
+        self.tick_every = tick_every
+
+        self._lock = threading.Lock()
+        self._windows = {s.name: _WindowCounts(slow_window) for s in self.slos}
+        self._pending_good = {s.name: 0 for s in self.slos}
+        self._pending_total = {s.name: 0 for s in self.slos}
+        self._pending_latency: dict[str, list[float]] = {}
+        self._pending_observations = 0
+        self._ticks = 0
+        self._alerting: dict[str, bool] = {s.name: False for s in self.slos}
+        self._last_burns: dict[str, dict[str, float | None]] = {}
+
+        metrics = get_registry()
+        self._ticks_total = metrics.counter(
+            "repro_slo_ticks_total", "SLO evaluation windows closed"
+        )
+        self._alerts_total = metrics.counter(
+            "repro_slo_alerts_total", "Burn-rate alerts raised, by SLO"
+        )
+        self._burn_gauge = metrics.gauge(
+            "repro_slo_burn_rate",
+            "Fast-window burn rate per SLO (budget multiples)",
+        )
+        self._attainment_gauge = metrics.gauge(
+            "repro_slo_attainment",
+            "Slow-window good-request fraction per SLO",
+        )
+
+    # ----- ingest ---------------------------------------------------------
+
+    def observe(self, route: str, seconds: float, status: int) -> None:
+        """Record one request outcome; auto-ticks every ``tick_every``."""
+        with self._lock:
+            for slo in self.slos:
+                if not slo.covers(route):
+                    continue
+                self._pending_total[slo.name] += 1
+                if slo.is_good(seconds, status):
+                    self._pending_good[slo.name] += 1
+            self._pending_latency.setdefault(route, []).append(seconds)
+            self._pending_observations += 1
+            due = self._pending_observations >= self.tick_every
+        if due:
+            self.tick()
+
+    # ----- evaluation -----------------------------------------------------
+
+    def tick(self) -> dict[str, Any] | None:
+        """Close the current window: evaluate burn rates, record, alert.
+
+        Returns the ``serve_tick`` values written to the history store,
+        or None when no observations arrived since the last tick.
+        """
+        with self._lock:
+            if self._pending_observations == 0:
+                return None
+            pending_good = dict(self._pending_good)
+            pending_total = dict(self._pending_total)
+            latencies = self._pending_latency
+            n_observations = self._pending_observations
+            self._pending_good = {s.name: 0 for s in self.slos}
+            self._pending_total = {s.name: 0 for s in self.slos}
+            self._pending_latency = {}
+            self._pending_observations = 0
+            self._ticks += 1
+            tick_index = self._ticks
+
+            values: dict[str, float] = {"requests.total": float(n_observations)}
+            for route, samples in sorted(latencies.items()):
+                samples.sort()
+                values[f"requests.{route}"] = float(len(samples))
+                for q in _PERCENTILES:
+                    values[f"latency_p{q:g}.{route}"] = _percentile(samples, q)
+
+            alerts: list[dict[str, Any]] = []
+            for slo in self.slos:
+                window = self._windows[slo.name]
+                window.push(pending_good[slo.name], pending_total[slo.name])
+                fast = window.error_rate(self.fast_window)
+                slow = window.error_rate(self.slow_window)
+                burn_fast = None if fast is None else fast / slo.budget
+                burn_slow = None if slow is None else slow / slo.budget
+                self._last_burns[slo.name] = {
+                    "fast": burn_fast, "slow": burn_slow,
+                }
+                alerting = (
+                    burn_fast is not None
+                    and burn_slow is not None
+                    and burn_fast >= self.burn_threshold
+                    and burn_slow >= self.burn_threshold
+                )
+                newly = alerting and not self._alerting[slo.name]
+                self._alerting[slo.name] = alerting
+                if burn_fast is not None:
+                    values[f"burn_fast.{slo.name}"] = burn_fast
+                    self._burn_gauge.set(burn_fast, slo=slo.name)
+                if slow is not None:
+                    values[f"attainment.{slo.name}"] = 1.0 - slow
+                    self._attainment_gauge.set(1.0 - slow, slo=slo.name)
+                values[f"alerting.{slo.name}"] = float(alerting)
+                if newly:
+                    alerts.append({
+                        "slo": slo.name,
+                        "burn_fast": burn_fast,
+                        "burn_slow": burn_slow,
+                        "threshold": self.burn_threshold,
+                        "objective": slo.to_dict(),
+                    })
+
+        self._ticks_total.inc()
+        if self.history is not None:
+            self.history.append(
+                "serve_tick", values, meta={"tick": tick_index}
+            )
+            for alert in alerts:
+                self._alerts_total.inc(slo=alert["slo"])
+                self.history.append(
+                    "slo_alert",
+                    {
+                        "burn_fast": alert["burn_fast"],
+                        "burn_slow": alert["burn_slow"],
+                        "threshold": alert["threshold"],
+                    },
+                    meta={"slo": alert["slo"],
+                          "objective": alert["objective"]},
+                )
+        else:
+            for alert in alerts:
+                self._alerts_total.inc(slo=alert["slo"])
+        for alert in alerts:
+            LOG.warning(kv(
+                "slo.alert",
+                slo=alert["slo"],
+                burn_fast=round(alert["burn_fast"], 2),
+                burn_slow=round(alert["burn_slow"], 2),
+                threshold=alert["threshold"],
+            ))
+        return values
+
+    # ----- status ---------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """SLO summary for ``GET /health``: per-objective and overall."""
+        with self._lock:
+            objectives = []
+            any_alerting = False
+            any_data = False
+            for slo in self.slos:
+                burns = self._last_burns.get(slo.name, {})
+                slow = self._windows[slo.name].error_rate(self.slow_window)
+                alerting = self._alerting[slo.name]
+                any_alerting = any_alerting or alerting
+                any_data = any_data or slow is not None
+                objectives.append({
+                    **slo.to_dict(),
+                    "attainment": None if slow is None else 1.0 - slow,
+                    "burn_fast": burns.get("fast"),
+                    "burn_slow": burns.get("slow"),
+                    "alerting": alerting,
+                })
+            return {
+                # A fresh service with no traffic yet is healthy, not
+                # unknown: "no_data" only ever qualifies per-objective.
+                "status": "alerting" if any_alerting else "ok",
+                "ticks": self._ticks,
+                "windows": {
+                    "fast_ticks": self.fast_window,
+                    "slow_ticks": self.slow_window,
+                    "burn_threshold": self.burn_threshold,
+                    "tick_every": self.tick_every,
+                },
+                "has_data": any_data,
+                "objectives": objectives,
+            }

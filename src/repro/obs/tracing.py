@@ -244,10 +244,18 @@ class Tracer:
             self._local.remote_parent = previous
 
     def merge_remote(self, spans: list[dict[str, Any]]) -> None:
-        """Graft exported span trees (from another process) onto this one."""
+        """Graft exported span trees (from another process) onto this one.
+
+        Merging is idempotent per span id: a payload whose ``span_id``
+        is already indexed is dropped, so a worker batch delivered twice
+        (a retried pipe send, an at-least-once queue) does not duplicate
+        subtrees in the exported trace.
+        """
         for payload in spans:
             s = Span.from_dict(payload)
             with self._lock:
+                if s.span_id in self._index:
+                    continue
                 owner = self._index.get(s.parent_id) if s.parent_id else None
                 if owner is not None:
                     owner.children.append(s)

@@ -45,6 +45,7 @@ from time import perf_counter
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.obs.metrics import get_registry
+from repro.obs.profile import stage_profile
 from repro.obs.tracing import get_tracer, tracing_enabled
 
 __all__ = ["WORKERS_ENV_VAR", "worker_count", "parallel_map", "split_shards"]
@@ -173,13 +174,17 @@ def parallel_map(
 
     queue_depth.inc(len(work))
     try:
-        if n_workers == 1 or len(work) <= 1:
-            return [run(indexed) for indexed in enumerate(work)]
-        with ThreadPoolExecutor(
-            max_workers=min(n_workers, len(work)),
-            thread_name_prefix="repro-worker",
-        ) as pool:
-            return list(pool.map(run, enumerate(work)))
+        # One profile block per *fan-out* (not per task): the resource
+        # ledger answers "what did this whole sweep cost", task-level
+        # wall time is already on repro_parallel_task_seconds.
+        with stage_profile(f"fabric.{task_label}"):
+            if n_workers == 1 or len(work) <= 1:
+                return [run(indexed) for indexed in enumerate(work)]
+            with ThreadPoolExecutor(
+                max_workers=min(n_workers, len(work)),
+                thread_name_prefix="repro-worker",
+            ) as pool:
+                return list(pool.map(run, enumerate(work)))
     except BaseException:
         # Tasks cancelled before starting never ran their dec; rebalance
         # so an aborted fan-out cannot leave queue depth pinned above

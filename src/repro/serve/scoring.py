@@ -38,6 +38,7 @@ import numpy as np
 from repro.features.encoding import FeatureSet
 from repro.measurement.records import MeasurementStore
 from repro.netsim.population import Population
+from repro.obs.log import RateLimitedLogger, get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
 from repro.parallel import parallel_map, split_shards
@@ -57,6 +58,10 @@ _SCORE_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
     1.0, 2.5, 5.0, 10.0, 30.0,
 )
+
+#: Shard-level logging is a hot loop (a 100K-line week is dozens of
+#: shards per run, every run): sample 1-in-50 per event, not per line.
+_SHARD_LOG = RateLimitedLogger(get_logger("serve.scoring"), sample_every=50)
 
 
 @dataclass(frozen=True)
@@ -193,6 +198,10 @@ def score_bundles(
                 _StoredTicketView(last_day[shard], day),
             )
             n_rows = base.matrix.shape[0]
+            _SHARD_LOG.debug(
+                "serve.shadow_shard", week=week, rows=n_rows,
+                models=len(names),
+            )
             return [
                 compiled.decision_function_columns(
                     _AssembledColumns(base.matrix, recipes), n_rows
@@ -289,6 +298,9 @@ class ScoringEngine:
                     _StoredTicketView(last_day[shard], day),
                 )
                 columns = _AssembledColumns(base.matrix, recipes)
+                _SHARD_LOG.debug(
+                    "serve.shard", week=week, rows=base.matrix.shape[0],
+                )
                 return compiled.decision_function_columns(
                     columns, base.matrix.shape[0]
                 )

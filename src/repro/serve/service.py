@@ -4,6 +4,8 @@ Endpoints (JSON unless noted):
 
 =======================  ===================================================
 ``GET /healthz``         liveness + active model version + stored weeks
+``GET /health``          SLO posture: per-objective attainment and
+                         burn rates from the in-process monitor
 ``GET /metrics``         full metrics registry; ``?format=prometheus``
                          returns text exposition for a scraper
 ``GET /trace``           recorded span trees; ``?format=text`` renders the
@@ -41,6 +43,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.metrics import get_registry
+from repro.obs.slo import DEFAULT_SLOS, SLOMonitor
 from repro.obs.tracing import flame_report, get_tracer, tracing_enabled
 from repro.serve.registry import ModelRegistry
 from repro.serve.scoring import DEFAULT_SHARD_SIZE, ScoringEngine
@@ -48,11 +51,11 @@ from repro.serve.store import LineWeekStore, StoredWorld
 
 __all__ = ["ScoringService", "make_server"]
 
-#: Request latencies: cached reads are sub-millisecond, a cold scoring
-#: run can take seconds.
+#: Request latencies: cached reads are sub-millisecond (often tens of
+#: microseconds), a cold scoring run can take seconds.
 _REQUEST_BUCKETS = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
-    1.0, 2.5, 5.0, 10.0,
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
 
@@ -74,6 +77,8 @@ class ScoringService:
         shard_size: int = DEFAULT_SHARD_SIZE,
         workers: int | None = None,
         require_model: bool = True,
+        history=None,
+        slos=None,
     ):
         """Args:
             store_root: line-week store directory.
@@ -85,6 +90,10 @@ class ScoringService:
                 service anyway -- scoring routes answer 503 until a
                 bundle is activated and ``POST /reload`` succeeds, so a
                 registry-only mount degrades instead of crashing.
+            history: optional :class:`~repro.obs.history.HistoryStore`;
+                SLO ticks and alerts are persisted there when given.
+            slos: objective overrides for the SLO monitor (defaults to
+                :data:`~repro.obs.slo.DEFAULT_SLOS`).
         """
         self.registry = ModelRegistry(registry_root)
         self.world = StoredWorld(LineWeekStore.open(store_root))
@@ -92,6 +101,10 @@ class ScoringService:
         self.workers = workers
         self.engine: ScoringEngine | None = None
         self._started = time.time()
+        self.slo_monitor = SLOMonitor(
+            slos=slos if slos is not None else DEFAULT_SLOS,
+            history=history,
+        )
 
         metrics = get_registry()
         self._requests_total = metrics.counter(
@@ -210,6 +223,13 @@ class ScoringService:
             "weeks": store.weeks,
             "latest_week": store.latest_week,
         }
+
+    def handle_health(self, query) -> tuple[int, dict]:
+        del query
+        payload = self.slo_monitor.status()
+        payload["model_version"] = self.model_version
+        payload["latest_week"] = self.world.store.latest_week
+        return 200, payload
 
     def handle_metrics(self, query) -> tuple[int, dict | str]:
         self._uptime.set(time.time() - self._started)
@@ -359,6 +379,7 @@ class ScoringService:
 
     _GET_ROUTES = {
         "/healthz": handle_healthz,
+        "/health": handle_health,
         "/metrics": handle_metrics,
         "/trace": handle_trace,
         "/score": handle_score,
@@ -380,15 +401,21 @@ class ScoringService:
         routes = self._GET_ROUTES if method == "GET" else self._POST_ROUTES
         handler = routes.get(parts.path)
         if handler is None:
+            # Unknown routes never reach the SLO monitor: a scanner
+            # probing /favicon.ico must not burn error budget.
             return 404, {"error": f"unknown route {method} {parts.path}"}
         self._requests_total.inc(route=parts.path)
-        with self._request_seconds.time(route=parts.path):
-            try:
-                return handler(self, parse_qs(parts.query))
-            except _ServiceError as exc:
-                return exc.status, {"error": str(exc)}
-            except (KeyError, ValueError) as exc:
-                return 400, {"error": str(exc)}
+        start = time.perf_counter()
+        try:
+            result = handler(self, parse_qs(parts.query))
+        except _ServiceError as exc:
+            result = exc.status, {"error": str(exc)}
+        except (KeyError, ValueError) as exc:
+            result = 400, {"error": str(exc)}
+        elapsed = time.perf_counter() - start
+        self._request_seconds.observe(elapsed, route=parts.path)
+        self.slo_monitor.observe(parts.path, elapsed, result[0])
+        return result
 
 
 def _int_param(query: dict[str, list[str]], name: str) -> int:
@@ -441,15 +468,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, method: str) -> None:
         status, payload = self.service.dispatch_request(method, self.path)
+        route = urlsplit(self.path).path
         if isinstance(payload, str):
-            body = payload.encode()
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            body = payload.encode("utf-8")
+            if route == "/metrics":
+                # Prometheus exposition carries its format version.
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                content_type = "text/plain; charset=utf-8"
         else:
-            body = json.dumps(payload).encode()
-            content_type = "application/json"
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        # Telemetry and scores are moment-in-time reads; a cached
+        # /metrics or /health answer is worse than a slow one.
+        self.send_header("Cache-Control", "no-store")
         self.end_headers()
         self.wfile.write(body)
 

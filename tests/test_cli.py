@@ -45,6 +45,14 @@ class TestParser:
         assert args.shard_size == 512
         assert args.smoke
 
+    def test_obs_flags(self):
+        args = build_parser().parse_args(
+            ["obs", "dashboard", "--history", "h.jsonl"]
+        )
+        assert args.command == "obs"
+        assert args.action == "dashboard"
+        assert args.history == "h.jsonl"
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["deploy"])
@@ -122,3 +130,44 @@ class TestCommands:
         ])
         assert code == 0
         assert "smoke ok" in capsys.readouterr().out
+
+    def test_obs_dashboard_reads_a_seeded_history(self, capsys, tmp_path):
+        from repro.obs.history import HistoryStore
+
+        history = tmp_path / "flight.jsonl"
+        store = HistoryStore(history)
+        for week in range(12):
+            store.append(
+                "pipeline_week",
+                {"precision": 0.45, "wall_seconds.score": 0.01},
+                week=week,
+            )
+        code = main(["obs", "dashboard", "--history", str(history)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flight recorder dashboard" in out
+        assert "pipeline_week=12" in out
+        assert "no degradation detected" in out
+
+    def test_obs_dashboard_alerts_on_degraded_history(self, capsys, tmp_path):
+        from repro.obs.history import HistoryStore
+
+        history = tmp_path / "flight.jsonl"
+        store = HistoryStore(history)
+        walls = [0.010] * 12 + [0.035, 0.036, 0.034]
+        for week, wall in enumerate(walls):
+            store.append(
+                "pipeline_week", {"wall_seconds.score": wall}, week=week
+            )
+        code = main(["obs", "dashboard", "--history", str(history)])
+        assert code == 1  # degradation -> non-zero exit for CI
+        assert "DEGRADATION" in capsys.readouterr().out
+
+    def test_obs_dashboard_missing_history_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        code = main([
+            "obs", "dashboard", "--history", str(tmp_path / "none.jsonl"),
+        ])
+        assert code == 1
+        assert "no flight-recorder records" in capsys.readouterr().out

@@ -1,0 +1,246 @@
+"""Flight recorder: round-trips, recovery, concurrency, retention."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.history import (
+    DEFAULT_FILENAME,
+    SCHEMA_VERSION,
+    HistoryStore,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return HistoryStore(tmp_path / "flight.jsonl")
+
+
+class TestRoundTrip:
+    def test_append_then_read_back(self, store):
+        written = store.append(
+            "pipeline_week", {"precision": 0.45, "submitted": 20},
+            week=17, meta={"run": "unit"},
+        )
+        assert written["v"] == SCHEMA_VERSION
+        [record] = store.records()
+        assert record.kind == "pipeline_week"
+        assert record.week == 17
+        assert record.values == {"precision": 0.45, "submitted": 20.0}
+        assert record["meta"] == {"run": "unit"}
+        assert record.ts > 0
+
+    def test_directory_path_gets_default_filename(self, tmp_path):
+        store = HistoryStore(tmp_path / "obs")
+        assert store.path.name == DEFAULT_FILENAME
+        store.append("serve_tick", {"requests.total": 3})
+        assert len(HistoryStore(tmp_path / "obs")) == 1
+
+    def test_values_are_coerced_to_float_at_write_time(self, store):
+        with pytest.raises((TypeError, ValueError)):
+            store.append("pipeline_week", {"precision": "not-a-number"})
+        assert len(store) == 0
+
+    def test_three_weeks_of_mixed_kinds_round_trip(self, store):
+        # The acceptance shape: weekly pipeline snapshots, a few
+        # lifecycle decisions, and serve ticks interleaved over 21 weeks.
+        base = 1_700_000_000.0
+        week_seconds = 7 * 24 * 3600.0
+        for week in range(21):
+            ts = base + week * week_seconds
+            store.append(
+                "pipeline_week",
+                {"precision": 0.4 + 0.001 * week, "wall_seconds.score": 0.01},
+                week=week, ts=ts,
+            )
+            store.append(
+                "serve_tick", {"latency_p99./score": 0.002}, ts=ts + 60
+            )
+            if week % 7 == 0:
+                store.append(
+                    "lifecycle_decision", {"version": week // 7 + 1.0},
+                    week=week, ts=ts, meta={"action": "retrain"},
+                )
+        reopened = HistoryStore(store.path)
+        assert reopened.kinds() == {
+            "pipeline_week": 21, "serve_tick": 21, "lifecycle_decision": 3,
+        }
+        series = reopened.query("precision", kind="pipeline_week")
+        assert len(series) == 21
+        assert series[0] == pytest.approx(0.4)
+        assert series[-1] == pytest.approx(0.42)
+
+
+class TestQuery:
+    def test_window_keeps_newest_points(self, store):
+        for week in range(10):
+            store.append("pipeline_week", {"precision": float(week)}, week=week)
+        assert store.query("precision", window=3) == [7.0, 8.0, 9.0]
+
+    def test_kind_filter_separates_namespaces(self, store):
+        store.append("pipeline_week", {"rss_kb": 100.0})
+        store.append("serve_tick", {"rss_kb": 999.0})
+        assert store.query("rss_kb", kind="serve_tick") == [999.0]
+        assert store.query("rss_kb") == [100.0, 999.0]
+
+    def test_records_missing_the_name_are_skipped(self, store):
+        store.append("pipeline_week", {"precision": 0.4})
+        store.append("pipeline_week", {"submitted": 20.0})
+        assert store.query("precision") == [0.4]
+
+    def test_records_limit_keeps_newest(self, store):
+        for week in range(5):
+            store.append("pipeline_week", {"w": float(week)}, week=week)
+        kept = store.records(limit=2)
+        assert [r.week for r in kept] == [3, 4]
+
+
+class TestSchemaVersioning:
+    def test_future_schema_records_are_skipped_not_misparsed(self, store):
+        store.append("pipeline_week", {"precision": 0.4}, week=1)
+        future = {
+            "v": SCHEMA_VERSION + 1, "ts": 1.0, "kind": "pipeline_week",
+            "week": 2, "values": {"precision": "reshaped-in-v2"},
+        }
+        with open(store.path, "a") as fh:
+            fh.write(json.dumps(future) + "\n")
+        store.append("pipeline_week", {"precision": 0.5}, week=3)
+
+        reopened = HistoryStore(store.path)
+        assert [r.week for r in reopened.records()] == [1, 3]
+        assert reopened.query("precision") == [0.4, 0.5]
+
+    def test_future_schema_line_is_not_a_torn_tail(self, store):
+        # Recovery keeps the complete-but-newer line on disk (a later
+        # upgrade can still read it); only readers skip it.
+        future_line = json.dumps({"v": SCHEMA_VERSION + 1, "ts": 1.0,
+                                  "kind": "x", "values": {}}) + "\n"
+        store.path.write_text(future_line)
+        reopened = HistoryStore(store.path)
+        assert reopened.path.read_text() == future_line
+        assert reopened.records() == []
+
+
+class TestRecovery:
+    def test_torn_tail_is_truncated_on_reopen(self, store):
+        store.append("pipeline_week", {"precision": 0.4}, week=1)
+        store.append("pipeline_week", {"precision": 0.5}, week=2)
+        intact = store.path.read_bytes()
+        with open(store.path, "ab") as fh:
+            fh.write(b'{"v": 1, "ts": 3.0, "kind": "pipeline_we')  # kill -9
+
+        reopened = HistoryStore(store.path)
+        assert len(reopened) == 2
+        assert reopened.path.read_bytes() == intact
+        # And the store appends cleanly after recovery.
+        reopened.append("pipeline_week", {"precision": 0.6}, week=3)
+        assert reopened.query("precision") == [0.4, 0.5, 0.6]
+
+    def test_torn_tail_without_newline_midnumber(self, store):
+        store.append("serve_tick", {"requests.total": 10.0})
+        with open(store.path, "ab") as fh:
+            fh.write(b'{"v": 1, "ts": 17')
+        assert len(HistoryStore(store.path)) == 1
+
+    def test_missing_file_is_an_empty_store(self, tmp_path):
+        store = HistoryStore(tmp_path / "never-written.jsonl")
+        assert len(store) == 0
+        assert store.records() == []
+        assert store.query("anything") == []
+
+    def test_reader_skips_garbage_written_since_recovery(self, store):
+        # A *different* process dying mid-write after our recovery pass:
+        # the read path skips the bad line instead of raising.
+        store.append("pipeline_week", {"precision": 0.4})
+        with open(store.path, "ab") as fh:
+            fh.write(b"not json at all\n")
+        store.append("pipeline_week", {"precision": 0.5})
+        assert store.query("precision") == [0.4, 0.5]
+
+
+class TestConcurrentWriters:
+    def test_two_store_handles_interleave_whole_records(self, tmp_path):
+        # Two processes (serve + pipeline) share one history file; model
+        # that with two independent handles on the same path, each
+        # appending from its own thread.  O_APPEND keeps lines whole.
+        path = tmp_path / "shared.jsonl"
+        first, second = HistoryStore(path), HistoryStore(path)
+        n_each = 200
+
+        def writer(store, kind):
+            for i in range(n_each):
+                store.append(kind, {"i": float(i)})
+
+        threads = [
+            threading.Thread(target=writer, args=(first, "serve_tick")),
+            threading.Thread(target=writer, args=(second, "pipeline_week")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        merged = HistoryStore(path)
+        assert len(merged) == 2 * n_each
+        assert merged.kinds() == {
+            "serve_tick": n_each, "pipeline_week": n_each,
+        }
+        # Every record parsed back intact and in per-writer order.
+        for kind in ("serve_tick", "pipeline_week"):
+            assert merged.query("i", kind=kind) == [
+                float(i) for i in range(n_each)
+            ]
+
+    def test_one_handle_shared_by_threads(self, store):
+        n_threads, n_each = 4, 100
+
+        def writer(t):
+            for i in range(n_each):
+                store.append("serve_tick", {"v": float(t * n_each + i)})
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store) == n_threads * n_each
+        assert len(store.records()) == n_threads * n_each
+
+
+class TestRetention:
+    def test_compact_keeps_newest_records(self, store):
+        for week in range(10):
+            store.append("pipeline_week", {"w": float(week)}, week=week)
+        kept = store.compact(max_records=4)
+        assert kept == 4
+        assert len(store) == 4
+        assert store.query("w") == [6.0, 7.0, 8.0, 9.0]
+        # Reopen agrees: the rewrite really hit the disk.
+        assert HistoryStore(store.path).query("w") == [6.0, 7.0, 8.0, 9.0]
+
+    def test_compact_by_age(self, store, monkeypatch):
+        import repro.obs.history as history_mod
+        for day, week in ((1.0, 1), (2.0, 2), (100.0, 3)):
+            store.append("pipeline_week", {"w": float(week)},
+                         week=week, ts=day * 86400.0)
+        monkeypatch.setattr(history_mod.time, "time",
+                            lambda: 103.0 * 86400.0)
+        store.compact(max_age_seconds=7 * 86400.0)
+        assert [r.week for r in store.records()] == [3]
+
+    def test_appends_auto_compact_past_twice_the_bound(self, tmp_path):
+        store = HistoryStore(tmp_path / "bounded.jsonl", max_records=5)
+        for i in range(11):  # 11th append crosses 2 * max_records
+            store.append("serve_tick", {"i": float(i)})
+        assert len(store) == 5
+        assert store.query("i") == [6.0, 7.0, 8.0, 9.0, 10.0]
+
+    def test_max_records_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_records"):
+            HistoryStore(tmp_path / "x.jsonl", max_records=0)

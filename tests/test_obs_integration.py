@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -263,3 +264,119 @@ class TestCli:
             ["obs", "report", "--verbose", "--input", "x.json"]
         )
         assert args.verbose is True and args.command == "obs"
+
+
+class TestFlightRecorderAcrossSubsystems:
+    """One HistoryStore carries pipeline, lifecycle, and serve series."""
+
+    @pytest.fixture(scope="class")
+    def shared_history(self, tmp_path_factory):
+        from repro.lifecycle import LifecycleConfig, LifecycleController
+        from repro.obs.history import HistoryStore
+        from repro.serve import LineWeekStore
+
+        root = tmp_path_factory.mktemp("flight")
+        history = HistoryStore(root / "flight.jsonl")
+        simulation = SimulationConfig(
+            n_weeks=17,
+            population=PopulationConfig(n_lines=400, seed=3),
+            fault_rate_scale=5.0,
+            seed=7,
+        )
+        pipeline = NevermindPipeline(
+            simulation,
+            PipelineConfig(
+                warmup_weeks=13,
+                retrain_every=0,  # the controller owns retrains
+                predictor=PredictorConfig(
+                    capacity=20, horizon_weeks=3, train_rounds=20,
+                    selection_rounds=2, include_derived=False,
+                ),
+            ),
+            store=LineWeekStore.create(
+                root / "store", 400, simulation.population
+            ),
+            registry=ModelRegistry(root / "registry"),
+            history=history,
+        )
+        controller = LifecycleController(
+            pipeline,
+            LifecycleConfig(
+                cadence_weeks=2, shadow_weeks=2, bootstrap_samples=50,
+                seed=4,
+            ),
+        )
+        controller.run()
+
+        service = ScoringService(
+            root / "store", root / "registry", shard_size=200,
+            history=history,
+        )
+        for _ in range(6):
+            status, _ = service.dispatch_request("GET", "/score?line=7")
+            assert status == 200
+        status, _ = service.dispatch_request("GET", "/dispatch")
+        assert status == 200
+        assert service.slo_monitor.tick() is not None
+        return history, service
+
+    def test_one_store_holds_all_three_series(self, shared_history):
+        history, _ = shared_history
+        kinds = history.kinds()
+        assert kinds.get("pipeline_week", 0) >= 3
+        assert kinds.get("lifecycle_decision", 0) >= 1
+        assert kinds.get("serve_tick", 0) >= 1
+
+    def test_pipeline_records_carry_quality_and_resources(
+        self, shared_history
+    ):
+        history, _ = shared_history
+        weekly = history.records("pipeline_week")
+        for record in weekly:
+            assert record.week is not None
+            assert "precision" in record.values
+            assert "peak_rss_kb" in record.values
+            assert "wall_seconds.score" in record.values
+
+    def test_lifecycle_records_name_their_action(self, shared_history):
+        history, _ = shared_history
+        actions = [
+            r["meta"]["action"]
+            for r in history.records("lifecycle_decision")
+        ]
+        assert "bootstrap" in actions
+
+    def test_serve_tick_carries_route_percentiles(self, shared_history):
+        history, _ = shared_history
+        [tick] = history.records("serve_tick")
+        assert tick.values["requests./score"] == 6.0
+        assert tick.values["latency_p99./score"] > 0
+        assert tick.values["attainment.score_latency"] == 1.0
+
+    def test_health_route_reads_the_same_monitor(self, shared_history):
+        _, service = shared_history
+        status, payload = service.dispatch_request("GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["has_data"] is True
+
+    def test_dashboard_renders_from_the_shared_store(self, shared_history):
+        from repro.obs.health import HealthDetector, render_dashboard
+
+        history, _ = shared_history
+        text = render_dashboard(history)
+        assert "flight recorder dashboard" in text
+        assert "score_stage_wall" in text
+        assert "DEGRADATION" not in text  # a clean run stays quiet
+        assert HealthDetector(history).summary()["status"] != "alert"
+
+    def test_reopened_store_round_trips_every_series(self, shared_history):
+        from repro.obs.history import HistoryStore
+
+        history, _ = shared_history
+        reopened = HistoryStore(history.path)
+        assert len(reopened) == len(history)
+        assert reopened.kinds() == history.kinds()
+        precision = reopened.query("precision", kind="pipeline_week")
+        assert len(precision) >= 3
+        assert all(0.0 <= p <= 1.0 for p in precision)

@@ -165,6 +165,58 @@ class TestPropagation:
         names = [s["name"] for s in tracer.export()]
         assert names == ["orphan"]
 
+    def test_merge_remote_overlapping_span_ids_merge_once(self, tracer):
+        """Duplicate delivery (retried pipe send) must not duplicate trees."""
+        with span("parent") as p:
+            batch = [
+                {
+                    "span_id": "ffff-dup",
+                    "parent_id": p.span_id,
+                    "name": "remote.task",
+                    "tags": {},
+                    "duration_seconds": 0.25,
+                    "status": "ok",
+                    "children": [
+                        {
+                            "span_id": "ffff-dup-child",
+                            "parent_id": "ffff-dup",
+                            "name": "remote.subtask",
+                            "tags": {},
+                            "duration_seconds": 0.1,
+                            "status": "ok",
+                            "children": [],
+                        }
+                    ],
+                }
+            ]
+            tracer.merge_remote(batch)
+            tracer.merge_remote(batch)  # at-least-once delivery: second copy
+        [root] = tracer.export()
+        assert [c["name"] for c in root["children"]] == ["remote.task"]
+        [task] = root["children"]
+        assert [c["name"] for c in task["children"]] == ["remote.subtask"]
+
+    def test_merge_remote_late_batch_grafts_onto_merged_span(self, tracer):
+        """A follow-up batch may parent onto a span merged earlier."""
+        with span("parent") as p:
+            tracer.merge_remote([
+                {
+                    "span_id": "ffff-a", "parent_id": p.span_id,
+                    "name": "remote.first", "tags": {},
+                    "duration_seconds": 0.2, "status": "ok", "children": [],
+                }
+            ])
+            tracer.merge_remote([
+                {
+                    "span_id": "ffff-b", "parent_id": "ffff-a",
+                    "name": "remote.second", "tags": {},
+                    "duration_seconds": 0.1, "status": "ok", "children": [],
+                }
+            ])
+        [root] = tracer.export()
+        [first] = root["children"]
+        assert [c["name"] for c in first["children"]] == ["remote.second"]
+
     def test_span_context_wire_round_trip(self):
         context = SpanContext("abc-1")
         assert SpanContext.from_wire(context.to_wire()) == context

@@ -95,6 +95,27 @@ class TestRouting:
         events = [e["action"] for e in payload["registry_events"]]
         assert "publish" in events and "activate" in events
 
+    def test_health_reports_slo_status(self, service, small_store):
+        service.dispatch_request("GET", "/dispatch")
+        status, payload = service.dispatch_request("GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["model_version"] == service.model_version
+        assert payload["latest_week"] == small_store.latest_week
+        names = {o["name"] for o in payload["objectives"]}
+        assert names == {"score_latency", "dispatch_latency", "availability"}
+
+    def test_unknown_routes_do_not_burn_error_budget(self, service):
+        before = service.slo_monitor._pending_observations
+        status, _ = service.dispatch_request("GET", "/favicon.ico")
+        assert status == 404
+        assert service.slo_monitor._pending_observations == before
+
+    def test_known_routes_feed_the_slo_monitor(self, service):
+        before = service.slo_monitor._pending_observations
+        service.dispatch_request("GET", "/healthz")
+        assert service.slo_monitor._pending_observations == before + 1
+
     def test_reload_follows_rollback(self, service):
         assert service.model_version == "v0002"
         service.registry.rollback()
@@ -116,8 +137,30 @@ class TestHttpServer:
         try:
             with urllib.request.urlopen(base + "/healthz", timeout=30) as r:
                 assert r.status == 200
+                assert r.headers["Cache-Control"] == "no-store"
+                assert r.headers["Content-Type"] == (
+                    "application/json; charset=utf-8"
+                )
                 health = json.load(r)
             assert health["status"] == "ok"
+            with urllib.request.urlopen(base + "/health", timeout=30) as r:
+                assert r.status == 200
+                assert r.headers["Cache-Control"] == "no-store"
+                slo_health = json.load(r)
+            assert slo_health["status"] == "ok"
+            prom = base + "/metrics?format=prometheus"
+            with urllib.request.urlopen(prom, timeout=30) as r:
+                assert r.headers["Cache-Control"] == "no-store"
+                assert r.headers["Content-Type"] == (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                )
+                assert b"repro_http_requests_total" in r.read()
+            trace = base + "/trace?format=text"
+            with urllib.request.urlopen(trace, timeout=30) as r:
+                assert r.headers["Cache-Control"] == "no-store"
+                assert r.headers["Content-Type"] == (
+                    "text/plain; charset=utf-8"
+                )
             with urllib.request.urlopen(base + "/dispatch", timeout=30) as r:
                 over_http = json.load(r)
             _, direct = service.dispatch_request("GET", "/dispatch")
