@@ -26,7 +26,12 @@ Three subcommands mirror how an operator would poke at the system:
 * ``triage`` -- plant-level triage: cluster one week's anomalous lines
   by shared DSLAM/binder, classify upstream vs in-home, and compare
   precision-at-capacity with and without dispatch suppression;
-  ``--smoke`` asserts the acceptance bar on a small correlated plant.
+  ``--smoke`` asserts the acceptance bar on a small correlated plant;
+* ``explain`` -- serve one line-week's two-stage diagnosis report:
+  exact per-feature attribution of the served margin, plant context,
+  and the templated technician next steps; ``--smoke`` asserts report
+  well-formedness, bit-identical attribution parity, full disposition-
+  template coverage, and score-cache behaviour across a reload.
 
 All commands are seeded, run at laptop scale by default, and accept
 ``--scenario`` to pick a plant preset (suburban/urban/rural/storm_season/
@@ -196,6 +201,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "upstream recall, one group dispatch per "
                              "cluster, and a strict precision-at-capacity "
                              "improvement")
+
+    explain = sub.add_parser(
+        "explain", parents=[common],
+        help="serve one line-week's diagnosis: exact feature attribution, "
+             "plant context, and technician next steps")
+    explain.add_argument("--capacity", type=int, default=None,
+                         help="ATDS capacity N (default: 2%% of lines)")
+    explain.add_argument("--rounds", type=int, default=60,
+                         help="boosting rounds of the scoring predictor")
+    explain.add_argument("--locator-rounds", type=int, default=12,
+                         help="boosting rounds per locator sub-model")
+    explain.add_argument("--line", type=int, default=None,
+                         help="line to explain (default: the week's top "
+                              "dispatched line)")
+    explain.add_argument("--week", type=int, default=None,
+                         help="evaluation week (default: the latest stored "
+                              "week)")
+    explain.add_argument("--top", type=int, default=5,
+                         help="feature attributions shown in the summary")
+    explain.add_argument("--smoke", action="store_true",
+                         help="small fixed-scale self-test: asserts the "
+                              "report is well-formed, every disposition "
+                              "template renders, attributions reproduce "
+                              "the served score bit-identically, and "
+                              "repeat reads hit the score cache")
     return parser
 
 
@@ -887,6 +917,152 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_smoke_checks(service, week: int, report: dict, line_ids) -> int:
+    """Assertions behind ``repro explain --smoke`` (used by the CI job)."""
+    from repro.explain import (
+        assemble_model_row,
+        attribute_ensemble,
+        technician_steps,
+    )
+    from repro.netsim.components import DISPOSITIONS
+
+    problems: list[str] = []
+
+    rendered = report["rendered"]
+    for header in ("=== diagnostic summary ===",
+                   "=== technician next steps ==="):
+        if header not in rendered:
+            problems.append(f"rendered report is missing {header!r}")
+    if not report["attributions"]:
+        problems.append("report carries no feature attributions")
+    if not report["next_steps"]:
+        problems.append("report carries no technician steps")
+    if not report["attribution_exact"]:
+        problems.append("attribution fold does not reproduce the margin")
+    if report["disposition"] is None:
+        problems.append("no disposition despite a bundled locator")
+    if not 0.0 <= report["p_ticket"] <= 1.0:
+        problems.append(f"p_ticket {report['p_ticket']} outside [0, 1]")
+
+    # Every catalog disposition (plus "no trouble found") must render.
+    try:
+        for code in [-1, *range(len(DISPOSITIONS))]:
+            if not technician_steps(code):
+                problems.append(f"disposition {code} rendered no steps")
+                break
+    except Exception as exc:  # a KeyError here means a broken template
+        problems.append(f"disposition templates failed to render: {exc}")
+
+    # Bit-identical parity on a sample of dispatched lines: the scalar
+    # attribution fold must reproduce the served margin exactly, and its
+    # calibrated value the served score.
+    engine = service.engine
+    predictor = engine.bundle.predictor
+    compiled = predictor.model.compiled()
+    scored = engine.score_week(week)
+    base = engine.base_features(week)
+    for line_id in line_ids:
+        line_id = int(line_id)
+        row = assemble_model_row(base.matrix[line_id], predictor.recipes)
+        attribution = attribute_ensemble(compiled, row)
+        if attribution.reconstructed() != attribution.margin:
+            problems.append(
+                f"line {line_id}: attribution fold diverges from its margin")
+            break
+        calibrated = float(predictor.model.calibrator.transform(
+            np.array([attribution.margin]))[0])
+        if calibrated != float(scored.scores[line_id]):
+            problems.append(
+                f"line {line_id}: calibrated attribution margin "
+                f"{calibrated} != served score {float(scored.scores[line_id])}"
+            )
+            break
+
+    # The shared score cache must survive an engine reload and serve the
+    # repeat read without another shard scan.
+    service.reload()
+    if not service.engine.is_cached(week):
+        problems.append("score cache did not survive the reload")
+    before = service.cache.stats()["hits"]
+    status, _ = service.dispatch_request(
+        "GET", f"/score?week={week}&line={int(line_ids[0])}")
+    if status != 200:
+        problems.append(f"post-reload /score returned {status}")
+    elif service.cache.stats()["hits"] <= before:
+        problems.append("post-reload /score read was not a cache hit")
+
+    if problems:
+        for problem in problems:
+            print(f"explain smoke FAILED: {problem}")
+        return 1
+    stats = service.cache.stats()
+    print(f"explain smoke ok: line {report['line']} week {week} "
+          f"({report['n_contributors']} contributors, "
+          f"disposition {report['disposition']['code']}, "
+          f"cache hit rate {stats['hit_rate']:.0%})")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: serve one line-week's two-stage diagnosis."""
+    import tempfile
+    from pathlib import Path
+
+    from repro import CombinedLocator, LocatorConfig, build_locator_dataset
+    from repro.serve import (
+        ModelBundle,
+        ModelRegistry,
+        ScoringService,
+        snapshot_result,
+    )
+
+    if args.smoke:
+        # Fixed small scale so CI checks one known plant.
+        args.lines, args.weeks, args.rounds = 2500, 20, 40
+        args.locator_rounds = min(args.locator_rounds, 8)
+        args.capacity = None
+
+    result = _simulate(args)
+    predictor = _trained_predictor(args, result, rounds=args.rounds)
+    train = build_locator_dataset(result, 30, args.weeks * 7)
+    locator = CombinedLocator(
+        LocatorConfig(n_rounds=args.locator_rounds, cv_folds=2)
+    ).fit(train)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        snapshot_result(result, root / "store")
+        ModelRegistry(root / "registry").publish(
+            ModelBundle(
+                predictor=predictor,
+                locator=locator,
+                meta={"lines": args.lines, "weeks": args.weeks,
+                      "seed": args.seed},
+            ),
+            activate=True,
+        )
+        service = ScoringService(root / "store", root / "registry",
+                                 shard_size=512)
+        _, health = service.dispatch_request("GET", "/healthz")
+        week = args.week if args.week is not None else health["latest_week"]
+        status, dispatch = service.dispatch_request(
+            "GET", f"/dispatch?week={week}")
+        if status != 200:
+            print(f"explain FAILED: /dispatch returned {status}: {dispatch}")
+            return 1
+        line = args.line if args.line is not None else dispatch["line_ids"][0]
+        status, report = service.dispatch_request(
+            "GET", f"/explain?line={line}&week={week}&top={args.top}")
+        if status != 200:
+            print(f"explain FAILED: /explain returned {status}: {report}")
+            return 1
+        print(report["rendered"])
+        if args.smoke:
+            return _explain_smoke_checks(
+                service, week, report, dispatch["line_ids"][:10])
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "predict": _cmd_predict,
@@ -897,6 +1073,7 @@ _COMMANDS = {
     "obs": _cmd_obs,
     "lifecycle": _cmd_lifecycle,
     "triage": _cmd_triage,
+    "explain": _cmd_explain,
 }
 
 

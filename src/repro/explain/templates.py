@@ -1,0 +1,151 @@
+"""Technician-facing next-step templates, keyed by predicted disposition.
+
+The paper's two-stage report hands the field technician a diagnostic
+summary followed by concrete next steps for the *predicted* disposition.
+We render those steps from templates only -- no free-form generation:
+every string below is assembled from the disposition catalog
+(:data:`repro.netsim.components.DISPOSITIONS`), so all 52 codes (plus the
+``-1`` "no trouble found" closure and the no-locator fallback) render by
+construction, and a catalog change shows up here without editing any
+template table.
+
+Step order follows the field workflow: where to go, what to repair, what
+the fault's dynamics imply for the visit, then the location's standard
+isolation checks.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.components import DISPOSITIONS, Location
+
+__all__ = [
+    "technician_steps",
+    "no_locator_steps",
+    "disposition_headline",
+]
+
+#: Standard isolation checks per major location, in field-testing order
+#: (Fig. 2 tests from the customer inward).
+_LOCATION_CHECKS: dict[Location, tuple[str, ...]] = {
+    Location.HN: (
+        "Test at the DEMARC/NID jack first: a clean signal there isolates "
+        "the fault to the customer premises.",
+        "Walk the inside wiring: filters on every voice device, no "
+        "unterminated extensions, modem on the first jack.",
+        "If the modem re-syncs clean after the repair, run a speed test "
+        "before closing the visit.",
+    ),
+    Location.F2: (
+        "Test at the crossbox and at the DEMARC: a fault between them "
+        "confirms the drop segment.",
+        "Inspect the drop end to end -- strain, abrasion, water entry at "
+        "the protector and splice points.",
+        "Re-test sync and noise margin from the DEMARC after the repair.",
+    ),
+    Location.F1: (
+        "Test from the crossbox toward the DSLAM to confirm the fault "
+        "sits in the F1 cable section.",
+        "Check the pair at both terminal blocks; try a spare pair if the "
+        "section tests bad.",
+        "Verify the repaired pair's noise margin and attenuation against "
+        "the loop-length expectation before leaving.",
+    ),
+    Location.DS: (
+        "Check the DSLAM port status and line-card alarms before any "
+        "outside-plant work.",
+        "Verify the port's profile/speed configuration matches the "
+        "subscribed tier.",
+        "If the card tests clean, escalate to the transport group -- the "
+        "fault may sit upstream of the DSLAM.",
+    ),
+}
+
+#: Closure steps when the model ranks "no trouble found" or a dispatched
+#: line tests healthy.
+_NO_TROUBLE_STEPS: tuple[str, ...] = (
+    "Run the full line test once more; an intermittent fault may have "
+    "self-cleared since the campaign scored this line.",
+    "Review the line's recent error-rate history before closing -- a "
+    "clean snapshot does not rule out a recurring fault.",
+    "Close as 'no trouble found' only after sync, noise margin and "
+    "attainable rate all test within profile.",
+)
+
+
+def disposition_headline(code: int) -> str:
+    """One-line disposition label: name, code and major location."""
+    if code < 0:
+        return "no trouble found (line tests healthy)"
+    d = DISPOSITIONS[code]
+    return f"{d.name} [{d.code}] at the {d.location.name} segment"
+
+
+def technician_steps(code: int) -> list[str]:
+    """Ordered next steps for a predicted disposition catalog index.
+
+    ``code`` is a catalog index (0..51) or ``-1`` for "no trouble
+    found".  Every catalog entry renders: the steps are derived from the
+    disposition's own fields, not looked up in a hand-maintained table.
+    """
+    if code < 0:
+        return list(_NO_TROUBLE_STEPS)
+    if code >= len(DISPOSITIONS):
+        raise IndexError(
+            f"disposition index {code} outside the "
+            f"{len(DISPOSITIONS)}-entry catalog"
+        )
+    d = DISPOSITIONS[code]
+    steps = [
+        f"Dispatch to the {d.location.name} segment: "
+        f"{d.location.description}.",
+        f"Expected repair: {d.name.lower()}.",
+    ]
+    if d.hard_failure:
+        steps.append(
+            "Hard-failure signature: expect a dead or non-syncing line, "
+            "not gradual degradation."
+        )
+    elif d.severity_growth < 0.2:
+        steps.append(
+            "Slow degradation: compare against the line's week-over-week "
+            "trend, not a single snapshot."
+        )
+    if d.self_clear > 0:
+        steps.append(
+            "Intermittent fault: confirm it is still reproducible before "
+            "closing as no trouble found."
+        )
+    if d.effect.off_prob >= 0.3:
+        steps.append(
+            "The modem may test off/unreachable: schedule the visit with "
+            "the customer present."
+        )
+    if d.effect.sets_bt:
+        steps.append(
+            "Run a bridged-tap measurement: this fault leaves a "
+            "detectable tap on the loop."
+        )
+    if d.effect.sets_crosstalk:
+        steps.append(
+            "Check pair assignment and binder neighbours: crosstalk "
+            "should be measurable on this loop."
+        )
+    if d.effect.dropout >= 0.3:
+        steps.append(
+            "Expect resync events in the line history; verify stable "
+            "sync for several minutes after the repair."
+        )
+    steps.extend(_LOCATION_CHECKS[d.location])
+    return steps
+
+
+def no_locator_steps() -> list[str]:
+    """Fallback when the active bundle carries no trouble locator."""
+    return [
+        "No locator is published with the active model: follow the "
+        "standard isolation order, customer inward.",
+        "Test at the DEMARC first (HN vs outside plant), then the drop "
+        "(F2), the F1 section, and finally the DSLAM port.",
+        "Record the disposition code on closure -- it trains the next "
+        "locator version.",
+    ]

@@ -146,6 +146,19 @@ class TriageResult:
             mask[cluster.line_ids] = True
         return mask
 
+    def cluster_of_line(self, line_id: int) -> FaultCluster | None:
+        """The best cluster a line sits in, or None.
+
+        ``clusters`` is kept upstream-first by p-value, so the first
+        match is the strongest claim about the line's plant -- the one
+        an explanation report should cite.
+        """
+        line_id = int(line_id)
+        for cluster in self.clusters:
+            if np.any(cluster.line_ids == line_id):
+                return cluster
+        return None
+
     def to_dict(self) -> dict:
         """A JSON-ready summary (clusters inline, pool as count only)."""
         upstream = self.upstream_clusters

@@ -15,6 +15,7 @@ half of the paper's Fig. 3 loop:
 * :mod:`repro.serve.service` -- a stdlib-only HTTP API over the above.
 """
 
+from repro.serve.cache import DEFAULT_CACHE_ENTRIES, ScoreCache
 from repro.serve.registry import ModelBundle, ModelRegistry, RegistryError
 from repro.serve.scoring import (
     DEFAULT_SHARD_SIZE,
@@ -33,6 +34,8 @@ __all__ = [
     "ScoringEngine",
     "WeekScores",
     "DEFAULT_SHARD_SIZE",
+    "ScoreCache",
+    "DEFAULT_CACHE_ENTRIES",
     "ScoringService",
     "make_server",
     "LineWeekStore",

@@ -112,6 +112,9 @@ class ModelRegistry:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # In-process observers of activation changes (e.g. the serving
+        # cache); not persisted -- each registry instance has its own.
+        self._listeners: list = []
         manifest_path = self.root / _MANIFEST
         if manifest_path.exists():
             manifest = json.loads(manifest_path.read_text())
@@ -150,6 +153,22 @@ class ModelRegistry:
         events and the state change they describe land atomically.
         """
         self._events.append({"action": action, "at": time.time(), **details})
+
+    # ----- activation listeners -------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(action, version)`` for activation changes.
+
+        Called after every ``activate`` and ``rollback`` with the action
+        name and the now-active version, so serving-side caches can
+        invalidate the moment the active model moves.  Listeners are
+        in-process only and must not raise.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, action: str, version: str | None) -> None:
+        for listener in self._listeners:
+            listener(action, version)
 
     # ----- write path -----------------------------------------------------
 
@@ -192,6 +211,7 @@ class ModelRegistry:
         self._record_event("activate", version=version, previous=previous)
         self._write_manifest()
         LOG.info(kv("registry.activate", version=version, previous=previous))
+        self._notify("activate", version)
 
     def rollback(self) -> str:
         """Re-activate the previously active version; returns its tag.
@@ -216,6 +236,7 @@ class ModelRegistry:
         LOG.warning(kv(
             "registry.rollback", version=self._active, rolled_back=rolled_back
         ))
+        self._notify("rollback", self._active)
         return self._active
 
     # ----- read path ------------------------------------------------------

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.explain.report import ExplanationReport, build_report
 from repro.features.encoding import FeatureSet
 from repro.measurement.records import MeasurementStore
 from repro.netsim.population import Population
@@ -42,6 +43,7 @@ from repro.obs.log import RateLimitedLogger, get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
 from repro.parallel import parallel_map, split_shards
+from repro.serve.cache import ScoreCache
 from repro.serve.registry import ModelBundle
 from repro.serve.store import StoredWorld, _StoredTicketView
 from repro.tickets.dispatch import DispatchList, Dispatcher, build_dispatch_list
@@ -234,6 +236,7 @@ class ScoringEngine:
         shard_size: int = DEFAULT_SHARD_SIZE,
         workers: int | None = None,
         model_version: str | None = None,
+        cache: ScoreCache | None = None,
     ):
         if shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
@@ -242,26 +245,59 @@ class ScoringEngine:
         self.shard_size = shard_size
         self.workers = workers
         self.model_version = model_version
+        self.cache = cache
         self._base_cache: tuple[int, FeatureSet] | None = None
         self._score_cache: dict[int, WeekScores] = {}
 
     # ----- feature access -------------------------------------------------
 
     def base_features(self, week: int) -> FeatureSet:
-        """Encoded base features of a stored week (last week cached)."""
+        """Encoded base features of a stored week.
+
+        The last week stays on the engine; the shared
+        :class:`~repro.serve.cache.ScoreCache` (when attached) keeps
+        every week's encoding across engine reloads, so repeat
+        ``/locate`` and ``/explain`` reads never re-encode.
+        """
         if self._base_cache is not None and self._base_cache[0] == week:
             return self._base_cache[1]
+        if self.cache is not None:
+            base = self.cache.get("features", week, self.model_version)
+            if base is not None:
+                self._base_cache = (week, base)
+                return base
         base = self.world.encode_week(week, self.bundle.predictor.encoder)
         self._base_cache = (week, base)
+        if self.cache is not None:
+            self.cache.put("features", week, self.model_version, base)
         return base
 
     # ----- scoring --------------------------------------------------------
 
+    def is_cached(self, week: int) -> bool:
+        """Whether ``score_week`` would return without a scoring run."""
+        if week in self._score_cache:
+            return True
+        return self.cache is not None and self.cache.peek(
+            "scores", week, self.model_version
+        )
+
     def score_week(self, week: int) -> WeekScores:
-        """Calibrated P(ticket) for every line at a stored week (cached)."""
+        """Calibrated P(ticket) for every line at a stored week (cached).
+
+        Two cache levels: the engine's own week dict, then the shared
+        version-keyed :class:`~repro.serve.cache.ScoreCache` that
+        survives reloads.  A full shard scan only runs when both miss;
+        the result is immutable, so both levels serve it verbatim.
+        """
         cached = self._score_cache.get(week)
         if cached is not None:
             return cached
+        if self.cache is not None:
+            shared = self.cache.get("scores", week, self.model_version)
+            if shared is not None:
+                self._score_cache[week] = shared
+                return shared
         predictor = self.bundle.predictor
         model = predictor.model
         if model is None:
@@ -324,6 +360,8 @@ class ScoringEngine:
             score_seconds=t2 - t1,
         )
         self._score_cache[week] = result
+        if self.cache is not None:
+            self.cache.put("scores", week, self.model_version, result)
         return result
 
     def dispatch(self, week: int, capacity: int | None = None) -> DispatchList:
@@ -392,3 +430,77 @@ class ScoringEngine:
                 ]
             )
         return rankings
+
+    # ----- explanation ----------------------------------------------------
+
+    def explain(
+        self, week: int, line_id: int, top_k: int = 5, triage=None
+    ) -> ExplanationReport:
+        """The two-stage explanation report for one scored line-week.
+
+        Decomposes the line's served margin into exact per-feature votes
+        (the attribution fold reproduces the compiled margin
+        bit-identically), attaches plant context and -- when the bundle
+        carries a locator -- the predicted disposition with its
+        templated technician steps.  Reads go through the week caches,
+        so explaining an already-scored week costs no shard scan.
+        """
+        line_id = int(line_id)
+        if not 0 <= line_id < self.world.n_lines:
+            raise IndexError(f"line {line_id} out of range")
+        scored = self.score_week(week)
+        base = self.base_features(week)
+        ranking = None
+        if self.bundle.locator is not None:
+            ranking = self.locate(week, line_id, top_k=3)
+        topology = self.world.population().topology
+        return build_report(
+            line=line_id,
+            week=week,
+            day=scored.day,
+            model_version=self.model_version,
+            predictor=self.bundle.predictor,
+            base_row=base.matrix[line_id],
+            p_ticket=float(scored.scores[line_id]),
+            topology=topology,
+            ranking=ranking,
+            triage=triage,
+            top_k=top_k,
+        )
+
+    def attribution_payloads(
+        self, week: int, line_ids, top_k: int = 3
+    ) -> list[dict]:
+        """Compact attribution payloads for a batch of lines (one per id).
+
+        The dispatch-list enrichment path (``/dispatch?explain=1``): the
+        week's base encoding is read once and each line's margin is
+        decomposed exactly, keeping only the ``top_k`` votes per line.
+        """
+        from repro.explain.attribution import (
+            assemble_model_row,
+            attribute_ensemble,
+        )
+
+        predictor = self.bundle.predictor
+        if predictor.model is None:
+            raise RuntimeError("bundle predictor is not fitted")
+        scored = self.score_week(week)
+        base = self.base_features(week)
+        compiled = predictor.model.compiled()
+        payloads: list[dict] = []
+        for line_id in line_ids:
+            line_id = int(line_id)
+            row = assemble_model_row(base.matrix[line_id], predictor.recipes)
+            attribution = attribute_ensemble(
+                compiled, row, names=predictor.feature_names
+            )
+            payloads.append({
+                "line": line_id,
+                "p_ticket": float(scored.scores[line_id]),
+                "margin": attribution.margin,
+                "contributions": [
+                    c.to_dict() for c in attribution.top(top_k)
+                ],
+            })
+        return payloads

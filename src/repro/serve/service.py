@@ -15,6 +15,11 @@ Endpoints (JSON unless noted):
 ``GET /triage``          plant-level triage of a week's scores:
                          ``?[week=W][&capacity=N]`` -- upstream clusters
                          and the suppressed + backfilled dispatch plan
+``GET /explain``         two-stage explanation report for one line:
+                         ``?line=ID[&week=W][&top=K]`` -- exact
+                         per-feature attributions with measured evidence,
+                         plant context, predicted disposition and
+                         templated technician next steps
 ``GET /locate``          disposition ranking: ``?line=ID[&week=W][&top=K]``
 ``GET /lifecycle``       continuous-training status: registry versions and
                          events, the signed decision log, chain validity
@@ -45,6 +50,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.obs.metrics import get_registry
 from repro.obs.slo import DEFAULT_SLOS, SLOMonitor
 from repro.obs.tracing import flame_report, get_tracer, tracing_enabled
+from repro.serve.cache import ScoreCache
 from repro.serve.registry import ModelRegistry
 from repro.serve.scoring import DEFAULT_SHARD_SIZE, ScoringEngine
 from repro.serve.store import LineWeekStore, StoredWorld
@@ -100,6 +106,11 @@ class ScoringService:
         self.shard_size = shard_size
         self.workers = workers
         self.engine: ScoringEngine | None = None
+        # The (line, week, model_version) read cache outlives engine
+        # reloads; registry activations invalidate it the moment the
+        # active version moves (keeping the new version's entries warm).
+        self.cache = ScoreCache()
+        self.registry.add_listener(self._on_registry_event)
         self._started = time.time()
         self.slo_monitor = SLOMonitor(
             slos=slos if slos is not None else DEFAULT_SLOS,
@@ -137,6 +148,15 @@ class ScoringService:
         self._uptime = metrics.gauge(
             "repro_serve_uptime_seconds", "Seconds since service construction"
         )
+        self._explains_total = metrics.counter(
+            "repro_serve_explains_total",
+            "Explanation payloads rendered, by source route",
+        )
+        self._explain_seconds = metrics.histogram(
+            "repro_serve_explain_seconds",
+            "Wall time building one explanation report",
+            buckets=_REQUEST_BUCKETS,
+        )
 
         try:
             self.reload()
@@ -145,6 +165,15 @@ class ScoringService:
                 raise
 
     # ----- lifecycle ------------------------------------------------------
+
+    def _on_registry_event(self, action: str, version: str | None) -> None:
+        """Invalidate cached reads when the active model moves.
+
+        Entries are version-pinned and immutable, so the (now or soon)
+        active version's entries stay warm -- a rollback to a version
+        that served recently answers its first read from cache.
+        """
+        self.cache.invalidate(reason=action, keep_version=version)
 
     def reload(self) -> str:
         """(Re)load the active bundle and refresh the store manifest."""
@@ -155,6 +184,10 @@ class ScoringService:
                 "registry has no active model version -- publish and "
                 "activate a bundle first"
             )
+        # External registry writers (the lifecycle controller runs its
+        # own ModelRegistry instance on the same root) never fire this
+        # service's listeners, so a reload re-pins the cache itself.
+        self.cache.invalidate(reason="reload", keep_version=version)
         bundle = self.registry.load(version)
         self.engine = ScoringEngine(
             bundle,
@@ -162,6 +195,7 @@ class ScoringService:
             shard_size=self.shard_size,
             workers=self.workers,
             model_version=version,
+            cache=self.cache,
         )
         return version
 
@@ -200,7 +234,7 @@ class ScoringService:
 
     def _scored(self, week: int):
         engine = self._require_engine()
-        fresh = week not in engine._score_cache
+        fresh = not engine.is_cached(week)
         scored = engine.score_week(week)
         if fresh:
             seconds = scored.encode_seconds + scored.score_seconds
@@ -298,7 +332,60 @@ class ScoringService:
         )
         if capacity is not None and capacity < 0:
             raise _ServiceError(400, "capacity must be >= 0")
-        return 200, engine.dispatch(week, capacity).to_dict()
+        dispatch = engine.dispatch(week, capacity)
+        if _flag_param(query, "explain"):
+            # Enriched form: each dispatched line travels with its exact
+            # top-K attribution payload, so the hand-off to ATDS already
+            # carries the evidence a technician (or triage UI) needs.
+            top = _int_param(query, "top") if "top" in query else 3
+            if top < 1:
+                raise _ServiceError(400, "top must be >= 1")
+            with self._explain_seconds.time(route="/dispatch"):
+                payloads = engine.attribution_payloads(
+                    week, dispatch.line_ids, top_k=top
+                )
+            dispatch = dispatch.with_attributions(payloads)
+            self._explains_total.inc(len(payloads), route="/dispatch")
+        return 200, dispatch.to_dict()
+
+    def _week_triage(self, week: int):
+        """The week's triage result, computed once per (week, version).
+
+        Returns None when the fleet layer's scipy dependency is missing
+        -- the explanation report then simply omits cluster membership.
+        """
+        try:
+            from repro.fleet import find_clusters
+        except ImportError:
+            return None
+        engine = self._require_engine()
+        triage = self.cache.get("triage", week, engine.model_version)
+        if triage is not None:
+            return triage
+        scored = self._scored(week)
+        capacity = engine.bundle.predictor.config.capacity
+        topology = self.world.population().topology
+        triage = find_clusters(scored.scores, topology, capacity)
+        self.cache.put("triage", week, engine.model_version, triage)
+        return triage
+
+    def handle_explain(self, query) -> tuple[int, dict]:
+        week = self._resolve_week(query)
+        line = _int_param(query, "line")
+        if not 0 <= line < self.world.n_lines:
+            raise _ServiceError(404, f"line {line} out of range")
+        top = _int_param(query, "top") if "top" in query else 5
+        if top < 1:
+            raise _ServiceError(400, "top must be >= 1")
+        engine = self._require_engine()
+        self._scored(week)  # scoring-run metrics for cold weeks
+        triage = self._week_triage(week)
+        with self._explain_seconds.time(route="/explain"):
+            report = engine.explain(week, line, top_k=top, triage=triage)
+        self._explains_total.inc(route="/explain")
+        payload = report.to_dict()
+        payload["rendered"] = report.render_text()
+        return 200, payload
 
     def handle_triage(self, query) -> tuple[int, dict]:
         # Imported lazily: the fleet layer (and its scipy dependency)
@@ -384,6 +471,7 @@ class ScoringService:
         "/trace": handle_trace,
         "/score": handle_score,
         "/dispatch": handle_dispatch,
+        "/explain": handle_explain,
         "/triage": handle_triage,
         "/locate": handle_locate,
         "/lifecycle": handle_lifecycle,
@@ -446,6 +534,13 @@ def _int_list_param(query: dict[str, list[str]], name: str) -> list[int]:
             400,
             f"query parameter {name!r} must be comma-separated integers",
         ) from None
+
+
+def _flag_param(query: dict[str, list[str]], name: str) -> bool:
+    values = query.get(name)
+    if not values:
+        return False
+    return values[0].strip().lower() in ("1", "true", "yes", "on", "")
 
 
 def _format_param(query: dict[str, list[str]]) -> str:

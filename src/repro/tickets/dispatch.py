@@ -18,6 +18,7 @@ noisy", which we model explicitly:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -293,6 +294,9 @@ class DispatchList:
         line_ids: ranked line ids, highest score first (length <= N).
         scores: the ranked lines' calibrated ticket probabilities.
         model_version: registry version of the scoring model, if served.
+        attributions: optional per-line explanation payloads aligned with
+            ``line_ids`` (exact top-K feature votes per dispatched line,
+            as built by ``ScoringEngine.attribution_payloads``).
     """
 
     week: int
@@ -301,13 +305,28 @@ class DispatchList:
     line_ids: np.ndarray
     scores: np.ndarray
     model_version: str | None = None
+    attributions: tuple[dict, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.line_ids)
 
+    def with_attributions(self, payloads) -> "DispatchList":
+        """A copy of this list carrying per-line attribution payloads.
+
+        ``payloads`` must align one-to-one with ``line_ids`` -- the
+        explanation travels with the ranked entry it explains.
+        """
+        payloads = tuple(payloads)
+        if len(payloads) != len(self.line_ids):
+            raise ValueError(
+                f"got {len(payloads)} attribution payloads for "
+                f"{len(self.line_ids)} dispatched lines"
+            )
+        return dataclasses.replace(self, attributions=payloads)
+
     def to_dict(self) -> dict:
         """A JSON-ready representation (ids and scores as plain lists)."""
-        return {
+        payload = {
             "week": int(self.week),
             "day": int(self.day),
             "capacity": int(self.capacity),
@@ -315,6 +334,9 @@ class DispatchList:
             "line_ids": [int(i) for i in self.line_ids],
             "scores": [float(s) for s in self.scores],
         }
+        if self.attributions is not None:
+            payload["attributions"] = [dict(a) for a in self.attributions]
+        return payload
 
 
 def build_dispatch_list(
