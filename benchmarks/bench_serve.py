@@ -604,11 +604,22 @@ def main() -> None:
     if workers is None and not os.environ.get("REPRO_WORKERS", "").strip():
         workers = min(4, os.cpu_count() or 1)
 
+    from repro.serve.service import _Handler
+
     report = {
         "quick": args.quick,
         "numpy": np.__version__,
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
         "workers_env": os.environ.get("REPRO_WORKERS", ""),
+        # The concurrency model the numbers were taken under: the HTTP
+        # front (threaded server, keep-alive protocol) and the scoring
+        # fan-out behind it.
+        "server": {
+            "model": "ThreadingHTTPServer",
+            "protocol": _Handler.protocol_version,
+            "scoring_workers": worker_count(workers),
+        },
         "serve": bench_serve(n_lines, n_weeks, n_rounds, shard, workers),
     }
     if worker_count(workers) > 1:

@@ -31,7 +31,14 @@ Three subcommands mirror how an operator would poke at the system:
   exact per-feature attribution of the served margin, plant context,
   and the templated technician next steps; ``--smoke`` asserts report
   well-formedness, bit-identical attribution parity, full disposition-
-  template coverage, and score-cache behaviour across a reload.
+  template coverage, and score-cache behaviour across a reload;
+* ``scale`` -- the paper-scale streaming weekly cycle: chunked netsim
+  generation appended incrementally into an out-of-core line-week
+  store, then a streaming Table-3 encode -- peak memory stays bounded
+  by the chunk size, never the full measurement cube; ``--smoke``
+  asserts the streaming invariants (chunked == monolithic generation,
+  chunk appends byte-identical to whole-week appends, out-of-core
+  encode equal to dense, multi-worker scores equal to single-worker).
 
 All commands are seeded, run at laptop scale by default, and accept
 ``--scenario`` to pick a plant preset (suburban/urban/rural/storm_season/
@@ -226,6 +233,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "template renders, attributions reproduce "
                               "the served score bit-identically, and "
                               "repeat reads hit the score cache")
+
+    scale = sub.add_parser(
+        "scale", parents=[common],
+        help="run the streaming weekly cycle: chunked generation into an "
+             "out-of-core line-week store, chunked encode, sharded scoring")
+    scale.add_argument("--chunk-lines", type=int, default=None,
+                       help="streaming chunk size in lines (rounds up to "
+                            "whole RNG blocks; default: one block)")
+    scale.add_argument("--store", default=None,
+                       help="persist the store here (default: temp dir)")
+    scale.add_argument("--smoke", action="store_true",
+                       help="fixed-scale self-test of the streaming "
+                            "invariants: chunked generation bit-identical "
+                            "to monolithic, chunk appends byte-identical "
+                            "to whole-week appends, out-of-core encode "
+                            "equal to dense, and multi-worker scores "
+                            "equal to single-worker")
     return parser
 
 
@@ -1063,6 +1087,214 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scale_toy_bundle(encoder):
+    """A tiny deterministic stump ensemble over the encoded columns.
+
+    The scale smoke's scoring-parity check needs *a* model, not a good
+    one; hand-building 16 stumps keeps the smoke seconds-long where a
+    real fit would dominate it.
+    """
+    from repro.core.predictor import (
+        PredictorConfig,
+        TicketPredictor,
+        _DerivedRecipes,
+    )
+    from repro.ml.boostexter import BStump, BStumpConfig, WeakLearner
+    from repro.ml.calibration import PlattCalibrator
+    from repro.ml.stumps import Stump
+    from repro.serve import ModelBundle
+
+    rng = np.random.default_rng(7)
+    base = sorted(
+        int(i)
+        for i in rng.choice(encoder.base_feature_count(), size=8,
+                            replace=False)
+    )
+    recipes = _DerivedRecipes(
+        base_indices=base, quad_indices=base[:2],
+        product_pairs=[(base[0], base[1])],
+    )
+    model = BStump(BStumpConfig(n_rounds=16))
+    model.n_features_ = recipes.n_columns
+    model.learners = [
+        WeakLearner(
+            stump=Stump(
+                feature=int(rng.integers(recipes.n_columns)),
+                threshold=float(rng.normal(loc=10.0, scale=4.0)),
+                s_lo=float(rng.normal(scale=0.1)),
+                s_hi=float(rng.normal(scale=0.1)),
+                s_miss=float(rng.normal(scale=0.05)),
+                categorical=False,
+                z=1.0,
+            ),
+            round_index=r,
+            z=1.0,
+        )
+        for r in range(16)
+    ]
+    model.train_z_ = [1.0] * 16
+    calibrator = PlattCalibrator()
+    calibrator.a = -1.0
+    calibrator.b = 0.0
+    calibrator.fitted_ = True
+    model.calibrator = calibrator
+    predictor = TicketPredictor(PredictorConfig(capacity=500),
+                                encoder=encoder)
+    predictor.model = model
+    predictor.recipes = recipes
+    return ModelBundle(predictor=predictor, meta={"smoke": True})
+
+
+def _scale_smoke(args: argparse.Namespace) -> int:
+    """Self-test of the streaming invariants at a fixed three-block scale.
+
+    Everything the paper-scale cycle relies on, asserted end to end:
+    chunked generation is bit-identical to the monolithic run, chunk
+    appends produce byte-identical shards to whole-week appends, the
+    out-of-core encode equals the dense one, and sharded multi-worker
+    scoring equals single-worker.  Used by the CI scale-smoke job.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro import PopulationConfig, SimulationConfig
+    from repro.features.encoding import EncoderConfig, LineFeatureEncoder
+    from repro.netsim import STREAM_BLOCK_LINES, stream_weeks
+    from repro.netsim.groupfaults import GroupFaultConfig
+    from repro.serve import LineWeekStore, ScoringEngine, StoredWorld
+
+    n_lines = 2 * STREAM_BLOCK_LINES + 700  # straddles two block edges
+    n_weeks = 3
+    config = SimulationConfig(
+        n_weeks=n_weeks,
+        population=PopulationConfig(n_lines=n_lines, seed=11),
+        fault_rate_scale=2.0,
+        group_faults=GroupFaultConfig(
+            n_dslam_events=2, n_binder_events=4, event_window=(0.0, 0.7),
+            seed=23,
+        ),
+        seed=args.seed,
+    )
+    failures: list[str] = []
+
+    def collect(chunk):
+        feats = [[] for _ in range(n_weeks)]
+        lasts = [[] for _ in range(n_weeks)]
+        for blk in stream_weeks(config, chunk_lines=chunk):
+            feats[blk.week].append(blk.features)
+            lasts[blk.week].append(blk.last_ticket_day)
+        return ([np.concatenate(f) for f in feats],
+                [np.concatenate(t) for t in lasts])
+
+    mono_f, mono_t = collect(None)
+    chunk_f, chunk_t = collect(STREAM_BLOCK_LINES)
+    if not all(
+        np.array_equal(chunk_f[w], mono_f[w], equal_nan=True)
+        and np.array_equal(chunk_t[w], mono_t[w])
+        for w in range(n_weeks)
+    ):
+        failures.append("chunked generation diverged from the monolithic run")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        whole = LineWeekStore.create(
+            Path(tmp) / "whole", n_lines, config.population)
+        for w in range(n_weeks):
+            whole.append_week(w, w * 7 + 5, mono_f[w], mono_t[w])
+        chunked = LineWeekStore.create(
+            Path(tmp) / "chunked", n_lines, config.population)
+        chunked.append_week_chunks(
+            stream_weeks(config, chunk_lines=STREAM_BLOCK_LINES))
+        chunked.verify()
+        for w in range(n_weeks):
+            for prefix in ("week", "tickets"):
+                name = f"{prefix}_{w:05d}.npy"
+                if (whole.root / name).read_bytes() != (
+                        chunked.root / name).read_bytes():
+                    failures.append(
+                        f"chunk-appended {name} differs from the "
+                        f"whole-week append")
+
+        encoder = LineFeatureEncoder(EncoderConfig())
+        dense = StoredWorld(chunked, out_of_core=False)
+        ooc = StoredWorld(chunked, out_of_core=True)
+        target = chunked.latest_week
+        reference = dense.encode_week(target, encoder)
+        streamed = ooc.encode_week(target, encoder, chunk_lines=5_000)
+        if not np.array_equal(streamed.matrix, reference.matrix,
+                              equal_nan=True):
+            failures.append("out-of-core chunked encode diverged from dense")
+
+        bundle = _scale_toy_bundle(encoder)
+        bundle.predictor.model.compiled()
+        multi = ScoringEngine(
+            bundle, ooc, shard_size=4_096, workers=4).score_week(target)
+        single = ScoringEngine(
+            bundle, StoredWorld(chunked, out_of_core=True),
+            shard_size=4_096, workers=1).score_week(target)
+        if not np.array_equal(multi.scores, single.scores):
+            failures.append("multi-worker scores diverged from single-worker")
+
+    if failures:
+        for failure in failures:
+            print(f"scale smoke FAILED: {failure}")
+        return 1
+    print(f"smoke ok: {n_lines} lines x {n_weeks} weeks streamed in blocks "
+          f"of {STREAM_BLOCK_LINES}; chunk appends byte-identical, "
+          f"out-of-core encode equal to dense, {multi.n_shards}-shard "
+          f"4-worker scoring bit-identical to single-worker")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    if args.smoke:
+        return _scale_smoke(args)
+    import contextlib
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.features.encoding import EncoderConfig, LineFeatureEncoder
+    from repro.netsim import STREAM_BLOCK_LINES, stream_weeks
+    from repro.obs.profile import peak_rss_kb
+    from repro.serve import LineWeekStore, StoredWorld
+
+    config = _sim_config(args)
+    chunk = args.chunk_lines or STREAM_BLOCK_LINES
+    with contextlib.ExitStack() as stack:
+        if args.store:
+            root = Path(args.store)
+        else:
+            root = Path(stack.enter_context(
+                tempfile.TemporaryDirectory())) / "store"
+        store = LineWeekStore.create(root, args.lines, config.population)
+        gen_start = time.perf_counter()
+        weeks = store.append_week_chunks(
+            stream_weeks(config, chunk_lines=chunk))
+        gen_seconds = time.perf_counter() - gen_start
+        store.verify()
+
+        world = StoredWorld(LineWeekStore.open(root), out_of_core=True)
+        encoder = LineFeatureEncoder(EncoderConfig())
+        encode_start = time.perf_counter()
+        encoded = sum(
+            piece.matrix.shape[0]
+            for _, piece in world.iter_encode_week(
+                store.latest_week, encoder, chunk_lines=chunk)
+        )
+        encode_seconds = time.perf_counter() - encode_start
+
+    print(f"streamed {args.lines} lines x {len(weeks)} weeks "
+          f"(chunk {chunk} lines)")
+    print(f"  generate+append : {gen_seconds:.1f}s "
+          f"({args.lines * len(weeks) / gen_seconds:.0f} line-weeks/s)")
+    print(f"  encode (latest) : {encode_seconds:.1f}s "
+          f"({encoded / encode_seconds:.0f} lines/s, streamed)")
+    print(f"  peak RSS        : {peak_rss_kb() / 1024:.0f} MB")
+    if args.store:
+        print(f"  store           : {root}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "predict": _cmd_predict,
@@ -1074,6 +1306,7 @@ _COMMANDS = {
     "lifecycle": _cmd_lifecycle,
     "triage": _cmd_triage,
     "explain": _cmd_explain,
+    "scale": _cmd_scale,
 }
 
 

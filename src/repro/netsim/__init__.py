@@ -34,6 +34,12 @@ from repro.netsim.physics import LinePhysics, LoopConditions
 from repro.netsim.population import Population, PopulationConfig, build_population
 from repro.netsim.profiles import PROFILES, ServiceProfile, profile_by_name
 from repro.netsim.simulator import DslSimulator, SimulationConfig, SimulationResult
+from repro.netsim.streaming import (
+    STREAM_BLOCK_LINES,
+    StreamingSimulator,
+    WeekBlock,
+    stream_weeks,
+)
 from repro.netsim.topology import Bras, Dslam, Line, Topology
 
 __all__ = [
@@ -55,6 +61,10 @@ __all__ = [
     "DslSimulator",
     "SimulationConfig",
     "SimulationResult",
+    "STREAM_BLOCK_LINES",
+    "StreamingSimulator",
+    "WeekBlock",
+    "stream_weeks",
     "Bras",
     "Dslam",
     "Line",

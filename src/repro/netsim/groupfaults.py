@@ -259,6 +259,31 @@ class GroupFaultModel:
             strength[lines] = np.maximum(strength[lines], ramp)
         return strength
 
+    def line_strength_range(self, day: int, start: int, stop: int) -> np.ndarray:
+        """``line_strength(day)[start:stop]`` without the O(n_lines) array.
+
+        The streaming engine simulates fixed line blocks; this restricts
+        every event to the members falling inside ``[start, stop)`` (the
+        member ids of a DSLAM or binder group are stored sorted, so a
+        ``searchsorted`` window finds them), which keeps the per-block cost
+        proportional to the block, not the plant.  Events whose membership
+        straddles a block boundary contribute to every block they touch.
+        """
+        strength = np.zeros(stop - start)
+        ramp_days = max(1, self.config.ramp_days)
+        for event in self.schedule.active_on(day):
+            lo, hi = np.searchsorted(event.line_ids, (start, stop))
+            if lo == hi:
+                continue
+            onset = event.start_day + event.onset_lags[lo:hi]
+            felt = onset <= day
+            if not np.any(felt):
+                continue
+            ramp = np.clip((day - onset[felt] + 1) / ramp_days, 0.0, 1.0)
+            rows = event.line_ids[lo:hi][felt] - start
+            strength[rows] = np.maximum(strength[rows], ramp)
+        return strength
+
     def affected_lines(self, day: int) -> np.ndarray:
         """Boolean mask of lines feeling any shared degradation on ``day``."""
         return self.line_strength(day) > 0.0

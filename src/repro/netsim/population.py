@@ -91,11 +91,11 @@ class Population:
 
     @property
     def profile_down_kbps(self) -> np.ndarray:
-        return np.array([PROFILES[i].down_kbps for i in self.profile_idx])
+        return np.array([p.down_kbps for p in PROFILES])[self.profile_idx]
 
     @property
     def profile_up_kbps(self) -> np.ndarray:
-        return np.array([PROFILES[i].up_kbps for i in self.profile_idx])
+        return np.array([p.up_kbps for p in PROFILES])[self.profile_idx]
 
     def conditions(self) -> LoopConditions:
         """Bundle the static plant state for the physics layer."""
@@ -129,20 +129,28 @@ def build_population(config: PopulationConfig | None = None) -> Population:
     desired = rng.choice(len(PROFILES), size=n, p=popularity)
 
     # Provisioning: bump customers down to the fastest tier their loop
-    # supports, except for a small misprovisioned fraction.
+    # supports, except for a small misprovisioned fraction.  Vectorised
+    # over the (tiny) tier table so a million-line build stays cheap; the
+    # tier picked per line is identical to the per-line scan it replaced.
     max_reach = np.array([p.max_loop_kft for p in PROFILES])
     profile_idx = desired.copy()
     keep_anyway = rng.random(n) < config.misprovision_rate
-    for i in range(n):
-        if loop_kft[i] <= max_reach[profile_idx[i]] or keep_anyway[i]:
-            continue
-        supported = np.flatnonzero(max_reach >= loop_kft[i])
-        if supported.size:
-            # Fastest supportable tier at or below the desired one.
-            candidates = supported[supported <= profile_idx[i]]
-            profile_idx[i] = int(candidates.max()) if candidates.size else int(supported.min())
-        else:
-            profile_idx[i] = 0  # even basic is marginal on this loop
+    need_fix = np.flatnonzero((loop_kft > max_reach[desired]) & ~keep_anyway)
+    if need_fix.size:
+        n_tiers = len(PROFILES)
+        supported = max_reach[None, :] >= loop_kft[need_fix, None]
+        candidates = supported & (
+            np.arange(n_tiers)[None, :] <= desired[need_fix, None]
+        )
+        # Fastest supportable tier at or below the desired one, else the
+        # slowest supportable, else tier 0 (even basic is marginal).
+        last_candidate = n_tiers - 1 - np.argmax(candidates[:, ::-1], axis=1)
+        first_supported = np.argmax(supported, axis=1)
+        profile_idx[need_fix] = np.where(
+            candidates.any(axis=1),
+            last_candidate,
+            np.where(supported.any(axis=1), first_supported, 0),
+        )
 
     ambient = np.abs(rng.normal(0.0, config.ambient_noise_sigma_db, size=n))
     static_bt = rng.random(n) < config.static_bridge_tap_rate
@@ -195,7 +203,8 @@ def _build_topology(n: int, config: PopulationConfig, rng: np.random.Generator) 
         )
         for b in range(n_brases)
     ]
-    line_bras = np.array([dslams[d].bras_id for d in line_dslam], dtype=int)
+    bras_of_dslam = np.array([d.bras_id for d in dslams], dtype=int)
+    line_bras = bras_of_dslam[line_dslam]
 
     # Binder groups: partition each DSLAM's pairs into F1/F2 sheath
     # bundles.  Drawn last so the per-line population arrays above are

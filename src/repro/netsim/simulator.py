@@ -57,10 +57,58 @@ from repro.tickets.ticketing import (
 from repro.traffic.usage import TrafficConfig, TrafficModel
 
 __all__ = ["SimulationConfig", "FaultEvent", "SimulationResult", "DslSimulator",
-           "SATURDAY_OFFSET"]
+           "SATURDAY_OFFSET", "combine_shared_effects"]
 
 #: Day-of-week offset of the line test within each week (Saturday).
 SATURDAY_OFFSET = 5
+
+
+def combine_shared_effects(
+    effects: FaultEffects,
+    line_precursor: np.ndarray,
+    group_strength: np.ndarray | None,
+    outage_cfg: OutageConfig,
+    group_cfg: GroupFaultConfig | None,
+) -> FaultEffects:
+    """Fold shared-infrastructure degradations into per-line fault effects.
+
+    Failing shared DSLAM equipment degrades the whole transceiver path: a
+    dying line card corrupts its receivers (upstream) as much as its
+    transmitters (downstream), so the precursor couples into both
+    directions.  Correlated group faults sit in the same shared path
+    (line card or binder sheath), so they couple identically.
+
+    Shared by :class:`DslSimulator` and the streaming engine in
+    :mod:`repro.netsim.streaming` so both paths apply the exact same
+    coupling; pure array math, no RNG.
+    """
+    has_group = group_strength is not None and np.any(group_strength)
+    if not np.any(line_precursor) and not has_group:
+        return effects
+    noise = outage_cfg.precursor_noise_db * line_precursor
+    cv = outage_cfg.precursor_cv_rate * line_precursor
+    dropout = 0.1 * line_precursor
+    cells_drop = 0.15 * line_precursor
+    if has_group:
+        noise = noise + group_cfg.noise_db * group_strength
+        cv = cv + group_cfg.cv_rate * group_strength
+        dropout = dropout + group_cfg.dropout * group_strength
+        cells_drop = np.clip(
+            cells_drop + group_cfg.cells_drop * group_strength, 0.0, 1.0
+        )
+    return FaultEffects(
+        noise_db=effects.noise_db + noise,
+        noise_db_up=effects.noise_db_up + noise,
+        atten_db=effects.atten_db,
+        atten_db_up=effects.atten_db_up,
+        rate_factor=effects.rate_factor,
+        cv_rate=effects.cv_rate + cv,
+        dropout=np.clip(effects.dropout + dropout, 0.0, 1.0),
+        off_prob=effects.off_prob,
+        bridge_tap=effects.bridge_tap,
+        crosstalk=effects.crosstalk,
+        cells_factor=effects.cells_factor * (1.0 - cells_drop),
+    )
 
 
 @dataclass(frozen=True)
@@ -395,41 +443,12 @@ class DslSimulator:
         group_strength: np.ndarray | None = None,
     ) -> FaultEffects:
         """Line-fault effects plus the shared-infrastructure degradations."""
-        effects = self.fault_model.effects(self.state)
-        has_group = group_strength is not None and np.any(group_strength)
-        if not np.any(line_precursor) and not has_group:
-            return effects
-        cfg = self.config.outages
-        # Failing shared DSLAM equipment degrades the whole transceiver
-        # path: a dying line card corrupts its receivers (upstream) as
-        # much as its transmitters (downstream), so the precursor couples
-        # into both directions.
-        noise = cfg.precursor_noise_db * line_precursor
-        cv = cfg.precursor_cv_rate * line_precursor
-        dropout = 0.1 * line_precursor
-        cells_drop = 0.15 * line_precursor
-        if has_group:
-            # Correlated group faults sit in the same shared path (line
-            # card or binder sheath), so they couple identically.
-            g = self.group_faults.config
-            noise = noise + g.noise_db * group_strength
-            cv = cv + g.cv_rate * group_strength
-            dropout = dropout + g.dropout * group_strength
-            cells_drop = np.clip(
-                cells_drop + g.cells_drop * group_strength, 0.0, 1.0
-            )
-        return FaultEffects(
-            noise_db=effects.noise_db + noise,
-            noise_db_up=effects.noise_db_up + noise,
-            atten_db=effects.atten_db,
-            atten_db_up=effects.atten_db_up,
-            rate_factor=effects.rate_factor,
-            cv_rate=effects.cv_rate + cv,
-            dropout=np.clip(effects.dropout + dropout, 0.0, 1.0),
-            off_prob=effects.off_prob,
-            bridge_tap=effects.bridge_tap,
-            crosstalk=effects.crosstalk,
-            cells_factor=effects.cells_factor * (1.0 - cells_drop),
+        return combine_shared_effects(
+            self.fault_model.effects(self.state),
+            line_precursor,
+            group_strength,
+            self.config.outages,
+            self.group_faults.config if self.group_faults is not None else None,
         )
 
     def _sample_report_days(self, week_start: int, count: int) -> np.ndarray:

@@ -63,12 +63,16 @@ _TASK_BUCKETS = (
 )
 
 
-def worker_count(workers: int | None = None) -> int:
+def worker_count(workers: int | str | None = None) -> int:
     """Resolve the effective worker count.
 
     Args:
         workers: explicit override; ``None`` reads ``REPRO_WORKERS`` from
             the environment, defaulting to 1 (serial) when unset or empty.
+            The literal string ``"auto"`` (either as the argument or as
+            the environment value) resolves to ``os.cpu_count()``, so a
+            deployment can saturate whatever box it lands on without
+            hard-coding a width.
 
     Returns:
         A positive integer worker count.
@@ -82,11 +86,17 @@ def worker_count(workers: int | None = None) -> int:
         raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
         if not raw:
             return 1
+        workers = raw
+    if isinstance(workers, str):
+        raw = workers.strip()
+        if raw.lower() == "auto":
+            return os.cpu_count() or 1
         try:
             workers = int(raw)
         except ValueError:
             raise ValueError(
-                f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+                f"{WORKERS_ENV_VAR} must be a positive integer or 'auto', "
+                f"got {raw!r}"
             ) from None
     if workers < 1:
         raise ValueError(f"worker count must be >= 1, got {workers}")

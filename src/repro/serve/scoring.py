@@ -37,15 +37,18 @@ import numpy as np
 
 from repro.explain.report import ExplanationReport, build_report
 from repro.features.encoding import FeatureSet
-from repro.measurement.records import MeasurementStore
-from repro.netsim.population import Population
 from repro.obs.log import RateLimitedLogger, get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
 from repro.parallel import parallel_map, split_shards
 from repro.serve.cache import ScoreCache
 from repro.serve.registry import ModelBundle
-from repro.serve.store import StoredWorld, _StoredTicketView
+from repro.serve.store import (
+    StoredWorld,
+    _measurement_row_view,
+    _population_row_view,
+    _StoredTicketView,
+)
 from repro.tickets.dispatch import DispatchList, Dispatcher, build_dispatch_list
 
 __all__ = ["WeekScores", "ScoringEngine", "DEFAULT_SHARD_SIZE", "score_bundles"]
@@ -92,34 +95,10 @@ class WeekScores:
         return len(self.scores) / total if total > 0 else 0.0
 
 
-def _slice_measurements(full: MeasurementStore, shard: slice) -> MeasurementStore:
-    """A zero-copy row view of a measurement store.
-
-    Built without ``__init__`` so ``data`` stays a slice view of the full
-    array instead of a fresh allocation; every MeasurementStore method
-    reduces along the week/feature axes per line, so the view behaves
-    exactly like the full store restricted to these rows.
-    """
-    view = object.__new__(MeasurementStore)
-    view.data = full.data[shard]
-    view.n_lines = view.data.shape[0]
-    view.n_weeks = full.n_weeks
-    view.saturday_day = full.saturday_day
-    view._filled = full._filled
-    return view
-
-
-def _slice_population(full: Population, shard: slice) -> Population:
-    """A zero-copy row view of the population's per-line arrays."""
-    view = object.__new__(Population)
-    view.config = full.config
-    view.topology = full.topology  # not per-line; unused by the encoder
-    view.loop_kft = full.loop_kft[shard]
-    view.profile_idx = full.profile_idx[shard]
-    view.ambient_noise_db = full.ambient_noise_db[shard]
-    view.static_bridge_tap = full.static_bridge_tap[shard]
-    view.static_crosstalk = full.static_crosstalk[shard]
-    return view
+# Row views live next to the store (the out-of-core StoredWorld uses the
+# same machinery); re-exported here for their historical import site.
+_slice_measurements = _measurement_row_view
+_slice_population = _population_row_view
 
 
 class _AssembledColumns:
@@ -185,7 +164,8 @@ def score_bundles(
 
     with span("serve.score_bundles", week=week, models=len(names)) as run_span:
         population = world.population()
-        measurements = world.measurements()
+        if not world.out_of_core_active():
+            world.measurements()  # build the dense cube once, outside the fan-out
         day = world.store.day_of(week)
         last_day = np.asarray(world.store.last_ticket_day(week))
         encoder = bundles[names[0]].predictor.encoder
@@ -194,9 +174,9 @@ def score_bundles(
 
         def encode_and_score_all(shard: slice) -> list[np.ndarray]:
             base = encoder.encode(
-                _slice_measurements(measurements, shard),
+                world.shard_measurements(shard),
                 week,
-                _slice_population(population, shard),
+                _population_row_view(population, shard),
                 _StoredTicketView(last_day[shard], day),
             )
             n_rows = base.matrix.shape[0]
@@ -314,7 +294,10 @@ class ScoringEngine:
                 week_seconds.time():
             t0 = time.perf_counter()
             population = self.world.population()
-            measurements = self.world.measurements()
+            if not self.world.out_of_core_active():
+                # Build the dense cube once, outside the shard fan-out;
+                # out-of-core worlds instead read per-shard rows below.
+                self.world.measurements()
             day = self.world.store.day_of(week)
             last_day = np.asarray(self.world.store.last_ticket_day(week))
             t1 = time.perf_counter()
@@ -328,9 +311,9 @@ class ScoringEngine:
 
             def encode_and_score(shard: slice) -> np.ndarray:
                 base = encoder.encode(
-                    _slice_measurements(measurements, shard),
+                    self.world.shard_measurements(shard),
                     week,
-                    _slice_population(population, shard),
+                    _population_row_view(population, shard),
                     _StoredTicketView(last_day[shard], day),
                 )
                 columns = _AssembledColumns(base.matrix, recipes)

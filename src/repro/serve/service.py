@@ -561,6 +561,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     service: ScoringService  # set by make_server
 
+    # HTTP/1.1 so connections persist across requests: pollers hit
+    # /metrics and /healthz every few seconds, and per-request TCP
+    # handshakes would dominate those tiny responses.  Safe because
+    # _respond always sends an exact Content-Length.
+    protocol_version = "HTTP/1.1"
+
     def _respond(self, method: str) -> None:
         status, payload = self.service.dispatch_request(method, self.path)
         route = urlsplit(self.path).path

@@ -23,6 +23,22 @@ therefore bit-identical scores and dispatch lists -- as the in-memory
 batch pipeline.  Shards are checksummed (SHA-256 of the raw bytes) and
 verified on read, and the manifest is replaced atomically so a crashed
 writer never corrupts the index.
+
+Two write paths share one incremental shard writer: :meth:`append_week`
+takes a whole week in memory, :meth:`append_week_chunks` drains the
+streaming simulator's per-chunk blocks so a million-line week is written
+without ever existing as one array.  Both fsync every shard before the
+manifest entry that references it is published -- the manifest is the
+commit point, so a crash between data and index can truncate unpublished
+files but never leave the index pointing at torn bytes.  Chunked and
+whole-week appends produce byte-identical ``.npy`` files and checksums.
+
+On the read side, :meth:`LineWeekStore.read_rows` serves contiguous row
+ranges straight from disk offsets (no mmap, so touched pages never
+accumulate in RSS), and :class:`StoredWorld` switches to an out-of-core
+mode -- automatically past :data:`DENSE_LINE_WEEK_BUDGET` line-weeks --
+where scoring shards and chunked encodes read only their own rows
+instead of assembling the full ``(n_lines, n_weeks, 25)`` cube.
 """
 
 from __future__ import annotations
@@ -34,15 +50,32 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
+from numpy.lib import format as _npy_format
 
 from repro.features.encoding import FeatureSet, LineFeatureEncoder
 from repro.measurement.records import FEATURE_NAMES, N_FEATURES, MeasurementStore
 from repro.netsim.population import Population, PopulationConfig, build_population
+from repro.parallel import split_shards
 
-__all__ = ["LineWeekStore", "StoredWorld", "snapshot_result"]
+__all__ = [
+    "LineWeekStore",
+    "StoredWorld",
+    "snapshot_result",
+    "DENSE_LINE_WEEK_BUDGET",
+    "DEFAULT_ENCODE_CHUNK",
+]
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
+
+#: Above this many line-weeks (lines x stored weeks), :class:`StoredWorld`
+#: defaults to out-of-core reads instead of assembling the dense cube --
+#: 4M line-weeks is a ~400 MB float32 cube, about the most a "just load
+#: it" path should silently allocate.
+DENSE_LINE_WEEK_BUDGET = 4_000_000
+
+#: Default row-chunk of the out-of-core :meth:`StoredWorld.encode_week`.
+DEFAULT_ENCODE_CHUNK = 65_536
 
 
 def _sha256(data: bytes) -> str:
@@ -51,8 +84,78 @@ def _sha256(data: bytes) -> str:
 
 def _atomic_write_text(path: Path, text: str) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(text)
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+
+
+class _ShardWriter:
+    """Incremental ``.npy`` writer, byte-identical to ``np.save``.
+
+    The final shape is known up front, so the v1.0 header is written
+    first and row chunks are appended sequentially while a running
+    SHA-256 accumulates over the data bytes (the store's checksums cover
+    data only, matching ``_sha256(array.tobytes())`` on the whole-array
+    path).  ``close`` refuses an incomplete shard, fsyncs, and returns
+    the checksum -- callers publish the manifest entry only after that.
+    """
+
+    def __init__(self, path: Path, shape: tuple[int, ...], dtype) -> None:
+        self.path = path
+        self._dtype = np.dtype(dtype)
+        self._row_shape = tuple(shape[1:])
+        self._total_rows = int(shape[0])
+        self._rows = 0
+        self._hash = hashlib.sha256()
+        self._fh = open(path, "wb")
+        _npy_format.write_array_header_1_0(
+            self._fh,
+            {
+                "descr": _npy_format.dtype_to_descr(self._dtype),
+                "fortran_order": False,
+                "shape": tuple(shape),
+            },
+        )
+
+    @property
+    def rows_written(self) -> int:
+        return self._rows
+
+    def write(self, chunk: np.ndarray) -> None:
+        chunk = np.ascontiguousarray(chunk, dtype=self._dtype)
+        if tuple(chunk.shape[1:]) != self._row_shape:
+            raise ValueError(
+                f"chunk rows must have shape {self._row_shape}, "
+                f"got {tuple(chunk.shape[1:])}"
+            )
+        if self._rows + chunk.shape[0] > self._total_rows:
+            raise ValueError(
+                f"shard {self.path.name} overflows: "
+                f"{self._rows} + {chunk.shape[0]} > {self._total_rows} rows"
+            )
+        data = chunk.tobytes()
+        self._fh.write(data)
+        self._hash.update(data)
+        self._rows += chunk.shape[0]
+
+    def close(self) -> str:
+        """Fsync and return the hex checksum; raises if rows are missing."""
+        if self._rows != self._total_rows:
+            self._fh.close()
+            raise ValueError(
+                f"shard {self.path.name} is incomplete: "
+                f"{self._rows} of {self._total_rows} rows written"
+            )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        return self._hash.hexdigest()
+
+    def abort(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
 
 
 @dataclass(frozen=True)
@@ -86,6 +189,7 @@ class LineWeekStore:
         self.n_lines = n_lines
         self._population_config = population
         self._entries = entries
+        self._layouts: dict[str, tuple[tuple[int, ...], np.dtype, int]] = {}
 
     # ----- lifecycle ------------------------------------------------------
 
@@ -188,19 +292,109 @@ class LineWeekStore:
                 f"last_ticket_day must be ({self.n_lines},), "
                 f"got {last_ticket_day.shape}"
             )
-        meas_name = f"week_{week:05d}.npy"
-        tick_name = f"tickets_{week:05d}.npy"
-        np.save(self.root / meas_name, features)
-        np.save(self.root / tick_name, last_ticket_day)
+        meas, tick = self._week_writers(week)
+        meas.write(features)
+        tick.write(last_ticket_day)
+        # Shards are durable (fsynced by close) before the manifest entry
+        # that references them is published.
+        self._publish_week(week, day, meas, tick)
+        self._write_manifest()
+
+    def append_week_chunks(self, blocks) -> list[int]:
+        """Append one or more weeks incrementally from streamed chunks.
+
+        Drains an iterable of chunk payloads -- anything shaped like the
+        streaming simulator's :class:`~repro.netsim.streaming.WeekBlock`
+        (attributes ``week``, ``day``, ``start``, ``stop``, ``features``,
+        ``last_ticket_day``) -- writing each week's shards as rows
+        arrive, so no week is ever held in memory whole.  Per week the
+        chunks must cover ``[0, n_lines)`` contiguously and in order;
+        different weeks may interleave arbitrarily (the streaming engine
+        emits chunk-major).
+
+        Same guarantees as :meth:`append_week`: shards are fsynced before
+        the manifest references them, checksums and file bytes are
+        identical to a whole-week append of the concatenated rows, and
+        the manifest -- published once, after every started week
+        completed -- is the commit point: a crash mid-stream leaves the
+        store exactly as it was.
+
+        Returns the sorted list of week indices appended.
+        """
+        pending: dict[int, tuple[int, _ShardWriter, _ShardWriter]] = {}
+        try:
+            for block in blocks:
+                week = int(block.week)
+                start, stop = int(block.start), int(block.stop)
+                state = pending.get(week)
+                if state is None:
+                    if week < 0:
+                        raise ValueError(f"week must be >= 0, got {week}")
+                    if week in self._entries:
+                        raise ValueError(
+                            f"week {week} is already stored "
+                            f"(store is append-only)"
+                        )
+                    meas, tick = self._week_writers(week)
+                    state = pending[week] = (int(block.day), meas, tick)
+                day, meas, tick = state
+                if int(block.day) != day:
+                    raise ValueError(
+                        f"week {week} chunks disagree on the campaign day: "
+                        f"{day} vs {int(block.day)}"
+                    )
+                if start != meas.rows_written:
+                    raise ValueError(
+                        f"week {week} chunks must arrive in row order: "
+                        f"expected start {meas.rows_written}, got {start}"
+                    )
+                features = np.asarray(block.features)
+                tickets = np.asarray(block.last_ticket_day)
+                if features.shape[0] != stop - start or \
+                        tickets.shape[0] != stop - start:
+                    raise ValueError(
+                        f"week {week} chunk [{start}, {stop}) carries "
+                        f"{features.shape[0]} feature rows and "
+                        f"{tickets.shape[0]} ticket rows"
+                    )
+                meas.write(features)
+                tick.write(tickets)
+        except BaseException:
+            for _, meas, tick in pending.values():
+                meas.abort()
+                tick.abort()
+            raise
+        for week in sorted(pending):
+            day, meas, tick = pending[week]
+            self._publish_week(week, day, meas, tick)
+        if pending:
+            self._write_manifest()
+        return sorted(pending)
+
+    def _week_writers(self, week: int) -> tuple[_ShardWriter, _ShardWriter]:
+        meas = _ShardWriter(
+            self.root / f"week_{week:05d}.npy",
+            (self.n_lines, N_FEATURES), np.float32,
+        )
+        tick = _ShardWriter(
+            self.root / f"tickets_{week:05d}.npy",
+            (self.n_lines,), np.int64,
+        )
+        return meas, tick
+
+    def _publish_week(
+        self, week: int, day: int, meas: _ShardWriter, tick: _ShardWriter
+    ) -> None:
+        """Close (fsync) both shards and index the week -- not yet durable
+        until the caller rewrites the manifest."""
         self._entries[week] = _WeekEntry(
             week=week,
             day=int(day),
-            measurements=meas_name,
-            tickets=tick_name,
-            measurements_checksum=_sha256(features.tobytes()),
-            tickets_checksum=_sha256(last_ticket_day.tobytes()),
+            measurements=meas.path.name,
+            tickets=tick.path.name,
+            measurements_checksum=meas.close(),
+            tickets_checksum=tick.close(),
         )
-        self._write_manifest()
 
     # ----- read path ------------------------------------------------------
 
@@ -245,6 +439,57 @@ class LineWeekStore:
         entry = self._entry(week)
         return self._load(entry.tickets, entry.tickets_checksum, mmap)
 
+    def _shard_layout(self, name: str) -> tuple[tuple[int, ...], np.dtype, int]:
+        """(shape, dtype, data byte offset) of a shard, header parsed once."""
+        layout = self._layouts.get(name)
+        if layout is None:
+            with open(self.root / name, "rb") as fh:
+                version = _npy_format.read_magic(fh)
+                if version == (1, 0):
+                    shape, fortran, dtype = _npy_format.read_array_header_1_0(fh)
+                elif version == (2, 0):
+                    shape, fortran, dtype = _npy_format.read_array_header_2_0(fh)
+                else:
+                    raise ValueError(
+                        f"shard {name} has unsupported npy version {version}"
+                    )
+                if fortran:
+                    raise ValueError(f"shard {name} is Fortran-ordered")
+                layout = (tuple(shape), dtype, fh.tell())
+            self._layouts[name] = layout
+        return layout
+
+    def _read_rows(self, name: str, start: int, stop: int) -> np.ndarray:
+        shape, dtype, offset = self._shard_layout(name)
+        if not 0 <= start <= stop <= shape[0]:
+            raise ValueError(
+                f"row range [{start}, {stop}) outside shard of {shape[0]} rows"
+            )
+        row_items = int(np.prod(shape[1:], dtype=np.int64)) if len(shape) > 1 else 1
+        row_bytes = row_items * dtype.itemsize
+        with open(self.root / name, "rb") as fh:
+            fh.seek(offset + start * row_bytes)
+            buf = fh.read((stop - start) * row_bytes)
+        if len(buf) != (stop - start) * row_bytes:
+            raise ValueError(f"shard {name} is truncated")
+        return np.frombuffer(buf, dtype=dtype).reshape(
+            (stop - start,) + tuple(shape[1:])
+        )
+
+    def read_rows(self, week: int, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` of a week's measurement matrix.
+
+        A direct positioned read of exactly the requested byte range --
+        no mmap, so out-of-core scoring never accumulates touched pages
+        in resident memory.  Returns a fresh ``(stop - start, 25)``
+        float32 array equal to ``week_matrix(week)[start:stop]``.
+        """
+        return self._read_rows(self._entry(week).measurements, start, stop)
+
+    def read_ticket_rows(self, week: int, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` of a week's last-ticket-day vector."""
+        return self._read_rows(self._entry(week).tickets, start, stop)
+
     def verify(self) -> None:
         """Re-hash every shard against the manifest; raises on mismatch."""
         for week in self.weeks:
@@ -277,17 +522,60 @@ class _StoredTicketView:
         return np.asarray(self._last_day)
 
 
+def _measurement_row_view(full: MeasurementStore, shard: slice) -> MeasurementStore:
+    """A zero-copy row view of a dense measurement store.
+
+    Built without ``__init__`` so ``data`` stays a slice view of the full
+    array instead of a fresh allocation; every MeasurementStore method
+    reduces along the week/feature axes per line, so the view behaves
+    exactly like the full store restricted to these rows.
+    """
+    view = object.__new__(MeasurementStore)
+    view.data = full.data[shard]
+    view.n_lines = view.data.shape[0]
+    view.n_weeks = full.n_weeks
+    view.saturday_day = full.saturday_day
+    view._filled = full._filled
+    return view
+
+
+def _population_row_view(full: Population, shard: slice) -> Population:
+    """A zero-copy row view of the population's per-line arrays."""
+    view = object.__new__(Population)
+    view.config = full.config
+    view.topology = full.topology  # not per-line; unused by the encoder
+    view.loop_kft = full.loop_kft[shard]
+    view.profile_idx = full.profile_idx[shard]
+    view.ambient_noise_db = full.ambient_noise_db[shard]
+    view.static_bridge_tap = full.static_bridge_tap[shard]
+    view.static_crosstalk = full.static_crosstalk[shard]
+    return view
+
+
 class StoredWorld:
     """Encoder-compatible views over a :class:`LineWeekStore`.
 
     Rebuilds the population deterministically from the stored config and
-    assembles a :class:`MeasurementStore` from the week shards, so
+    serves :class:`MeasurementStore` views over the week shards, so
     :meth:`encode_week` produces feature matrices bit-identical to
     encoding the live simulation the snapshots came from.
+
+    Two residency modes, one contract.  In **dense** mode every stored
+    week is assembled into one in-memory cube (cached) and shards are
+    zero-copy views of it.  In **out-of-core** mode -- forced with
+    ``out_of_core=True``, or automatic once ``lines x weeks`` exceeds
+    :data:`DENSE_LINE_WEEK_BUDGET` -- :meth:`shard_measurements` reads
+    only its own rows from disk, so peak memory is bounded by the shard
+    size, not the plant.  Both modes yield bit-identical rows (the store
+    rows are the same bytes), so scoring results do not depend on the
+    mode.
     """
 
-    def __init__(self, store: LineWeekStore):
+    def __init__(
+        self, store: LineWeekStore, out_of_core: bool | None = None
+    ):
         self.store = store
+        self.out_of_core = out_of_core
         self._population: Population | None = None
         self._measurements: MeasurementStore | None = None
         self._measured_weeks: tuple[int, ...] = ()
@@ -308,8 +596,21 @@ class StoredWorld:
             self._population = build_population(self.store.population_config())
         return self._population
 
+    def out_of_core_active(self) -> bool:
+        """Whether shard reads bypass the dense in-memory cube."""
+        if self.out_of_core is not None:
+            return self.out_of_core
+        weeks = self.store.weeks
+        if not weeks:
+            return False
+        return self.store.n_lines * (max(weeks) + 1) > DENSE_LINE_WEEK_BUDGET
+
     def measurements(self) -> MeasurementStore:
-        """All stored weeks assembled into a MeasurementStore (cached)."""
+        """All stored weeks assembled into a MeasurementStore (cached).
+
+        This is the dense cube; out-of-core consumers should use
+        :meth:`shard_measurements` instead.
+        """
         weeks = tuple(self.store.weeks)
         if self._measurements is None or self._measured_weeks != weeks:
             if not weeks:
@@ -325,13 +626,104 @@ class StoredWorld:
             self._measured_weeks = weeks
         return self._measurements
 
-    def encode_week(self, week: int, encoder: LineFeatureEncoder) -> FeatureSet:
-        """Table-3 base features for every line at a stored week."""
-        ticket_view = _StoredTicketView(
-            self.store.last_ticket_day(week), self.store.day_of(week)
+    def shard_measurements(self, shard: slice) -> MeasurementStore:
+        """A measurement view covering only the rows of ``shard``.
+
+        Dense mode returns a zero-copy view of the cached cube;
+        out-of-core mode reads exactly the shard's rows of every stored
+        week from disk (positioned reads, no mmap), so concurrent scoring
+        shards never materialise more than their own slice.
+        """
+        if not self.out_of_core_active():
+            return _measurement_row_view(self.measurements(), shard)
+        weeks = self.store.weeks
+        if not weeks:
+            raise ValueError("the store holds no weeks yet")
+        start, stop, step = shard.indices(self.store.n_lines)
+        if step != 1:
+            raise ValueError("shards must be contiguous row ranges")
+        if stop <= start:
+            raise ValueError(f"empty shard [{start}, {stop})")
+        assembled = MeasurementStore(
+            n_lines=stop - start, n_weeks=max(weeks) + 1
         )
-        return encoder.encode(
-            self.measurements(), week, self.population(), ticket_view
+        for week in weeks:
+            assembled.add_week(
+                week, self.store.day_of(week),
+                self.store.read_rows(week, start, stop),
+            )
+        return assembled
+
+    def iter_encode_week(
+        self,
+        week: int,
+        encoder: LineFeatureEncoder,
+        chunk_lines: int | None = None,
+    ):
+        """Yield ``(shard, FeatureSet)`` per row chunk of a stored week.
+
+        The streaming form of :meth:`encode_week`: each chunk's encoded
+        features are yielded and released, so a consumer that processes
+        chunks independently (scoring, export) never holds the full
+        base-feature matrix -- at paper scale that matrix is several
+        times larger than a week of raw measurements.
+        """
+        if chunk_lines is not None and chunk_lines < 1:
+            raise ValueError(f"chunk_lines must be >= 1, got {chunk_lines}")
+        day = self.store.day_of(week)
+        chunk = chunk_lines or DEFAULT_ENCODE_CHUNK
+        population = self.population()
+        last_day = np.asarray(self.store.last_ticket_day(week))
+        for shard in split_shards(self.store.n_lines, chunk):
+            yield shard, encoder.encode(
+                self.shard_measurements(shard),
+                week,
+                _population_row_view(population, shard),
+                _StoredTicketView(last_day[shard], day),
+            )
+
+    def encode_week(
+        self,
+        week: int,
+        encoder: LineFeatureEncoder,
+        chunk_lines: int | None = None,
+    ) -> FeatureSet:
+        """Table-3 base features for every line at a stored week.
+
+        Dense worlds encode in one pass over the cached cube.  Out-of-
+        core worlds (or an explicit ``chunk_lines``) encode row chunks
+        independently into a preallocated output -- every encoder
+        operation is row-wise, so the chunked matrix is bit-identical to
+        the one-pass encode while never loading the full week matrix
+        (and never holding two copies of the encoded one).
+        """
+        if chunk_lines is None and not self.out_of_core_active():
+            day = self.store.day_of(week)
+            ticket_view = _StoredTicketView(
+                self.store.last_ticket_day(week), day
+            )
+            return encoder.encode(
+                self.measurements(), week, self.population(), ticket_view
+            )
+        matrix: np.ndarray | None = None
+        first: FeatureSet | None = None
+        for shard, piece in self.iter_encode_week(week, encoder, chunk_lines):
+            if first is None:
+                first = piece
+                if shard.stop >= self.store.n_lines:
+                    return piece  # single chunk covers the plant
+                matrix = np.empty(
+                    (self.store.n_lines, piece.matrix.shape[1]),
+                    dtype=piece.matrix.dtype,
+                )
+            matrix[shard] = piece.matrix
+        if first is None:
+            raise ValueError("the store holds no lines to encode")
+        return FeatureSet(
+            matrix=matrix,
+            names=first.names,
+            groups=first.groups,
+            categorical=first.categorical,
         )
 
 

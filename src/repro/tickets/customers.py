@@ -89,19 +89,27 @@ class CustomerBehavior:
 
 
 def build_customers(
-    n_lines: int, n_weeks: int, config: CustomerConfig | None = None
+    n_lines: int,
+    n_weeks: int,
+    config: CustomerConfig | None = None,
+    rng: np.random.Generator | None = None,
 ) -> CustomerBehavior:
     """Generate a :class:`CustomerBehavior` for the population.
 
     Vacation episodes are sampled as a per-week start hazard followed by a
     uniform stay of ``away_min_weeks..away_max_weeks``.
+
+    ``rng`` overrides the ``config.seed`` generator; the streaming netsim
+    engine passes a per-block substream here so every line block draws
+    independent behaviour instead of replaying one global stream.
     """
     config = config or CustomerConfig()
     if n_lines <= 0 or n_weeks <= 0:
         raise ValueError("n_lines and n_weeks must be positive")
     if config.away_min_weeks < 1 or config.away_max_weeks < config.away_min_weeks:
         raise ValueError("invalid vacation length range")
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
 
     usage = rng.beta(config.usage_alpha, config.usage_beta, size=n_lines)
     propensity = rng.beta(
